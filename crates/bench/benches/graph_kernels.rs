@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the graph substrate: multilevel k-way
+//! partitioning, Luby independent sets, and greedy colouring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pilut_graph::coloring::greedy_coloring;
+use pilut_graph::mis::{luby_mis, MisOptions};
+use pilut_graph::{partition_kway, Graph, PartitionOptions};
+use pilut_sparse::gen;
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let a = gen::laplace_2d(100, 100);
+    let g = Graph::from_csr_pattern(&a);
+    let mut group = c.benchmark_group("partition_100x100");
+    group.sample_size(20);
+    for k in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| partition_kway(black_box(&g), &PartitionOptions::new(k)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mis(c: &mut Criterion) {
+    let a = gen::laplace_3d(16, 16, 16);
+    c.bench_function("luby_mis_16cubed", |b| {
+        b.iter(|| luby_mis(black_box(&a), &MisOptions::default()));
+    });
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let a = gen::laplace_3d(16, 16, 16);
+    let g = Graph::from_csr_pattern(&a);
+    c.bench_function("greedy_coloring_16cubed", |b| {
+        b.iter(|| greedy_coloring(black_box(&g)));
+    });
+}
+
+criterion_group!(benches, bench_partition, bench_mis, bench_coloring);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion wall-clock benchmarks of the parallel kernels running on real
+//! OS threads (small rank counts): the full parallel ILUT factorization,
+//! the distributed triangular solve, and the distributed SpMV. These verify
+//! that the implementation parallelises on actual hardware, complementing
+//! the simulated-T3D table binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pilut_core::dist::spmv::{dist_spmv, SpmvPlan};
+use pilut_core::dist::DistMatrix;
+use pilut_core::options::IlutOptions;
+use pilut_core::parallel::par_ilut;
+use pilut_core::trisolve::{dist_solve, TrisolvePlan};
+use pilut_par::{Machine, MachineModel};
+use pilut_sparse::gen;
+
+fn bench_par_factor(c: &mut Criterion) {
+    let a = gen::convection_diffusion_2d(80, 80, 10.0, 20.0);
+    let opts = IlutOptions::star(10, 1e-4, 2);
+    let mut group = c.benchmark_group("par_ilut_80x80");
+    group.sample_size(10);
+    for p in [1usize, 2, 4] {
+        let dm = DistMatrix::from_matrix(a.clone(), p, 17);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+                    let local = dm.local_view(ctx.rank());
+                    par_ilut(ctx, &dm, &local, &opts).unwrap().stats.levels
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dist_solve_and_spmv(c: &mut Criterion) {
+    let a = gen::torso(20);
+    let p = 4;
+    let dm = DistMatrix::from_matrix(a, p, 17);
+    let opts = IlutOptions::star(10, 1e-4, 2);
+    let mut group = c.benchmark_group("dist_kernels_torso20_p4");
+    group.sample_size(10);
+    group.bench_function("trisolve", |b| {
+        b.iter(|| {
+            Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+                let local = dm.local_view(ctx.rank());
+                let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
+                let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
+                let bvec = vec![1.0; local.len()];
+                dist_solve(ctx, &local, &rf, &plan, &bvec).len()
+            })
+        });
+    });
+    group.bench_function("spmv", |b| {
+        b.iter(|| {
+            Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+                let local = dm.local_view(ctx.rank());
+                let mut plan = SpmvPlan::build(ctx, &dm, &local);
+                let x = vec![1.0; local.len()];
+                dist_spmv(ctx, &dm, &local, &mut plan, &x).len()
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_factor, bench_dist_solve_and_spmv);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 6 — forward+backward substitution speedup for TORSO, one series
+//! per factorization.
+//!
+//! Usage: `PILUT_SCALE=0.25 cargo run --release -p pilut-bench --bin fig6_speedup_trisolve`
+
+use pilut_bench::{print_speedup_table, proc_list, run_trisolve, torso};
+
+fn main() {
+    let a = torso();
+    eprintln!("[fig6] TORSO: n = {}, nnz = {}", a.n_rows(), a.nnz());
+    print_speedup_table(
+        "Figure 6 — forward/backward substitution speedup, TORSO",
+        &a,
+        &proc_list(),
+        &mut |a, p, opts| {
+            let r = run_trisolve(a, p, opts);
+            eprintln!(
+                "[fig6] {} p={p}: trisolve {:.5}s matvec {:.5}s (q={})",
+                opts.name(),
+                r.trisolve_time,
+                r.matvec_time,
+                r.levels
+            );
+            r.trisolve_time
+        },
+    );
+}

@@ -1,0 +1,235 @@
+//! Row distribution of a sparse matrix over the ranks of the virtual
+//! machine.
+//!
+//! The paper's setup (§3): a high-quality graph partition assigns each row
+//! to a processor; a rank's rows are classified **interior** (coupled only
+//! to rows of the same rank, in the symmetrised pattern) or **interface**.
+//! Interiors factor with zero communication; interfaces form the global
+//! reduced matrix.
+//!
+//! The partition itself is computed up front with the multilevel k-way
+//! partitioner from `pilut-graph` (DESIGN.md §8 documents why a serial
+//! partitioner is a faithful substitute), and the full matrix is shared
+//! read-only across rank threads — each rank only ever touches its own rows,
+//! mimicking a distributed matrix without duplicating storage per rank.
+
+pub mod spmv;
+
+use pilut_graph::{partition_kway, Graph, PartitionOptions};
+use pilut_sparse::CsrMatrix;
+
+/// Which rank owns each row, plus the per-rank row lists.
+#[derive(Clone, Debug)]
+pub struct Distribution {
+    part: Vec<usize>,
+    rows_of: Vec<Vec<usize>>,
+}
+
+impl Distribution {
+    /// Builds from an explicit row→rank map.
+    pub fn from_part(part: Vec<usize>, p: usize) -> Self {
+        let mut rows_of = vec![Vec::new(); p];
+        for (row, &r) in part.iter().enumerate() {
+            assert!(r < p, "row {row} assigned to rank {r} >= {p}");
+            rows_of[r].push(row);
+        }
+        Distribution { part, rows_of }
+    }
+
+    /// Partitions the matrix graph with the multilevel k-way partitioner.
+    pub fn from_matrix(a: &CsrMatrix, p: usize, seed: u64) -> Self {
+        let g = Graph::from_csr_pattern(a);
+        let opts = PartitionOptions { seed, ..PartitionOptions::new(p) };
+        let r = partition_kway(&g, &opts);
+        Self::from_part(r.part, p)
+    }
+
+    /// Contiguous block distribution (a poor-man's baseline for ablations).
+    pub fn block(n: usize, p: usize) -> Self {
+        let per = n.div_ceil(p);
+        Self::from_part((0..n).map(|i| (i / per).min(p - 1)).collect(), p)
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.part.len()
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.rows_of.len()
+    }
+
+    pub fn owner(&self, row: usize) -> usize {
+        self.part[row]
+    }
+
+    /// The rows of `rank`, ascending.
+    pub fn rows_of(&self, rank: usize) -> &[usize] {
+        &self.rows_of[rank]
+    }
+}
+
+/// The read-only shared state of a distributed matrix: the matrix, its
+/// distribution, and the symmetrised pattern used for interior/interface
+/// classification.
+#[derive(Clone, Debug)]
+pub struct DistMatrix {
+    a: CsrMatrix,
+    dist: Distribution,
+    sym: CsrMatrix,
+}
+
+/// A rank's view of the distribution: its nodes in *local order* —
+/// interiors first (ascending global id), then interfaces (ascending).
+/// Local vectors (`x`, `b`, GMRES basis vectors) are indexed in this order.
+#[derive(Clone, Debug)]
+pub struct LocalView {
+    pub rank: usize,
+    /// Interior nodes, ascending global id; their ascending order is also
+    /// their elimination order in phase 1.
+    pub interior: Vec<usize>,
+    /// Interface nodes, ascending global id.
+    pub interface: Vec<usize>,
+    /// interior ++ interface — the local vector ordering.
+    pub nodes: Vec<usize>,
+    /// Dense global→local map (`usize::MAX` for non-local nodes).
+    local_pos: Vec<usize>,
+}
+
+impl LocalView {
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Local position of a global node, if owned by this rank.
+    pub fn pos_of(&self, node: usize) -> Option<usize> {
+        match self.local_pos[node] {
+            usize::MAX => None,
+            p => Some(p),
+        }
+    }
+
+    pub fn owns(&self, node: usize) -> bool {
+        self.local_pos[node] != usize::MAX
+    }
+}
+
+impl DistMatrix {
+    pub fn new(a: CsrMatrix, dist: Distribution) -> Self {
+        assert_eq!(a.n_rows(), a.n_cols());
+        assert_eq!(a.n_rows(), dist.n_rows());
+        let sym = a.symmetrized_pattern();
+        DistMatrix { a, dist, sym }
+    }
+
+    /// Partition-and-wrap convenience.
+    pub fn from_matrix(a: CsrMatrix, p: usize, seed: u64) -> Self {
+        let dist = Distribution::from_matrix(&a, p, seed);
+        Self::new(a, dist)
+    }
+
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.a
+    }
+
+    pub fn dist(&self) -> &Distribution {
+        &self.dist
+    }
+
+    /// Symmetrised pattern (used for adjacency queries).
+    pub fn sym_pattern(&self) -> &CsrMatrix {
+        &self.sym
+    }
+
+    pub fn n(&self) -> usize {
+        self.a.n_rows()
+    }
+
+    /// Builds rank `rank`'s local view, classifying interior vs interface
+    /// nodes by the symmetrised pattern.
+    pub fn local_view(&self, rank: usize) -> LocalView {
+        let rows = self.dist.rows_of(rank);
+        let mut interior = Vec::new();
+        let mut interface = Vec::new();
+        for &i in rows {
+            let (nbrs, _) = self.sym.row(i);
+            let is_interior = nbrs.iter().all(|&j| self.dist.owner(j) == rank);
+            if is_interior {
+                interior.push(i);
+            } else {
+                interface.push(i);
+            }
+        }
+        let mut nodes = interior.clone();
+        nodes.extend_from_slice(&interface);
+        let mut local_pos = vec![usize::MAX; self.n()];
+        for (p, &g) in nodes.iter().enumerate() {
+            local_pos[g] = p;
+        }
+        LocalView { rank, interior, interface, nodes, local_pos }
+    }
+
+    /// Total interface nodes over all ranks — the size of the paper's
+    /// reduced matrix `A_I`.
+    pub fn total_interface(&self) -> usize {
+        (0..self.dist.n_ranks()).map(|r| self.local_view(r).interface.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilut_sparse::gen;
+
+    #[test]
+    fn block_distribution_covers_everything() {
+        let d = Distribution::block(10, 3);
+        assert_eq!(d.rows_of(0), &[0, 1, 2, 3]);
+        assert_eq!(d.rows_of(2), &[8, 9]);
+        assert_eq!(d.owner(5), 1);
+    }
+
+    #[test]
+    fn classification_on_a_grid() {
+        // 4x4 grid split into left/right halves: the two middle columns are
+        // interface.
+        let a = gen::laplace_2d(4, 4);
+        let part: Vec<usize> = (0..16).map(|i| if i % 4 < 2 { 0 } else { 1 }).collect();
+        let dm = DistMatrix::new(a, Distribution::from_part(part, 2));
+        let v0 = dm.local_view(0);
+        let v1 = dm.local_view(1);
+        // Columns 0 (x=0) are interior to rank 0; x=1 touches x=2 → interface.
+        assert_eq!(v0.interior, vec![0, 4, 8, 12]);
+        assert_eq!(v0.interface, vec![1, 5, 9, 13]);
+        assert_eq!(v1.interface, vec![2, 6, 10, 14]);
+        assert_eq!(dm.total_interface(), 8);
+        // Local ordering: interiors first.
+        assert_eq!(v0.nodes, vec![0, 4, 8, 12, 1, 5, 9, 13]);
+        assert_eq!(v0.pos_of(1), Some(4));
+        assert_eq!(v0.pos_of(2), None);
+        assert!(v1.owns(2));
+    }
+
+    #[test]
+    fn partitioned_distribution_has_few_interfaces() {
+        let a = gen::laplace_2d(20, 20);
+        let dm = DistMatrix::from_matrix(a, 4, 7);
+        let total: usize = (0..4).map(|r| dm.local_view(r).len()).sum();
+        assert_eq!(total, 400);
+        // A good 4-way partition of a 20x20 grid leaves far fewer than half
+        // the nodes on the interface.
+        assert!(dm.total_interface() < 200, "interface = {}", dm.total_interface());
+    }
+
+    #[test]
+    fn single_rank_everything_is_interior() {
+        let a = gen::laplace_2d(5, 5);
+        let dm = DistMatrix::from_matrix(a, 1, 1);
+        let v = dm.local_view(0);
+        assert_eq!(v.interior.len(), 25);
+        assert!(v.interface.is_empty());
+    }
+}

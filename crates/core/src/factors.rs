@@ -1,0 +1,200 @@
+//! Storage for incomplete LU factors.
+
+/// One sparse row: column indices (strictly ascending) with values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SparseRow {
+    pub cols: Vec<usize>,
+    pub vals: Vec<f64>,
+}
+
+impl SparseRow {
+    pub fn new(cols: Vec<usize>, vals: Vec<f64>) -> Self {
+        debug_assert_eq!(cols.len(), vals.len());
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row columns must ascend");
+        SparseRow { cols, vals }
+    }
+
+    /// Builds from unsorted `(col, val)` pairs.
+    pub fn from_pairs(mut pairs: Vec<(usize, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(c, _)| c);
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "duplicate columns");
+        let cols = pairs.iter().map(|&(c, _)| c).collect();
+        let vals = pairs.iter().map(|&(_, v)| v).collect();
+        SparseRow { cols, vals }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    pub fn get(&self, col: usize) -> Option<f64> {
+        self.cols.binary_search(&col).ok().map(|k| self.vals[k])
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.cols.iter().copied().zip(self.vals.iter().copied())
+    }
+}
+
+/// An incomplete LU factorization in row-major sparse form.
+///
+/// Conventions (matching the paper's Algorithm 2.1):
+/// * `l[i]` holds the **strict** lower part of row `i` — the multipliers;
+///   the unit diagonal of `L` is implicit;
+/// * `u[i]` holds the diagonal and the strict upper part of row `i`; its
+///   first entry is always the diagonal `(i, u_ii)`.
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    pub n: usize,
+    pub l: Vec<SparseRow>,
+    pub u: Vec<SparseRow>,
+}
+
+impl LuFactors {
+    /// Validates the structural conventions; used by tests and
+    /// `debug_assert!`s.
+    pub fn check_structure(&self) -> Result<(), String> {
+        if self.l.len() != self.n || self.u.len() != self.n {
+            return Err(format!("row count mismatch: n={} l={} u={}", self.n, self.l.len(), self.u.len()));
+        }
+        for i in 0..self.n {
+            if let Some(&c) = self.l[i].cols.last() {
+                if c >= i {
+                    return Err(format!("L row {i} has column {c} >= diagonal"));
+                }
+            }
+            match self.u[i].cols.first() {
+                Some(&c) if c == i => {}
+                other => return Err(format!("U row {i} must start at the diagonal, got {other:?}")),
+            }
+            if self.u[i].vals[0] == 0.0 {
+                return Err(format!("U row {i} has a zero diagonal"));
+            }
+        }
+        Ok(())
+    }
+
+    pub fn nnz_l(&self) -> usize {
+        self.l.iter().map(|r| r.len()).sum()
+    }
+
+    pub fn nnz_u(&self) -> usize {
+        self.u.iter().map(|r| r.len()).sum()
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.nnz_l() + self.nnz_u()
+    }
+
+    /// Solves `L y = b` (unit lower triangular), in place.
+    pub fn forward_solve(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.n);
+        for i in 0..self.n {
+            let mut s = b[i];
+            for (j, v) in self.l[i].iter() {
+                s -= v * b[j];
+            }
+            b[i] = s;
+        }
+    }
+
+    /// Solves `U x = y`, in place.
+    pub fn backward_solve(&self, y: &mut [f64]) {
+        assert_eq!(y.len(), self.n);
+        for i in (0..self.n).rev() {
+            let mut s = y[i];
+            let row = &self.u[i];
+            for k in 1..row.len() {
+                s -= row.vals[k] * y[row.cols[k]];
+            }
+            y[i] = s / row.vals[0];
+        }
+    }
+
+    /// Applies `(LU)⁻¹ r` — the preconditioner action.
+    pub fn solve(&self, r: &[f64]) -> Vec<f64> {
+        let mut x = r.to_vec();
+        self.forward_solve(&mut x);
+        self.backward_solve(&mut x);
+        x
+    }
+
+    /// Multiplies `L·U` back into a dense matrix — test helper, O(n²).
+    pub fn multiply_dense(&self) -> Vec<Vec<f64>> {
+        let n = self.n;
+        let mut out = vec![vec![0.0; n]; n];
+        // (LU)_ij = sum_k L_ik U_kj with L unit diagonal.
+        for (i, out_row) in out.iter_mut().enumerate() {
+            // k = i term (L_ii = 1).
+            for (j, v) in self.u[i].iter() {
+                out_row[j] += v;
+            }
+            for (k, lv) in self.l[i].iter() {
+                for (j, uv) in self.u[k].iter() {
+                    out_row[j] += lv * uv;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact LU of [[2,1],[4,5]]: L21 = 2, U = [[2,1],[0,3]].
+    fn small() -> LuFactors {
+        LuFactors {
+            n: 2,
+            l: vec![SparseRow::default(), SparseRow::new(vec![0], vec![2.0])],
+            u: vec![
+                SparseRow::new(vec![0, 1], vec![2.0, 1.0]),
+                SparseRow::new(vec![1], vec![3.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn structure_check_passes() {
+        assert!(small().check_structure().is_ok());
+    }
+
+    #[test]
+    fn structure_check_catches_bad_diag() {
+        let mut f = small();
+        f.u[1] = SparseRow::new(vec![1], vec![0.0]);
+        assert!(f.check_structure().is_err());
+        let mut g = small();
+        g.l[1] = SparseRow::new(vec![1], vec![1.0]);
+        assert!(g.check_structure().is_err());
+    }
+
+    #[test]
+    fn solve_inverts_product() {
+        let f = small();
+        // A = [[2,1],[4,5]]; A * [1, 2] = [4, 14].
+        let x = f.solve(&[4.0, 14.0]);
+        assert!((x[0] - 1.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn multiply_dense_reconstructs() {
+        let f = small();
+        let a = f.multiply_dense();
+        assert_eq!(a, vec![vec![2.0, 1.0], vec![4.0, 5.0]]);
+    }
+
+    #[test]
+    fn sparse_row_from_pairs_sorts() {
+        let r = SparseRow::from_pairs(vec![(3, 1.0), (0, 2.0)]);
+        assert_eq!(r.cols, vec![0, 3]);
+        assert_eq!(r.get(3), Some(1.0));
+        assert_eq!(r.get(1), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! Serial and parallel threshold-based incomplete LU factorizations.
+//!
+//! This is the paper's primary contribution, implemented in layers:
+//!
+//! * [`serial`] — the classic row-wise algorithms: **ILUT(m, t)** (paper
+//!   Algorithm 2.1, after Saad), the static-pattern baselines **ILU(0)** and
+//!   **ILU(k)**, and the corresponding serial triangular solves;
+//! * [`factors`] — the shared `L`/`U` storage (sorted sparse rows, unit
+//!   lower-triangular `L`, diagonal-first `U`);
+//! * [`precond`] — the preconditioner interface consumed by the solver
+//!   crate, with ILU and diagonal implementations;
+//! * [`dist`] — the distributed matrix: a partition-driven row distribution
+//!   with interior/interface node classification and a distributed SpMV;
+//! * [`parallel`] — the paper's parallel **ILUT** / **ILUT\*** formulation
+//!   (§4): local interior factorization, reduced interface matrices, and the
+//!   iterative independent-set elimination, running on the [`pilut_par`]
+//!   virtual machine;
+//! * [`trisolve`] — the parallel forward/backward substitutions (§5) that
+//!   make the factorization usable as a preconditioner;
+//! * [`options`] — shared parameter types (`m`, `t`, the ILUT\* cap `k`).
+
+pub mod dist;
+pub mod factors;
+pub mod options;
+pub mod parallel;
+pub mod precond;
+pub mod serial;
+pub mod trisolve;
+
+pub use factors::{LuFactors, SparseRow};
+pub use options::{FactorError, IlutOptions};
+pub use serial::{ilu0, iluk, ilut};

@@ -1,0 +1,94 @@
+//! Shared parameter and error types.
+
+/// Parameters of the ILUT(m, t) / ILUT\*(m, t, k) factorizations.
+#[derive(Clone, Debug)]
+pub struct IlutOptions {
+    /// Maximum number of retained off-diagonal entries per row in each of
+    /// `L` and `U` (the paper's `m`).
+    pub m: usize,
+    /// Relative drop tolerance (the paper's `t`): entries below
+    /// `t · ‖a_i‖₂` are dropped from row `i`.
+    pub tau: f64,
+    /// The ILUT\* reduced-matrix cap factor `k`: when `Some(k)`, each row of
+    /// every interface reduced matrix keeps at most `k · m` entries (paper
+    /// §4.2; the experiments use `k = 2`). `None` reproduces plain ILUT,
+    /// whose reduced rows keep *every* entry above the threshold.
+    pub reduced_cap_factor: Option<usize>,
+    /// Luby augmentation rounds per independent-set computation (paper: 5).
+    pub mis_rounds: usize,
+    /// Seed for the randomised independent sets.
+    pub seed: u64,
+}
+
+impl IlutOptions {
+    /// Plain ILUT(m, t).
+    pub fn new(m: usize, tau: f64) -> Self {
+        IlutOptions { m, tau, reduced_cap_factor: None, mis_rounds: 5, seed: 1 }
+    }
+
+    /// ILUT\*(m, t, k).
+    pub fn star(m: usize, tau: f64, k: usize) -> Self {
+        IlutOptions { reduced_cap_factor: Some(k), ..Self::new(m, tau) }
+    }
+
+    /// The reduced-row capacity: `k·m` for ILUT\*, unbounded for ILUT.
+    pub fn reduced_cap(&self) -> usize {
+        self.reduced_cap_factor.map_or(usize::MAX, |k| k * self.m)
+    }
+
+    /// Display name, e.g. `ILUT(10,1e-4)` or `ILUT*(10,1e-4,2)`.
+    pub fn name(&self) -> String {
+        match self.reduced_cap_factor {
+            None => format!("ILUT({},{:.0e})", self.m, self.tau),
+            Some(k) => format!("ILUT*({},{:.0e},{})", self.m, self.tau, k),
+        }
+    }
+}
+
+/// Failure modes of the factorizations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FactorError {
+    /// A structurally or numerically zero pivot was met at the given row
+    /// (global index).
+    ZeroPivot { row: usize },
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::ZeroPivot { row } => write!(f, "zero pivot at row {row}"),
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// Operation counts accumulated during a factorization; these drive the
+/// simulated-machine clock in the parallel formulation and give the serial
+/// baselines comparable numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FactorStats {
+    /// Floating-point operations (multiply-adds count as 2).
+    pub flops: f64,
+    /// Entries retained in `L` (strict lower part).
+    pub nnz_l: usize,
+    /// Entries retained in `U` (including the diagonal).
+    pub nnz_u: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(IlutOptions::new(5, 1e-2).name(), "ILUT(5,1e-2)");
+        assert_eq!(IlutOptions::star(20, 1e-6, 2).name(), "ILUT*(20,1e-6,2)");
+    }
+
+    #[test]
+    fn reduced_caps() {
+        assert_eq!(IlutOptions::new(5, 1e-2).reduced_cap(), usize::MAX);
+        assert_eq!(IlutOptions::star(5, 1e-2, 2).reduced_cap(), 10);
+    }
+}

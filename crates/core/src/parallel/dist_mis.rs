@@ -1,0 +1,419 @@
+//! Distributed modified-Luby maximal independent sets (paper §4.1).
+//!
+//! Each rank owns the remaining rows of the current reduced matrix. The
+//! dependency graph is *directed* (row `i` → column `j`) and structurally
+//! unsymmetric, so the paper's two-step insertion applies: tentative winners
+//! (random key beats every candidate out-neighbour) are confirmed only if
+//! none of their out-neighbours is also tentative. Of any conflicting pair
+//! the arc's source loses, so the confirmed set is independent and at least
+//! the maximum-key tentative vertex always survives — each round makes
+//! progress.
+//!
+//! Communication per level: one **setup** exchange teaching every rank which
+//! peers reference each of its nodes (the paper's "communication setup
+//! phase"), then per Luby round three sparse exchanges: key/state push,
+//! tentative push, and confirmation-plus-kill push. The paper truncates at
+//! five rounds; leftovers stay candidates for the next level.
+
+use crate::dist::Distribution;
+use pilut_par::{Ctx, Payload};
+use std::collections::HashMap;
+
+/// Per-level communication structure.
+pub struct LevelLinks {
+    /// `(peer, my nodes that peer's rows reference)` — push targets.
+    pub refs_by_rank: Vec<(usize, Vec<usize>)>,
+    /// `(peer, peer's nodes my rows reference)` — what I receive.
+    pub needed_by_rank: Vec<(usize, Vec<usize>)>,
+    /// remote node → my nodes whose rows reference it.
+    pub local_refs: HashMap<usize, Vec<usize>>,
+    /// my node → peers referencing it (deduplicated). Reused to route U rows
+    /// after the independent set is factored.
+    pub needers: HashMap<usize, Vec<usize>>,
+}
+
+/// Result of one distributed MIS computation.
+pub struct MisOutcome {
+    /// My nodes selected into `I_l`, ascending.
+    pub my_in: Vec<usize>,
+    /// Referenced remote nodes that entered `I_l`.
+    pub remote_in: Vec<usize>,
+}
+
+const CAND: u64 = 0;
+const IN: u64 = 1;
+const OUT: u64 = 2;
+
+/// SplitMix64 — the per-(seed, level, round, node) random key. Both the
+/// owner and the referencing ranks could compute it, but the owner's values
+/// are *exchanged* (as on a real distributed machine) and the receiver uses
+/// the wire values.
+pub fn mis_key(seed: u64, level: u64, round: u64, node: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(level.wrapping_mul(0xBF58476D1CE4E5B9))
+        .wrapping_add(round.wrapping_mul(0x94D049BB133111EB))
+        .wrapping_add(node.wrapping_mul(0xD6E8FEB86659FD93));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Collectively builds the level's communication links from the current
+/// reduced rows (`node → sorted columns`, all rows owned by this rank).
+pub fn build_level_links(
+    ctx: &mut Ctx,
+    dist: &Distribution,
+    reduced_cols: &HashMap<usize, Vec<usize>>,
+) -> LevelLinks {
+    let me = ctx.rank();
+    let p = ctx.nprocs();
+    let mut needed: Vec<Vec<usize>> = vec![Vec::new(); p];
+    let mut local_refs: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (&i, cols) in reduced_cols {
+        for &j in cols {
+            let owner = dist.owner(j);
+            if owner != me {
+                needed[owner].push(j);
+                local_refs.entry(j).or_default().push(i);
+            }
+        }
+    }
+    let mut sends = Vec::new();
+    let mut needed_by_rank = Vec::new();
+    for (owner, list) in needed.iter_mut().enumerate() {
+        if list.is_empty() {
+            continue;
+        }
+        list.sort_unstable();
+        list.dedup();
+        sends.push((owner, Payload::U64(list.iter().map(|&x| x as u64).collect())));
+        needed_by_rank.push((owner, list.clone()));
+    }
+    let incoming = ctx.exchange(sends);
+    let mut refs_by_rank = Vec::new();
+    let mut needers: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (peer, payload) in incoming {
+        let nodes: Vec<usize> = payload.into_u64().into_iter().map(|x| x as usize).collect();
+        for &v in &nodes {
+            needers.entry(v).or_default().push(peer);
+        }
+        refs_by_rank.push((peer, nodes));
+    }
+    LevelLinks { refs_by_rank, needed_by_rank, local_refs, needers }
+}
+
+/// Message tags of the per-round neighbour steps. A constant tag per step
+/// suffices: each rank pair exchanges exactly one message per step per
+/// round in program order, and matching is FIFO per `(sender, tag)`.
+const TAG_MIS_KEYS: u64 = 4 << 40;
+const TAG_MIS_TENT: u64 = 5 << 40;
+const TAG_MIS_CONF: u64 = 6 << 40;
+
+/// Runs the modified Luby algorithm for one level over the remaining rows.
+/// Every rank must call this collectively with consistent arguments.
+///
+/// The paper's structure: the communication *setup* ([`build_level_links`])
+/// is the only collective; each of the (at most `max_rounds`) augmentation
+/// rounds uses purely neighbour-to-neighbour messages along the fixed links,
+/// so round cost does not grow with `p`.
+pub fn dist_mis(
+    ctx: &mut Ctx,
+    links: &LevelLinks,
+    reduced_cols: &HashMap<usize, Vec<usize>>,
+    seed: u64,
+    level: u64,
+    max_rounds: usize,
+) -> MisOutcome {
+    // Local state per owned node; remote state per referenced node.
+    let mut state: HashMap<usize, u64> = reduced_cols.keys().map(|&v| (v, CAND)).collect();
+    let mut remote: HashMap<usize, (u64, u64)> = HashMap::new(); // node -> (key, state)
+
+    for round in 0..max_rounds as u64 {
+        // Fixed round count (the paper runs exactly five): all ranks agree
+        // on the schedule without a global convergence check. Skip the local
+        // work when this rank has nothing left, but keep messaging aligned.
+        let undecided = state.values().filter(|&&s| s == CAND).count() as u64;
+        // Per-candidate key hashing is a handful of integer ops.
+        ctx.work(5.0 * undecided as f64);
+
+        // --- Step 1 exchange: push (key, state) of referenced nodes. ------
+        for (peer, nodes) in &links.refs_by_rank {
+            let mut buf = Vec::with_capacity(nodes.len() * 3);
+            for &v in nodes {
+                buf.push(v as u64);
+                buf.push(mis_key(seed, level, round, v as u64));
+                // Referenced nodes no longer in our row set are decided.
+                buf.push(state.get(&v).copied().unwrap_or(OUT));
+            }
+            ctx.send(*peer, TAG_MIS_KEYS, Payload::U64(buf));
+        }
+        for (peer, _) in &links.needed_by_rank {
+            let buf = ctx.recv(*peer, TAG_MIS_KEYS).into_u64();
+            for c in buf.chunks_exact(3) {
+                remote.insert(c[0] as usize, (c[1], c[2]));
+            }
+        }
+
+        // --- Step 1: tentative winners. ------------------------------------
+        let key_of = |v: usize| mis_key(seed, level, round, v as u64);
+        let mut tentative: HashMap<usize, bool> = HashMap::new();
+        for (&v, &s) in &state {
+            if s != CAND {
+                continue;
+            }
+            let kv = (key_of(v), v);
+            let mut wins = true;
+            for &u in &reduced_cols[&v] {
+                if u == v {
+                    continue;
+                }
+                let (ku, su) = match state.get(&u) {
+                    Some(&su) => (key_of(u), su),
+                    None => {
+                        let &(ku, su) = remote
+                            .get(&u)
+                            .expect("referenced remote node missing from exchange");
+                        (ku, su)
+                    }
+                };
+                if su == CAND && (ku, u) < kv {
+                    wins = false;
+                    break;
+                }
+            }
+            if wins {
+                tentative.insert(v, true);
+            }
+        }
+        ctx.work(reduced_cols.values().map(|c| c.len() as f64).sum::<f64>());
+
+        // --- Step 2 exchange: push tentative flags of referenced nodes. ---
+        for (peer, nodes) in &links.refs_by_rank {
+            let buf: Vec<u64> = nodes
+                .iter()
+                .filter(|v| tentative.contains_key(v))
+                .map(|&v| v as u64)
+                .collect();
+            ctx.send(*peer, TAG_MIS_TENT, Payload::U64(buf));
+        }
+        let mut remote_tentative: HashMap<usize, bool> = HashMap::new();
+        for (peer, _) in &links.needed_by_rank {
+            for v in ctx.recv(*peer, TAG_MIS_TENT).into_u64() {
+                remote_tentative.insert(v as usize, true);
+            }
+        }
+
+        // --- Step 2: confirm tentatives with no tentative out-neighbour. ---
+        let mut confirmed: Vec<usize> = Vec::new();
+        for &v in tentative.keys() {
+            let conflict = reduced_cols[&v].iter().any(|&u| {
+                u != v && (tentative.contains_key(&u) || remote_tentative.contains_key(&u))
+            });
+            if !conflict {
+                confirmed.push(v);
+            }
+        }
+        confirmed.sort_unstable();
+
+        // Apply local effects: members join, their local out-neighbours die.
+        let mut kills_by_rank: HashMap<usize, Vec<u64>> = HashMap::new();
+        for &v in &confirmed {
+            state.insert(v, IN);
+        }
+        for &v in &confirmed {
+            for &u in &reduced_cols[&v] {
+                if u == v {
+                    continue;
+                }
+                match state.get_mut(&u) {
+                    Some(su) => {
+                        if *su == CAND {
+                            *su = OUT;
+                        }
+                    }
+                    None => {
+                        // Remote out-neighbour: its owner must kill it.
+                        kills_by_rank
+                            .entry(dist_owner_from_links(links, u))
+                            .or_default()
+                            .push(u as u64);
+                    }
+                }
+            }
+        }
+
+        // --- Step 3 exchange: confirmations + kills, along the fixed links.
+        // Confirmations flow owner → referencing ranks; kills flow arc-source
+        // rank → target's owner (a `needed` peer). Every pair in the union of
+        // the two link directions exchanges exactly one message.
+        let confirmed_set: std::collections::HashSet<usize> = confirmed.iter().copied().collect();
+        let peers = union_peers(links);
+        for &peer in &peers {
+            let conf: Vec<u64> = links
+                .refs_by_rank
+                .iter()
+                .find(|&&(p, _)| p == peer)
+                .map(|(_, nodes)| {
+                    nodes.iter().filter(|v| confirmed_set.contains(v)).map(|&v| v as u64).collect()
+                })
+                .unwrap_or_default();
+            let kills = kills_by_rank.get(&peer).cloned().unwrap_or_default();
+            let mut buf = Vec::with_capacity(conf.len() + kills.len() + 1);
+            buf.push(conf.len() as u64);
+            buf.extend_from_slice(&conf);
+            buf.extend_from_slice(&kills);
+            ctx.send(peer, TAG_MIS_CONF, Payload::U64(buf));
+        }
+        for &peer in &peers {
+            let buf = ctx.recv(peer, TAG_MIS_CONF).into_u64();
+            let nc = buf[0] as usize;
+            for &v in &buf[1..1 + nc] {
+                remote.entry(v as usize).or_insert((0, CAND)).1 = IN;
+            }
+            for &v in &buf[1 + nc..] {
+                if let Some(s) = state.get_mut(&(v as usize)) {
+                    if *s == CAND {
+                        *s = OUT;
+                    }
+                }
+            }
+        }
+
+        // Kill any local candidate pointing at a (local or remote) member.
+        for (&v, cols) in reduced_cols {
+            if state[&v] != CAND {
+                continue;
+            }
+            let hits_member = cols.iter().any(|&u| {
+                u != v
+                    && match state.get(&u) {
+                        Some(&su) => su == IN,
+                        None => remote.get(&u).map(|&(_, s)| s == IN).unwrap_or(false),
+                    }
+            });
+            if hits_member {
+                state.insert(v, OUT);
+            }
+        }
+    }
+
+    let mut my_in: Vec<usize> = state
+        .iter()
+        .filter_map(|(&v, &s)| (s == IN).then_some(v))
+        .collect();
+    my_in.sort_unstable();
+    let mut remote_in: Vec<usize> = remote
+        .iter()
+        .filter_map(|(&v, &(_, s))| (s == IN).then_some(v))
+        .collect();
+    remote_in.sort_unstable();
+    MisOutcome { my_in, remote_in }
+}
+
+/// The union of the two link directions — the rank pairs that exchange a
+/// confirmation/kill message each round.
+fn union_peers(links: &LevelLinks) -> Vec<usize> {
+    let mut peers: Vec<usize> = links.refs_by_rank.iter().map(|&(p, _)| p).collect();
+    peers.extend(links.needed_by_rank.iter().map(|&(p, _)| p));
+    peers.sort_unstable();
+    peers.dedup();
+    peers
+}
+
+/// Looks up the owner of a referenced remote node via the level links
+/// (every referenced node appears in exactly one peer's needed list).
+fn dist_owner_from_links(links: &LevelLinks, node: usize) -> usize {
+    for (peer, nodes) in &links.needed_by_rank {
+        if nodes.binary_search(&node).is_ok() {
+            return *peer;
+        }
+    }
+    unreachable!("node {node} not referenced by this rank")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilut_par::{Machine, MachineModel};
+
+    /// Distributes a small directed graph over `p` ranks and runs one MIS;
+    /// returns the chosen set.
+    fn run_mis(n: usize, arcs: &[(usize, usize)], p: usize, rounds: usize) -> Vec<usize> {
+        let part: Vec<usize> = (0..n).map(|v| v % p).collect();
+        let dist = Distribution::from_part(part, p);
+        let arcs = arcs.to_vec();
+        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+            let me = ctx.rank();
+            let mut reduced: HashMap<usize, Vec<usize>> = HashMap::new();
+            for v in 0..n {
+                if v % p == me {
+                    let mut cols: Vec<usize> =
+                        arcs.iter().filter(|&&(s, _)| s == v).map(|&(_, t)| t).collect();
+                    cols.push(v); // diagonal
+                    cols.sort_unstable();
+                    cols.dedup();
+                    reduced.insert(v, cols);
+                }
+            }
+            let links = build_level_links(ctx, &dist, &reduced);
+            let mis = dist_mis(ctx, &links, &reduced, 42, 0, rounds);
+            mis.my_in
+        });
+        let mut all: Vec<usize> = out.results.into_iter().flatten().collect();
+        all.sort_unstable();
+        all
+    }
+
+    fn assert_independent(set: &[usize], arcs: &[(usize, usize)]) {
+        for &(s, t) in arcs {
+            assert!(
+                !(set.contains(&s) && set.contains(&t)),
+                "arc ({s},{t}) inside the set {set:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_arcs_select_everything() {
+        let set = run_mis(7, &[], 3, 5);
+        assert_eq!(set, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn directed_chain_is_handled() {
+        let arcs = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)];
+        let set = run_mis(6, &arcs, 2, 8);
+        assert_independent(&set, &arcs);
+        assert!(set.len() >= 2, "chain of 6 should give at least 3-ish: {set:?}");
+    }
+
+    #[test]
+    fn unsymmetric_cross_rank_conflicts_resolved() {
+        // Arcs deliberately crossing rank boundaries (v % p ownership).
+        let arcs = [(0, 1), (2, 1), (2, 3), (4, 3), (4, 5), (0, 5), (1, 6), (6, 0)];
+        for p in [2, 3, 4] {
+            let set = run_mis(7, &arcs, p, 8);
+            assert_independent(&set, &arcs);
+            assert!(!set.is_empty());
+        }
+    }
+
+    #[test]
+    fn progress_with_single_round() {
+        // Even one round must select someone (the max-key tentative).
+        let arcs = [(0, 1), (1, 2), (2, 0)];
+        let set = run_mis(3, &arcs, 3, 1);
+        assert!(!set.is_empty());
+        assert_independent(&set, &arcs);
+    }
+
+    #[test]
+    fn matches_between_rank_counts() {
+        // Determinism: same seed ⇒ same set regardless of distribution.
+        let arcs = [(0, 2), (1, 2), (3, 4), (4, 0), (5, 1)];
+        let s1 = run_mis(6, &arcs, 1, 5);
+        let s3 = run_mis(6, &arcs, 3, 5);
+        assert_eq!(s1, s3);
+    }
+}

@@ -1,0 +1,303 @@
+//! Parallel ILU(0) — the static-pattern contrast case of paper §3.
+//!
+//! Because ILU(0) admits no fill, the sparsity structure of every interface
+//! reduced matrix is known *before* any numeric work: it is simply the
+//! original interface–interface coupling pattern. The elimination schedule
+//! can therefore be computed up front — the paper's Figure 1(a) colouring —
+//! and the reduced matrices never need to be formed explicitly. Here the
+//! schedule is obtained by repeatedly peeling a distributed independent set
+//! off the *static* pattern (Jones–Plassmann-style, reusing the same
+//! modified-Luby machinery as the ILUT path), after which the numeric
+//! factorization replays the schedule level by level with pattern-restricted
+//! updates.
+//!
+//! The output is a [`RankFactors`] like the ILUT path's, so the parallel
+//! triangular solves and the distributed GMRES preconditioner wrapper work
+//! unchanged.
+
+use crate::dist::{DistMatrix, LocalView};
+use crate::options::FactorError;
+use crate::parallel::dist_mis::{build_level_links, dist_mis};
+use crate::parallel::{FactorRow, ParStats, RankFactors};
+use pilut_par::{Ctx, Payload};
+use pilut_sparse::WorkRow;
+use std::collections::{HashMap, HashSet};
+
+const TAG_U0: u64 = 7 << 40;
+
+/// Runs the parallel zero-fill factorization. Collective.
+pub fn par_ilu0(
+    ctx: &mut Ctx,
+    dm: &DistMatrix,
+    local: &LocalView,
+) -> Result<RankFactors, FactorError> {
+    let a = dm.matrix();
+    let n = dm.n();
+    let mut role = vec![0u8; n];
+    for &v in &local.interior {
+        role[v] = 1;
+    }
+    for &v in &local.interface {
+        role[v] = 2;
+    }
+    let mut rows: HashMap<usize, FactorRow> = HashMap::with_capacity(local.len());
+    let mut stats = ParStats::default();
+    let mut w = WorkRow::new(n);
+    let mut my_err: Option<usize> = None;
+
+    // ---- Phase 1: interiors, ascending global id, pattern-restricted.
+    for &i in &local.interior {
+        let (cols, vals) = a.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            w.set(j, v);
+        }
+        let mut lower: Vec<(usize, f64)> = Vec::new();
+        // Pivots: my interiors preceding i, in the original pattern only (no
+        // fill can extend the pivot set).
+        for &k in cols.iter().filter(|&&k| role[k] == 1 && k < i) {
+            let wk = w.get(k);
+            w.drop_pos(k);
+            let urow = &rows[&k];
+            let mult = wk / urow.diag;
+            lower.push((k, mult));
+            for &(j, uv) in &urow.u {
+                if w.contains(j) {
+                    w.add(j, -mult * uv);
+                }
+            }
+            stats.flops += 2.0 * urow.u.len() as f64 + 1.0;
+            ctx.work(2.0 * urow.u.len() as f64 + 1.0);
+        }
+        let mut diag = 0.0;
+        let mut upper: Vec<(usize, f64)> = Vec::new();
+        for (j, v) in w.drain_sorted() {
+            if j == i {
+                diag = v;
+            } else {
+                upper.push((j, v));
+            }
+        }
+        if diag == 0.0 {
+            my_err.get_or_insert(i);
+            diag = 1.0;
+        }
+        stats.nnz_l += lower.len();
+        stats.nnz_u += upper.len() + 1;
+        rows.insert(i, FactorRow { l: lower, diag, u: upper });
+    }
+
+    // ---- Phase 1b: eliminate interiors from interface rows (pattern-
+    // restricted); the surviving interface-column values are the rank's
+    // slice of A_I, whose pattern equals the original one.
+    let mut reduced: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
+    for &i in &local.interface {
+        let (cols, vals) = a.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            w.set(j, v);
+        }
+        let mut lower: Vec<(usize, f64)> = Vec::new();
+        for &k in cols.iter().filter(|&&k| role[k] == 1) {
+            let wk = w.get(k);
+            w.drop_pos(k);
+            let urow = &rows[&k];
+            let mult = wk / urow.diag;
+            lower.push((k, mult));
+            for &(j, uv) in &urow.u {
+                if w.contains(j) {
+                    w.add(j, -mult * uv);
+                }
+            }
+            stats.flops += 2.0 * urow.u.len() as f64 + 1.0;
+            ctx.work(2.0 * urow.u.len() as f64 + 1.0);
+        }
+        let rest = w.drain_sorted();
+        stats.reduced_nnz_initial += rest.len();
+        stats.nnz_l += lower.len();
+        rows.insert(i, FactorRow { l: lower, diag: 0.0, u: Vec::new() });
+        reduced.insert(i, rest);
+    }
+    stats.reduced_nnz_peak = stats.reduced_nnz_initial;
+    let mut initial_reduced_cols: Vec<(usize, Vec<usize>)> = reduced
+        .iter()
+        .map(|(&v, row)| (v, row.iter().map(|&(c, _)| c).collect()))
+        .collect();
+    initial_reduced_cols.sort_unstable_by_key(|&(v, _)| v);
+
+    // ---- Symbolic schedule: peel independent sets off the static pattern.
+    // (This is the "colouring" of Figure 1a: it depends only on structure.)
+    let mut remaining: HashSet<usize> = reduced.keys().copied().collect();
+    let mut scheduled_remote: HashSet<usize> = HashSet::new();
+    let mut schedule: Vec<Vec<usize>> = Vec::new();
+    let mut level_idx = 0u64;
+    loop {
+        let left = ctx.all_reduce_sum_u64(remaining.len() as u64);
+        if left == 0 {
+            break;
+        }
+        // Pattern restricted to the still-unscheduled nodes (local ones we
+        // know directly; remote ones from the previous levels' outcomes).
+        let pat: HashMap<usize, Vec<usize>> = remaining
+            .iter()
+            .map(|&v| {
+                let cols: Vec<usize> = reduced[&v]
+                    .iter()
+                    .map(|&(c, _)| c)
+                    .filter(|&c| {
+                        c == v
+                            || remaining.contains(&c)
+                            || (role[c] == 0 && !scheduled_remote.contains(&c))
+                    })
+                    .collect();
+                (v, cols)
+            })
+            .collect();
+        let links = build_level_links(ctx, dm.dist(), &pat);
+        let mis = dist_mis(ctx, &links, &pat, 0xC0105, level_idx, 5);
+        for &v in &mis.my_in {
+            remaining.remove(&v);
+        }
+        scheduled_remote.extend(mis.remote_in.iter().copied());
+        schedule.push(mis.my_in);
+        level_idx += 1;
+    }
+
+    // ---- Numeric interface factorization, level by level.
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    for level in &schedule {
+        // Finish the rows of this level: their remaining couplings to
+        // *unfactored* nodes form U; couplings to already-factored interface
+        // nodes were eliminated in earlier sweeps below.
+        for &v in level {
+            let rr = reduced.remove(&v).expect("scheduled row missing");
+            let mut diag = 0.0;
+            let mut upper = Vec::with_capacity(rr.len());
+            for (c, val) in rr {
+                if c == v {
+                    diag = val;
+                } else {
+                    upper.push((c, val));
+                }
+            }
+            if diag == 0.0 {
+                my_err.get_or_insert(v);
+                diag = 1.0;
+            }
+            stats.nnz_u += upper.len() + 1;
+            let row = rows.get_mut(&v).expect("interface row missing");
+            row.diag = diag;
+            row.u = upper;
+        }
+        levels.push(level.clone());
+
+        // Ship the new U rows along the current links, then eliminate this
+        // level's unknowns from the remaining rows (pattern-restricted).
+        let pat: HashMap<usize, Vec<usize>> = reduced
+            .iter()
+            .map(|(&v, row)| (v, row.iter().map(|&(c, _)| c).collect()))
+            .collect();
+        let links = build_level_links(ctx, dm.dist(), &pat);
+        let level_set: HashSet<usize> = level.iter().copied().collect();
+        let mut batch: HashMap<usize, (Vec<u64>, Vec<f64>)> = HashMap::new();
+        for &v in level {
+            if let Some(peers) = links.needers.get(&v) {
+                let row = &rows[&v];
+                for &peer in peers {
+                    let (bu, bf) = batch.entry(peer).or_default();
+                    bu.push(v as u64);
+                    bu.push(row.u.len() as u64);
+                    bu.extend(row.u.iter().map(|&(c, _)| c as u64));
+                    bf.push(row.diag);
+                    bf.extend(row.u.iter().map(|&(_, x)| x));
+                }
+            }
+        }
+        for (peer, _) in &links.refs_by_rank {
+            let (bu, bf) = batch.remove(peer).unwrap_or_default();
+            ctx.send(*peer, TAG_U0, Payload::Mixed(bu, bf));
+        }
+        let mut remote_u: HashMap<usize, FactorRow> = HashMap::new();
+        for (peer, _) in &links.needed_by_rank {
+            let (bu, bf) = ctx.recv(*peer, TAG_U0).into_mixed();
+            let (mut iu, mut ifl) = (0usize, 0usize);
+            while iu < bu.len() {
+                let node = bu[iu] as usize;
+                let len = bu[iu + 1] as usize;
+                let cols = &bu[iu + 2..iu + 2 + len];
+                let diag = bf[ifl];
+                let vals = &bf[ifl + 1..ifl + 1 + len];
+                remote_u.insert(
+                    node,
+                    FactorRow {
+                        l: Vec::new(),
+                        diag,
+                        u: cols.iter().map(|&c| c as usize).zip(vals.iter().copied()).collect(),
+                    },
+                );
+                iu += 2 + len;
+                ifl += 1 + len;
+            }
+        }
+        // Remote members of this level, detectable from the shipped rows.
+        let keys: Vec<usize> = reduced.keys().copied().collect();
+        for i in keys {
+            let rr = reduced.remove(&i).unwrap();
+            let pivots: Vec<usize> = rr
+                .iter()
+                .map(|&(c, _)| c)
+                .filter(|&c| c != i && (level_set.contains(&c) || remote_u.contains_key(&c)))
+                .collect();
+            if pivots.is_empty() {
+                reduced.insert(i, rr);
+                continue;
+            }
+            for (c, v) in rr {
+                w.set(c, v);
+            }
+            let mut mults: Vec<(usize, f64)> = Vec::with_capacity(pivots.len());
+            for k in pivots {
+                let urow = if role[k] != 0 { &rows[&k] } else { &remote_u[&k] };
+                let wk = w.get(k);
+                w.drop_pos(k);
+                if wk == 0.0 {
+                    continue;
+                }
+                let mult = wk / urow.diag;
+                for &(j, uv) in &urow.u {
+                    if w.contains(j) {
+                        w.add(j, -mult * uv);
+                    }
+                }
+                stats.flops += 2.0 * urow.u.len() as f64 + 1.0;
+                ctx.work(2.0 * urow.u.len() as f64 + 1.0);
+                mults.push((k, mult));
+            }
+            let row = rows.get_mut(&i).expect("interface row missing");
+            row.l.extend(mults);
+            row.l.sort_unstable_by_key(|&(c, _)| c);
+            stats.nnz_l += row.l.len();
+            reduced.insert(i, w.drain_sorted());
+        }
+    }
+
+    // Global error check once at the end (the schedule loop above already
+    // synchronised every rank the same number of times).
+    let err_flag = ctx.all_reduce_sum_u64(my_err.map_or(0, |_| 1));
+    if err_flag > 0 {
+        let row = ctx.all_reduce_u64(
+            vec![my_err.map_or(u64::MAX, |r| r as u64)],
+            pilut_par::collectives::ReduceOp::Min,
+        )[0];
+        return Err(FactorError::ZeroPivot { row: row as usize });
+    }
+    stats.nnz_l = rows.values().map(|r| r.l.len()).sum();
+    stats.levels = levels.len();
+    Ok(RankFactors {
+        rank: ctx.rank(),
+        interior: local.interior.clone(),
+        interface: local.interface.clone(),
+        levels,
+        rows,
+        initial_reduced_cols,
+        stats,
+    })
+}

@@ -1,0 +1,423 @@
+//! The parallel ILUT / ILUT\* factorization (paper §4).
+//!
+//! Two phases per rank:
+//!
+//! 1. **Interior factorization** (zero communication): the rank's interior
+//!    rows are ILUT-factored against each other; then each interface row is
+//!    partially eliminated against the rank's own interior `U` rows
+//!    (interface rows never couple to *remote* interiors), yielding the
+//!    rank's slice of the global reduced matrix `A_I⁰` plus the initial
+//!    interface `L` rows.
+//! 2. **Interface factorization**: iteratively compute a distributed
+//!    independent set `I_l` of the current reduced matrix, factor its rows
+//!    (pure dropping — independence means no elimination is needed), ship
+//!    the new `U` rows to the ranks whose remaining rows reference them, and
+//!    apply Algorithm 4.2 to form `A_I^{l+1}`. ILUT keeps every
+//!    above-threshold entry in the reduced rows; ILUT\* caps each row at
+//!    `k·m` entries, which is the paper's key scalability modification.
+
+pub mod assemble;
+pub mod dist_mis;
+pub mod ilu0;
+
+pub use assemble::assemble_factors;
+pub use ilu0::par_ilu0;
+
+use crate::dist::{DistMatrix, LocalView};
+use crate::options::{FactorError, IlutOptions};
+use crate::serial::drop_rules::{selection_cost, threshold_and_cap};
+use dist_mis::{build_level_links, dist_mis};
+use pilut_par::{Ctx, Payload};
+use pilut_sparse::WorkRow;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One factored row in *elimination order* semantics: `l` holds couplings to
+/// rows factored earlier, `u` to rows factored later; both sorted by global
+/// column id. `L` has an implicit unit diagonal; `diag` is the `U` pivot.
+#[derive(Clone, Debug, Default)]
+pub struct FactorRow {
+    pub l: Vec<(usize, f64)>,
+    pub diag: f64,
+    pub u: Vec<(usize, f64)>,
+}
+
+/// Counters describing one rank's factorization.
+#[derive(Clone, Debug, Default)]
+pub struct ParStats {
+    /// Global number of interface levels (independent sets) — the paper's `q`.
+    pub levels: usize,
+    /// Modelled floating-point operations on this rank.
+    pub flops: f64,
+    /// Retained entries in L (strict) / U (incl. diagonal) on this rank.
+    pub nnz_l: usize,
+    pub nnz_u: usize,
+    /// Entries in this rank's slice of the initial reduced matrix.
+    pub reduced_nnz_initial: usize,
+    /// Largest reduced-matrix slice seen across levels.
+    pub reduced_nnz_peak: usize,
+}
+
+/// One rank's share of the distributed factorization.
+#[derive(Clone, Debug)]
+pub struct RankFactors {
+    pub rank: usize,
+    /// Interior nodes in elimination order (ascending global id).
+    pub interior: Vec<usize>,
+    /// Interface nodes (ascending global id).
+    pub interface: Vec<usize>,
+    /// `levels[l]` = my interface nodes factored in global level `l`
+    /// (possibly empty; every rank records every level).
+    pub levels: Vec<Vec<usize>>,
+    /// All my factored rows by global node id.
+    pub rows: HashMap<usize, FactorRow>,
+    /// Column pattern of my slice of the *initial* reduced matrix `A_I⁰`
+    /// (after interior elimination, before any interface level) — used by
+    /// the Figure 1/2 structure illustrations.
+    pub initial_reduced_cols: Vec<(usize, Vec<usize>)>,
+    pub stats: ParStats,
+}
+
+const TAG_UROWS_BASE: u64 = 1 << 24;
+
+/// Runs the parallel ILUT / ILUT\* factorization. Collective: every rank of
+/// the machine must call it with the same `dm` and `opts`.
+pub fn par_ilut(
+    ctx: &mut Ctx,
+    dm: &DistMatrix,
+    local: &LocalView,
+    opts: &IlutOptions,
+) -> Result<RankFactors, FactorError> {
+    let a = dm.matrix();
+    let me = ctx.rank();
+    let n = dm.n();
+
+    // Role map: 0 = remote, 1 = my interior, 2 = my interface.
+    let mut role = vec![0u8; n];
+    for &v in &local.interior {
+        role[v] = 1;
+    }
+    for &v in &local.interface {
+        role[v] = 2;
+    }
+
+    let mut rows: HashMap<usize, FactorRow> = HashMap::with_capacity(local.len());
+    let mut stats = ParStats::default();
+    let mut w = WorkRow::new(n);
+    let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+    let mut my_err: Option<usize> = None; // row of first zero pivot
+
+    // ---- Phase 1: interior rows (ascending global id = elimination order).
+    for &i in &local.interior {
+        let tau_i = opts.tau * a.row_norm2(i);
+        let (cols, vals) = a.row(i);
+        heap.clear();
+        for (&j, &v) in cols.iter().zip(vals) {
+            w.set(j, v);
+            if role[j] == 1 && j < i {
+                heap.push(Reverse(j));
+            }
+        }
+        eliminate(ctx, &mut w, &mut heap, &rows, tau_i, i, &role, false, &mut stats);
+        // Split: lower = my interiors with smaller id (the multipliers);
+        // everything else is "later" (interface nodes factor after ALL
+        // interiors regardless of their global id).
+        let entries = w.drain_sorted();
+        stats.flops += selection_cost(entries.len());
+        ctx.work(selection_cost(entries.len()));
+        let mut lower = Vec::new();
+        let mut upper = Vec::new();
+        let mut diag = 0.0;
+        for (j, v) in entries {
+            if j == i {
+                diag = v;
+            } else if role[j] == 1 && j < i {
+                lower.push((j, v));
+            } else {
+                upper.push((j, v));
+            }
+        }
+        if diag == 0.0 {
+            my_err.get_or_insert(i);
+            diag = if tau_i > 0.0 { tau_i } else { 1.0 }; // keep going until the collective abort
+        }
+        let l = threshold_and_cap(lower, tau_i, opts.m, None);
+        let u = threshold_and_cap(upper, tau_i, opts.m, None);
+        stats.nnz_l += l.len();
+        stats.nnz_u += u.len() + 1;
+        rows.insert(i, FactorRow { l, diag, u });
+    }
+
+    // ---- Phase 1b: interface rows — eliminate my interiors, build the
+    // initial reduced rows.
+    let mut reduced: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
+    let mut tau_of: HashMap<usize, f64> = HashMap::new();
+    for &i in &local.interface {
+        let tau_i = opts.tau * a.row_norm2(i);
+        tau_of.insert(i, tau_i);
+        let (cols, vals) = a.row(i);
+        heap.clear();
+        for (&j, &v) in cols.iter().zip(vals) {
+            w.set(j, v);
+            if role[j] == 1 {
+                heap.push(Reverse(j));
+            }
+        }
+        eliminate(ctx, &mut w, &mut heap, &rows, tau_i, i, &role, true, &mut stats);
+        let entries = w.drain_sorted();
+        stats.flops += selection_cost(entries.len());
+        ctx.work(selection_cost(entries.len()));
+        let mut lower = Vec::new(); // my interior columns — factored earlier
+        let mut rest = Vec::new(); // interface columns (mine or remote) + diag
+        for (j, v) in entries {
+            if role[j] == 1 {
+                lower.push((j, v));
+            } else {
+                rest.push((j, v));
+            }
+        }
+        let l = threshold_and_cap(lower, tau_i, opts.m, None);
+        stats.nnz_l += l.len();
+        rows.insert(i, FactorRow { l, diag: 0.0, u: Vec::new() });
+        // Reduced row: threshold always applies; ILUT* additionally caps.
+        let rr = threshold_and_cap(rest, tau_i, opts.reduced_cap(), Some(i));
+        ctx.copy_words(rr.len() as f64);
+        stats.reduced_nnz_initial += rr.len();
+        reduced.insert(i, rr);
+    }
+    stats.reduced_nnz_peak = stats.reduced_nnz_initial;
+    let mut initial_reduced_cols: Vec<(usize, Vec<usize>)> = reduced
+        .iter()
+        .map(|(&v, row)| (v, row.iter().map(|&(c, _)| c).collect()))
+        .collect();
+    initial_reduced_cols.sort_unstable_by_key(|&(v, _)| v);
+
+    // ---- Phase 2: iterative interface factorization.
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    let mut level_idx = 0u64;
+    loop {
+        // Collective loop head: termination and error detection.
+        let flags = ctx.all_reduce_u64(
+            vec![reduced.len() as u64, my_err.map_or(0, |_| 1)],
+            pilut_par::collectives::ReduceOp::Sum,
+        );
+        if flags[1] > 0 {
+            let row = ctx.all_reduce_u64(
+                vec![my_err.map_or(u64::MAX, |r| r as u64)],
+                pilut_par::collectives::ReduceOp::Min,
+            )[0];
+            return Err(FactorError::ZeroPivot { row: row as usize });
+        }
+        if flags[0] == 0 {
+            break;
+        }
+
+        // Track the peak reduced-matrix size.
+        let cur_nnz: usize = reduced.values().map(|r| r.len()).sum();
+        stats.reduced_nnz_peak = stats.reduced_nnz_peak.max(cur_nnz);
+
+        // Column patterns for the MIS and the links.
+        let reduced_cols: HashMap<usize, Vec<usize>> = reduced
+            .iter()
+            .map(|(&v, row)| (v, row.iter().map(|&(c, _)| c).collect()))
+            .collect();
+        let links = build_level_links(ctx, dm.dist(), &reduced_cols);
+        let mis = dist_mis(ctx, &links, &reduced_cols, opts.seed, level_idx, opts.mis_rounds);
+
+        // Factor my I_l rows: independence means only rule-2 dropping.
+        for &v in &mis.my_in {
+            let rr = reduced.remove(&v).expect("member without a reduced row");
+            let tau_v = tau_of[&v];
+            let mut diag = 0.0;
+            let mut off = Vec::with_capacity(rr.len());
+            for (c, val) in rr {
+                if c == v {
+                    diag = val;
+                } else {
+                    off.push((c, val));
+                }
+            }
+            if diag == 0.0 {
+                my_err.get_or_insert(v);
+                diag = if tau_v > 0.0 { tau_v } else { 1.0 };
+            }
+            let u = threshold_and_cap(off, tau_v, opts.m, None);
+            stats.flops += selection_cost(u.len());
+            ctx.work(selection_cost(u.len()));
+            stats.nnz_u += u.len() + 1;
+            let row = rows.get_mut(&v).expect("interface row missing");
+            row.diag = diag;
+            row.u = u;
+        }
+        levels.push(mis.my_in.clone());
+
+        // Ship the new U rows directly along the level links: each rank
+        // sends one (possibly empty) batch to every peer that references its
+        // nodes and receives one from every peer whose nodes it references.
+        // Encoding per peer: U64 = [node, len, cols...]*, F64 = [diag, vals...]*.
+        let mut batch: HashMap<usize, (Vec<u64>, Vec<f64>)> = HashMap::new();
+        for &v in &mis.my_in {
+            if let Some(peers) = links.needers.get(&v) {
+                let row = &rows[&v];
+                for &peer in peers {
+                    let (bu, bf) = batch.entry(peer).or_default();
+                    bu.push(v as u64);
+                    bu.push(row.u.len() as u64);
+                    bu.extend(row.u.iter().map(|&(c, _)| c as u64));
+                    bf.push(row.diag);
+                    bf.extend(row.u.iter().map(|&(_, x)| x));
+                }
+            }
+        }
+        for (peer, _) in &links.refs_by_rank {
+            let (bu, bf) = batch.remove(peer).unwrap_or_default();
+            ctx.send(*peer, TAG_UROWS_BASE, Payload::Mixed(bu, bf));
+        }
+        let mut remote_u: HashMap<usize, FactorRow> = HashMap::new();
+        for (peer, _) in &links.needed_by_rank {
+            let (bu, bf) = ctx.recv(*peer, TAG_UROWS_BASE).into_mixed();
+            let mut iu = 0usize;
+            let mut ifl = 0usize;
+            while iu < bu.len() {
+                let node = bu[iu] as usize;
+                let len = bu[iu + 1] as usize;
+                let cols = &bu[iu + 2..iu + 2 + len];
+                let diag = bf[ifl];
+                let vals = &bf[ifl + 1..ifl + 1 + len];
+                remote_u.insert(
+                    node,
+                    FactorRow {
+                        l: Vec::new(),
+                        diag,
+                        u: cols.iter().map(|&c| c as usize).zip(vals.iter().copied()).collect(),
+                    },
+                );
+                iu += 2 + len;
+                ifl += 1 + len;
+            }
+        }
+
+        // Algorithm 4.2: eliminate the I_l unknowns from my remaining rows.
+        let in_level = |j: usize| -> bool {
+            mis.my_in.binary_search(&j).is_ok() || mis.remote_in.binary_search(&j).is_ok()
+        };
+        let remaining: Vec<usize> = reduced.keys().copied().collect();
+        for i in remaining {
+            let rr = reduced.remove(&i).unwrap();
+            let tau_i = tau_of[&i];
+            // Pivot columns of this row that belong to I_l (no new ones can
+            // appear during the sweep: U rows of independent nodes contain no
+            // I_l columns).
+            let pivots: Vec<usize> =
+                rr.iter().map(|&(c, _)| c).filter(|&c| c != i && in_level(c)).collect();
+            if pivots.is_empty() {
+                reduced.insert(i, rr);
+                continue;
+            }
+            for (c, v) in rr {
+                w.set(c, v);
+            }
+            let mut mults: Vec<(usize, f64)> = Vec::with_capacity(pivots.len());
+            for k in pivots {
+                let urow = if role[k] != 0 { rows.get(&k) } else { remote_u.get(&k) };
+                let urow = urow.expect("missing U row for level pivot");
+                let wk = w.get(k);
+                w.drop_pos(k);
+                if wk == 0.0 {
+                    continue;
+                }
+                let mult = wk / urow.diag;
+                stats.flops += 1.0;
+                if mult.abs() < tau_i {
+                    continue; // first dropping rule
+                }
+                for &(j, uv) in &urow.u {
+                    w.add(j, -mult * uv);
+                }
+                let cost = 2.0 * urow.u.len() as f64;
+                stats.flops += cost;
+                ctx.work(cost + 1.0);
+                mults.push((k, mult));
+            }
+            // Merge multipliers into the row's L and reapply rule 3.
+            let row = rows.get_mut(&i).expect("interface row missing");
+            let mut lmerge = std::mem::take(&mut row.l);
+            lmerge.extend(mults);
+            let cost = selection_cost(lmerge.len());
+            stats.flops += cost;
+            ctx.work(cost);
+            row.l = threshold_and_cap(lmerge, tau_i, opts.m, None);
+            // The surviving working row becomes the next-level reduced row.
+            let rest = w.drain_sorted();
+            let rr = threshold_and_cap(rest, tau_i, opts.reduced_cap(), Some(i));
+            ctx.copy_words(rr.len() as f64);
+            reduced.insert(i, rr);
+        }
+        level_idx += 1;
+    }
+
+    // Recompute L fill exactly (the incremental bookkeeping above is
+    // approximate when rows shrink during merges).
+    stats.nnz_l = rows.values().map(|r| r.l.len()).sum();
+    stats.levels = levels.len();
+    Ok(RankFactors {
+        rank: me,
+        interior: local.interior.clone(),
+        interface: local.interface.clone(),
+        levels,
+        rows,
+        initial_reduced_cols,
+        stats,
+    })
+}
+
+/// The shared elimination sweep of phases 1/1b: pops eligible pivots in
+/// ascending global order, applies dropping rule 1, and updates `w` with the
+/// pivot's `U` row. Eligible pivots are this rank's interiors (`role == 1`);
+/// for an *interior* row `i` only interiors preceding it (`j < i`) are
+/// eligible (`all_interiors = false`); for an *interface* row every interior
+/// is (`all_interiors = true`), since all interiors factor before any
+/// interface node. Fill positions join the heap under the same rule.
+#[allow(clippy::too_many_arguments)]
+fn eliminate(
+    ctx: &mut Ctx,
+    w: &mut WorkRow,
+    heap: &mut BinaryHeap<Reverse<usize>>,
+    rows: &HashMap<usize, FactorRow>,
+    tau_i: f64,
+    i: usize,
+    role: &[u8],
+    all_interiors: bool,
+    stats: &mut ParStats,
+) {
+    while let Some(Reverse(k)) = heap.pop() {
+        if matches!(heap.peek(), Some(&Reverse(kk)) if kk == k) {
+            continue; // duplicate heap entry
+        }
+        let wk = w.get(k);
+        if wk == 0.0 {
+            w.drop_pos(k);
+            continue;
+        }
+        let urow = &rows[&k];
+        let mult = wk / urow.diag;
+        stats.flops += 1.0;
+        if mult.abs() < tau_i {
+            w.drop_pos(k);
+            continue;
+        }
+        w.set(k, mult);
+        for &(j, uv) in &urow.u {
+            let newly = !w.contains(j);
+            w.add(j, -mult * uv);
+            // New fill joins the elimination when it lands on an eligible
+            // pivot column.
+            if newly && role[j] == 1 && (all_interiors || j < i) {
+                heap.push(Reverse(j));
+            }
+        }
+        let cost = 2.0 * urow.u.len() as f64 + 1.0;
+        stats.flops += cost - 1.0;
+        ctx.work(cost);
+    }
+}

@@ -1,0 +1,129 @@
+//! Preconditioner interface and serial implementations.
+
+use crate::factors::LuFactors;
+use pilut_sparse::CsrMatrix;
+
+/// A preconditioner `M`: given a residual-like vector `r`, produces
+/// `z ≈ M⁻¹ r`.
+pub trait Preconditioner {
+    fn apply(&self, r: &[f64]) -> Vec<f64>;
+
+    /// Display name for experiment tables.
+    fn name(&self) -> String {
+        "preconditioner".to_string()
+    }
+}
+
+/// No preconditioning (`M = I`).
+pub struct IdentityPreconditioner;
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        r.to_vec()
+    }
+
+    fn name(&self) -> String {
+        "none".to_string()
+    }
+}
+
+/// Diagonal (Jacobi) preconditioning — the baseline of the paper's Table 3.
+pub struct DiagonalPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl DiagonalPreconditioner {
+    /// # Panics
+    /// Panics if the matrix has a zero diagonal entry.
+    pub fn new(a: &CsrMatrix) -> Self {
+        let inv_diag = a
+            .diagonal()
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                assert!(d != 0.0, "zero diagonal at row {i}");
+                1.0 / d
+            })
+            .collect();
+        DiagonalPreconditioner { inv_diag }
+    }
+}
+
+impl Preconditioner for DiagonalPreconditioner {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        r.iter().zip(&self.inv_diag).map(|(x, d)| x * d).collect()
+    }
+
+    fn name(&self) -> String {
+        "Diagonal".to_string()
+    }
+}
+
+/// Incomplete-LU preconditioning: `M⁻¹ r = U⁻¹ L⁻¹ r`.
+pub struct IluPreconditioner {
+    factors: LuFactors,
+    label: String,
+}
+
+impl IluPreconditioner {
+    pub fn new(factors: LuFactors) -> Self {
+        IluPreconditioner { factors, label: "ILU".to_string() }
+    }
+
+    pub fn with_label(factors: LuFactors, label: impl Into<String>) -> Self {
+        IluPreconditioner { factors, label: label.into() }
+    }
+
+    pub fn factors(&self) -> &LuFactors {
+        &self.factors
+    }
+}
+
+impl Preconditioner for IluPreconditioner {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        self.factors.solve(r)
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::IlutOptions;
+    use crate::serial::ilut;
+    use pilut_sparse::gen;
+
+    #[test]
+    fn identity_is_noop() {
+        let r = vec![1.0, -2.0];
+        assert_eq!(IdentityPreconditioner.apply(&r), r);
+    }
+
+    #[test]
+    fn diagonal_scales() {
+        let a = gen::laplace_2d(3, 3); // diagonal entries all equal
+        let p = DiagonalPreconditioner::new(&a);
+        let d = a.get(0, 0).unwrap();
+        let z = p.apply(&[d; 9]);
+        for zi in z {
+            assert!((zi - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn ilu_preconditioner_applies_factors() {
+        let a = gen::laplace_2d(5, 5);
+        let f = ilut(&a, &IlutOptions::new(25, 0.0)).unwrap();
+        let x_true = vec![2.0; 25];
+        let b = a.spmv_owned(&x_true);
+        let p = IluPreconditioner::with_label(f, "ILUT(25,0)");
+        let x = p.apply(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+        assert_eq!(p.name(), "ILUT(25,0)");
+    }
+}

@@ -1,0 +1,82 @@
+//! The ILUT dropping rules, shared by the serial and parallel formulations.
+
+/// Rule 2/3 selection: from `entries`, drop everything with magnitude below
+/// `tau_i`, then keep the `cap` entries of largest magnitude. Entries whose
+/// column appears in `always_keep` (e.g. the diagonal) bypass both filters
+/// and do not count against `cap`. Returns the survivors sorted by column.
+pub fn threshold_and_cap(
+    mut entries: Vec<(usize, f64)>,
+    tau_i: f64,
+    cap: usize,
+    always_keep: Option<usize>,
+) -> Vec<(usize, f64)> {
+    let mut kept_special: Vec<(usize, f64)> = Vec::new();
+    if let Some(d) = always_keep {
+        if let Some(pos) = entries.iter().position(|&(c, _)| c == d) {
+            kept_special.push(entries.swap_remove(pos));
+        }
+    }
+    entries.retain(|&(_, v)| v.abs() >= tau_i && v != 0.0);
+    if entries.len() > cap {
+        // Partial selection of the `cap` largest magnitudes.
+        entries.select_nth_unstable_by(cap, |a, b| {
+            b.1.abs().partial_cmp(&a.1.abs()).expect("NaN in factorization")
+        });
+        entries.truncate(cap);
+    }
+    entries.append(&mut kept_special);
+    entries.sort_unstable_by_key(|&(c, _)| c);
+    entries
+}
+
+/// Approximate flop cost of the selection (comparisons modelled as one op
+/// each; `select_nth` is linear).
+pub fn selection_cost(n_entries: usize) -> f64 {
+    2.0 * n_entries as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_below_threshold() {
+        let out = threshold_and_cap(vec![(0, 5.0), (1, 0.01), (2, -3.0)], 0.1, 10, None);
+        assert_eq!(out, vec![(0, 5.0), (2, -3.0)]);
+    }
+
+    #[test]
+    fn caps_to_largest() {
+        let out = threshold_and_cap(
+            vec![(0, 1.0), (1, 4.0), (2, -3.0), (3, 2.0)],
+            0.0,
+            2,
+            None,
+        );
+        assert_eq!(out, vec![(1, 4.0), (2, -3.0)]);
+    }
+
+    #[test]
+    fn always_keep_bypasses_everything() {
+        let out = threshold_and_cap(
+            vec![(0, 1.0), (1, 1e-9), (2, -3.0)],
+            0.1,
+            1,
+            Some(1),
+        );
+        // Diagonal 1 kept despite being tiny; cap=1 keeps only the largest other.
+        assert_eq!(out, vec![(1, 1e-9), (2, -3.0)]);
+    }
+
+    #[test]
+    fn exact_zeros_always_dropped() {
+        let out = threshold_and_cap(vec![(0, 0.0), (1, 1.0)], 0.0, 10, None);
+        assert_eq!(out, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn cap_zero_keeps_only_special() {
+        let out = threshold_and_cap(vec![(0, 9.0), (1, 2.0)], 0.0, 0, Some(0));
+        assert_eq!(out, vec![(0, 9.0)]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Zero-fill incomplete factorization ILU(0).
+//!
+//! The static-pattern baseline the paper contrasts ILUT against: no fill is
+//! allowed, so `L + U` has exactly the pattern of `A` and concurrency can be
+//! extracted with a one-time colouring (paper Figure 1a).
+
+use crate::factors::{LuFactors, SparseRow};
+use crate::options::FactorError;
+use pilut_sparse::{CsrMatrix, WorkRow};
+
+/// Computes ILU(0): Gaussian elimination restricted to the pattern of `A`.
+pub fn ilu0(a: &CsrMatrix) -> Result<LuFactors, FactorError> {
+    assert_eq!(a.n_rows(), a.n_cols(), "ILU(0) needs a square matrix");
+    let n = a.n_rows();
+    let mut l: Vec<SparseRow> = Vec::with_capacity(n);
+    let mut u: Vec<SparseRow> = Vec::with_capacity(n);
+    let mut w = WorkRow::new(n);
+    for i in 0..n {
+        let (cols, vals) = a.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            w.set(j, v);
+        }
+        // Pivots are exactly the lower-pattern positions of row i (no fill
+        // can appear, so a simple ascending sweep over the original pattern
+        // is a complete elimination order).
+        let mut lower: Vec<(usize, f64)> = Vec::new();
+        for &k in cols.iter().filter(|&&k| k < i) {
+            let wk = w.get(k);
+            if wk == 0.0 {
+                // The position is part of the pattern even when the value
+                // cancelled to zero — ILU(0) is defined by structure alone.
+                lower.push((k, 0.0));
+                w.drop_pos(k);
+                continue;
+            }
+            let urow = &u[k];
+            let mult = wk / urow.vals[0];
+            lower.push((k, mult));
+            // Update only positions already present in row i.
+            for t in 1..urow.len() {
+                let j = urow.cols[t];
+                if w.contains(j) {
+                    w.add(j, -mult * urow.vals[t]);
+                }
+            }
+            w.drop_pos(k);
+        }
+        let mut upper: Vec<(usize, f64)> = Vec::new();
+        for (j, v) in w.drain_sorted() {
+            if j >= i {
+                upper.push((j, v));
+            }
+        }
+        if upper.first().map(|&(c, _)| c) != Some(i) || upper[0].1 == 0.0 {
+            return Err(FactorError::ZeroPivot { row: i });
+        }
+        l.push(SparseRow::from_pairs(lower));
+        u.push(SparseRow::from_pairs(upper));
+    }
+    Ok(LuFactors { n, l, u })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::IlutOptions;
+    use crate::serial::ilut::ilut;
+    use pilut_sparse::gen;
+
+    #[test]
+    fn pattern_matches_original_matrix() {
+        let a = gen::convection_diffusion_2d(6, 6, 3.0, 1.0);
+        let f = ilu0(&a).unwrap();
+        f.check_structure().unwrap();
+        for i in 0..a.n_rows() {
+            let (cols, _) = a.row(i);
+            let mut merged: Vec<usize> = f.l[i].cols.clone();
+            merged.extend_from_slice(&f.u[i].cols);
+            merged.sort_unstable();
+            assert_eq!(merged, cols.to_vec(), "row {i} pattern changed");
+        }
+    }
+
+    #[test]
+    fn tridiagonal_ilu0_is_exact() {
+        // A tridiagonal matrix creates no fill, so ILU(0) = LU exactly.
+        let a = gen::laplace_2d(10, 1);
+        let f = ilu0(&a).unwrap();
+        let x_true: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b = a.spmv_owned(&x_true);
+        let x = f.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn agrees_with_unbounded_ilut_on_no_fill_matrix() {
+        let a = gen::laplace_2d(12, 1);
+        let f0 = ilu0(&a).unwrap();
+        let ft = ilut(&a, &IlutOptions::new(100, 0.0)).unwrap();
+        for i in 0..a.n_rows() {
+            assert_eq!(f0.l[i], ft.l[i], "L row {i}");
+            assert_eq!(f0.u[i], ft.u[i], "U row {i}");
+        }
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        use pilut_sparse::CsrMatrix;
+        let a = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0]);
+        assert_eq!(ilu0(&a).err(), Some(FactorError::ZeroPivot { row: 0 }));
+    }
+}

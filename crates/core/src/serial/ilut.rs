@@ -1,0 +1,208 @@
+//! The serial ILUT(m, t) factorization — paper Algorithm 2.1 (after Saad).
+
+use crate::factors::{LuFactors, SparseRow};
+use crate::options::{FactorError, FactorStats, IlutOptions};
+use crate::serial::drop_rules::{selection_cost, threshold_and_cap};
+use pilut_sparse::{CsrMatrix, WorkRow};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Computes ILUT(m, t) of a square matrix.
+///
+/// Row `i` is eliminated against already-factored rows `k < i` in ascending
+/// order using a full-length working row (the paper's `w`); the first
+/// dropping rule discards multipliers below `t·‖a_i‖₂`, the second keeps the
+/// `m` largest entries in each of the strict `L` and `U` parts (the diagonal
+/// is always kept).
+pub fn ilut(a: &CsrMatrix, opts: &IlutOptions) -> Result<LuFactors, FactorError> {
+    ilut_with_stats(a, opts).map(|(f, _)| f)
+}
+
+/// Like [`ilut`], additionally returning operation counts.
+pub fn ilut_with_stats(
+    a: &CsrMatrix,
+    opts: &IlutOptions,
+) -> Result<(LuFactors, FactorStats), FactorError> {
+    assert_eq!(a.n_rows(), a.n_cols(), "ILUT needs a square matrix");
+    let n = a.n_rows();
+    let mut l: Vec<SparseRow> = Vec::with_capacity(n);
+    let mut u: Vec<SparseRow> = Vec::with_capacity(n);
+    let mut w = WorkRow::new(n);
+    let mut stats = FactorStats::default();
+    // Min-heap of candidate pivot columns still to eliminate in this row.
+    let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+
+    for i in 0..n {
+        let (cols, vals) = a.row(i);
+        let tau_i = opts.tau * a.row_norm2(i);
+        heap.clear();
+        for (&j, &v) in cols.iter().zip(vals) {
+            w.set(j, v);
+            if j < i {
+                heap.push(Reverse(j));
+            }
+        }
+        // Elimination sweep: ascending pivot order, fills pushed lazily.
+        while let Some(Reverse(k)) = heap.pop() {
+            // Skip duplicates (a position may be pushed more than once).
+            if matches!(heap.peek(), Some(&Reverse(kk)) if kk == k) {
+                continue;
+            }
+            let wk = w.get(k);
+            if wk == 0.0 {
+                w.drop_pos(k);
+                continue;
+            }
+            let urow = &u[k];
+            let mult = wk / urow.vals[0];
+            stats.flops += 1.0;
+            // First dropping rule.
+            if mult.abs() < tau_i {
+                w.drop_pos(k);
+                continue;
+            }
+            w.set(k, mult);
+            // w -= mult * u_k (strict upper part of the pivot row).
+            for t in 1..urow.len() {
+                let j = urow.cols[t];
+                let newly = !w.contains(j);
+                w.add(j, -mult * urow.vals[t]);
+                if newly && j < i {
+                    heap.push(Reverse(j));
+                }
+            }
+            stats.flops += 2.0 * (urow.len() - 1) as f64;
+        }
+        // Second dropping rule: split into L and U parts, keep m largest in
+        // each; the diagonal is always kept.
+        let entries = w.drain_sorted();
+        stats.flops += selection_cost(entries.len());
+        let mut lower: Vec<(usize, f64)> = Vec::new();
+        let mut upper: Vec<(usize, f64)> = Vec::new();
+        for (j, v) in entries {
+            if j < i {
+                lower.push((j, v));
+            } else {
+                upper.push((j, v));
+            }
+        }
+        let lower = threshold_and_cap(lower, tau_i, opts.m, None);
+        let upper = threshold_and_cap(upper, tau_i, opts.m, Some(i));
+        if upper.first().map(|&(c, _)| c) != Some(i) || upper[0].1 == 0.0 {
+            return Err(FactorError::ZeroPivot { row: i });
+        }
+        stats.nnz_l += lower.len();
+        stats.nnz_u += upper.len();
+        l.push(SparseRow::from_pairs(lower));
+        u.push(SparseRow::from_pairs(upper));
+    }
+    Ok((LuFactors { n, l, u }, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilut_sparse::gen;
+    use pilut_sparse::vec_ops::{max_abs_diff, norm2};
+
+    /// With a huge `m` and zero threshold, ILUT on a dense-enough band matrix
+    /// is the exact LU: `LU x = b` reproduces `x = A⁻¹ b`.
+    #[test]
+    fn exact_lu_when_nothing_drops() {
+        let a = gen::laplace_2d(6, 6);
+        let n = a.n_rows();
+        let f = ilut(&a, &IlutOptions::new(n, 0.0)).unwrap();
+        f.check_structure().unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let b = a.spmv_owned(&x_true);
+        let x = f.solve(&b);
+        assert!(max_abs_diff(&x, &x_true) < 1e-10, "not an exact solve");
+    }
+
+    #[test]
+    fn respects_fill_cap() {
+        let a = gen::laplace_2d(12, 12);
+        let m = 3;
+        let f = ilut(&a, &IlutOptions::new(m, 0.0)).unwrap();
+        for i in 0..f.n {
+            assert!(f.l[i].len() <= m, "L row {i} has {} entries", f.l[i].len());
+            assert!(f.u[i].len() <= m + 1, "U row {i} has {} entries", f.u[i].len());
+        }
+    }
+
+    #[test]
+    fn large_threshold_degenerates_towards_diagonal() {
+        let a = gen::laplace_2d(8, 8);
+        // Threshold so large everything off-diagonal is dropped.
+        let f = ilut(&a, &IlutOptions::new(10, 10.0)).unwrap();
+        assert_eq!(f.nnz_l(), 0);
+        assert_eq!(f.nnz_u(), a.n_rows());
+    }
+
+    #[test]
+    fn preconditioner_quality_improves_with_m() {
+        // Residual of M⁻¹A applied to a known solution should shrink as m
+        // grows (more retained fill = better approximation).
+        let a = gen::convection_diffusion_2d(10, 10, 5.0, 5.0);
+        let n = a.n_rows();
+        let x_true = vec![1.0; n];
+        let b = a.spmv_owned(&x_true);
+        let err = |m: usize| {
+            let f = ilut(&a, &IlutOptions::new(m, 1e-8)).unwrap();
+            let x = f.solve(&b);
+            let r = a.spmv_owned(&x);
+            norm2(&r.iter().zip(&b).map(|(y, bi)| y - bi).collect::<Vec<_>>())
+        };
+        let e2 = err(2);
+        let e8 = err(8);
+        let e32 = err(32);
+        assert!(e8 < e2, "e8={e8} !< e2={e2}");
+        assert!(e32 <= e8, "e32={e32} !<= e8={e8}");
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        // [[0, 1], [1, 0]] has a structurally zero pivot.
+        let a = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0]);
+        assert_eq!(
+            ilut(&a, &IlutOptions::new(2, 0.0)).err(),
+            Some(FactorError::ZeroPivot { row: 0 })
+        );
+    }
+
+    #[test]
+    fn stats_count_fill_and_work() {
+        let a = gen::laplace_2d(5, 5);
+        let (f, s) = ilut_with_stats(&a, &IlutOptions::new(5, 1e-8)).unwrap();
+        assert_eq!(s.nnz_l, f.nnz_l());
+        assert_eq!(s.nnz_u, f.nnz_u());
+        assert!(s.flops > 0.0);
+    }
+
+    #[test]
+    fn factorization_of_diag_dominant_never_breaks() {
+        for seed in 0..5 {
+            let a = gen::random_diag_dominant(60, 5, seed);
+            let f = ilut(&a, &IlutOptions::new(4, 1e-3)).unwrap();
+            f.check_structure().unwrap();
+        }
+    }
+
+    use pilut_sparse::CsrMatrix;
+
+    #[test]
+    fn unsymmetric_pattern_handled() {
+        // Strictly upper triangular coupling plus diagonal.
+        let a = CsrMatrix::from_raw(
+            3,
+            3,
+            vec![0, 2, 4, 5],
+            vec![0, 2, 1, 2, 2],
+            vec![2.0, 1.0, 3.0, 1.0, 4.0],
+        );
+        let f = ilut(&a, &IlutOptions::new(3, 0.0)).unwrap();
+        assert_eq!(f.nnz_l(), 0, "no lower couplings exist");
+        let x = f.solve(&[3.0, 4.0, 4.0]);
+        assert!(max_abs_diff(&x, &[1.0, 1.0, 1.0]) < 1e-12);
+    }
+}

@@ -1,0 +1,16 @@
+//! Serial incomplete factorizations.
+
+pub mod drop_rules;
+pub mod ic0;
+pub mod ilu0;
+pub mod iluk;
+pub mod ilut;
+
+pub use ic0::ic0;
+pub use ilu0::ilu0;
+pub use iluk::iluk;
+pub use ilut::ilut;
+pub use ilut::ilut_with_stats;
+
+// Re-export the option type where users expect it.
+pub use crate::options::IlutOptions;

@@ -1,0 +1,207 @@
+//! Parallel forward/backward substitution (paper §5).
+//!
+//! The solves mirror the factorization's two-phase structure. Forward
+//! (`L y = b`): every rank solves its interior unknowns locally, then the
+//! interface unknowns level by level — after computing a level, each rank
+//! pushes the new `x` values to exactly the ranks whose later rows reference
+//! them (the plan is built once, collectively). Backward (`U x = y`) runs
+//! the levels in reverse and finishes with the interiors. Communication
+//! volume is proportional to the interface size, but the `q` levels impose
+//! `q` implicit synchronisation points — which is why ILUT\*'s smaller `q`
+//! makes its triangular solves faster (paper Table 2 / Figure 6).
+
+use crate::dist::{DistMatrix, LocalView};
+use crate::parallel::RankFactors;
+use pilut_par::{Ctx, Payload};
+use std::collections::HashMap;
+
+const TAG_FWD: u64 = 2 << 40;
+const TAG_BWD: u64 = 3 << 40;
+
+/// The communication plan for repeated triangular solves with one
+/// factorization.
+pub struct TrisolvePlan {
+    /// my node → peers that need its `x` during the forward sweep.
+    fwd_push: HashMap<usize, Vec<usize>>,
+    /// my node → peers that need its `x` during the backward sweep.
+    bwd_push: HashMap<usize, Vec<usize>>,
+    /// remote node → owner, for values I will need (forward / backward).
+    fwd_owner: HashMap<usize, usize>,
+    bwd_owner: HashMap<usize, usize>,
+}
+
+impl TrisolvePlan {
+    /// Collectively builds the plan from the distributed factors.
+    pub fn build(ctx: &mut Ctx, dm: &DistMatrix, local: &LocalView, rf: &RankFactors) -> Self {
+        let dist = dm.dist();
+        let gather_remote = |cols: Box<dyn Iterator<Item = usize> + '_>| {
+            let mut need: HashMap<usize, usize> = HashMap::new();
+            for j in cols {
+                if !local.owns(j) {
+                    need.insert(j, dist.owner(j));
+                }
+            }
+            need
+        };
+        let fwd_owner = gather_remote(Box::new(
+            rf.rows.values().flat_map(|r| r.l.iter().map(|&(c, _)| c)),
+        ));
+        let bwd_owner = gather_remote(Box::new(
+            rf.rows.values().flat_map(|r| r.u.iter().map(|&(c, _)| c)),
+        ));
+        // Tell each owner which of its nodes we need, for each direction.
+        let mut sends: Vec<(usize, Payload)> = Vec::new();
+        let mut by_owner: HashMap<usize, (Vec<u64>, Vec<u64>)> = HashMap::new();
+        for (&node, &owner) in &fwd_owner {
+            by_owner.entry(owner).or_default().0.push(node as u64);
+        }
+        for (&node, &owner) in &bwd_owner {
+            by_owner.entry(owner).or_default().1.push(node as u64);
+        }
+        for (owner, (fwd, bwd)) in by_owner {
+            let mut buf = vec![fwd.len() as u64];
+            buf.extend(fwd);
+            buf.extend(bwd);
+            sends.push((owner, Payload::U64(buf)));
+        }
+        let mut fwd_push: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut bwd_push: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (peer, payload) in ctx.exchange(sends) {
+            let buf = payload.into_u64();
+            let nf = buf[0] as usize;
+            for &v in &buf[1..1 + nf] {
+                fwd_push.entry(v as usize).or_default().push(peer);
+            }
+            for &v in &buf[1 + nf..] {
+                bwd_push.entry(v as usize).or_default().push(peer);
+            }
+        }
+        TrisolvePlan { fwd_push, bwd_push, fwd_owner, bwd_owner }
+    }
+}
+
+/// Solves `L U x = b` for this rank's unknowns. `b` is in local-view order
+/// (interiors first, then interfaces); so is the returned `x`.
+///
+/// Collective: all ranks must call with their own local data.
+pub fn dist_solve(
+    ctx: &mut Ctx,
+    local: &LocalView,
+    rf: &RankFactors,
+    plan: &TrisolvePlan,
+    b: &[f64],
+) -> Vec<f64> {
+    let y = dist_forward(ctx, local, rf, plan, b);
+    dist_backward(ctx, local, rf, plan, &y)
+}
+
+/// Forward sweep `L y = b` (unit lower triangular).
+pub fn dist_forward(
+    ctx: &mut Ctx,
+    local: &LocalView,
+    rf: &RankFactors,
+    plan: &TrisolvePlan,
+    b: &[f64],
+) -> Vec<f64> {
+    assert_eq!(b.len(), local.len());
+    let mut x = b.to_vec();
+    let mut remote_x: HashMap<usize, f64> = HashMap::new();
+    let mut flops = 0.0;
+    // Interior phase: L columns of interior rows are earlier interiors of
+    // this rank — all local, all already computed in ascending order.
+    for &i in &rf.interior {
+        let p = local.pos_of(i).unwrap();
+        let row = &rf.rows[&i];
+        let mut s = x[p];
+        for &(j, v) in &row.l {
+            s -= v * x[local.pos_of(j).expect("interior L column must be local")];
+        }
+        flops += 2.0 * row.l.len() as f64;
+        x[p] = s;
+    }
+    // Interface phase, level by level.
+    for level in &rf.levels {
+        for &i in level {
+            let p = local.pos_of(i).unwrap();
+            let row = &rf.rows[&i];
+            let mut s = x[p];
+            for &(j, v) in &row.l {
+                let xj = match local.pos_of(j) {
+                    Some(q) => x[q],
+                    None => *remote_x.entry(j).or_insert_with(|| {
+                        ctx.recv(plan.fwd_owner[&j], TAG_FWD | j as u64).into_f64()[0]
+                    }),
+                };
+                s -= v * xj;
+            }
+            flops += 2.0 * row.l.len() as f64;
+            x[p] = s;
+        }
+        // Push the freshly computed values to the ranks that need them.
+        for &i in level {
+            if let Some(peers) = plan.fwd_push.get(&i) {
+                let v = x[local.pos_of(i).unwrap()];
+                for &peer in peers {
+                    ctx.send(peer, TAG_FWD | i as u64, Payload::F64(vec![v]));
+                }
+            }
+        }
+    }
+    ctx.work(flops);
+    x
+}
+
+/// Backward sweep `U x = y`.
+pub fn dist_backward(
+    ctx: &mut Ctx,
+    local: &LocalView,
+    rf: &RankFactors,
+    plan: &TrisolvePlan,
+    y: &[f64],
+) -> Vec<f64> {
+    assert_eq!(y.len(), local.len());
+    let mut x = y.to_vec();
+    let mut remote_x: HashMap<usize, f64> = HashMap::new();
+    let mut flops = 0.0;
+    // Interface levels in reverse order.
+    for level in rf.levels.iter().rev() {
+        for &i in level {
+            let p = local.pos_of(i).unwrap();
+            let row = &rf.rows[&i];
+            let mut s = x[p];
+            for &(j, v) in &row.u {
+                let xj = match local.pos_of(j) {
+                    Some(q) => x[q],
+                    None => *remote_x.entry(j).or_insert_with(|| {
+                        ctx.recv(plan.bwd_owner[&j], TAG_BWD | j as u64).into_f64()[0]
+                    }),
+                };
+                s -= v * xj;
+            }
+            flops += 2.0 * row.u.len() as f64 + 1.0;
+            x[p] = s / row.diag;
+        }
+        for &i in level {
+            if let Some(peers) = plan.bwd_push.get(&i) {
+                let v = x[local.pos_of(i).unwrap()];
+                for &peer in peers {
+                    ctx.send(peer, TAG_BWD | i as u64, Payload::F64(vec![v]));
+                }
+            }
+        }
+    }
+    // Interior phase, descending elimination order; U columns of interior
+    // rows are local (later interiors or own interfaces).
+    for &i in rf.interior.iter().rev() {
+        let p = local.pos_of(i).unwrap();
+        let row = &rf.rows[&i];
+        let mut s = x[p];
+        for &(j, v) in &row.u {
+            s -= v * x[local.pos_of(j).expect("interior U column must be local")];
+        }
+        flops += 2.0 * row.u.len() as f64 + 1.0;
+        x[p] = s / row.diag;
+    }
+    ctx.work(flops);
+    x
+}

@@ -1,0 +1,227 @@
+//! Integration tests of the parallel ILUT/ILUT* factorization and the
+//! parallel triangular solves, cross-checked against the serial algorithms.
+
+use pilut_core::dist::DistMatrix;
+use pilut_core::options::{FactorError, IlutOptions};
+use pilut_core::parallel::{par_ilut, RankFactors};
+use pilut_core::serial::ilut;
+use pilut_core::trisolve::{dist_solve, TrisolvePlan};
+use pilut_par::{Machine, MachineModel};
+use pilut_sparse::vec_ops::norm2;
+use pilut_sparse::{gen, CsrMatrix};
+
+/// Runs the parallel factorization and solves `LUx = b`; returns
+/// (x in global numbering, per-rank factors).
+fn factor_and_solve(
+    a: &CsrMatrix,
+    p: usize,
+    opts: &IlutOptions,
+    b_global: &[f64],
+) -> (Vec<f64>, Vec<RankFactors>) {
+    let dm = DistMatrix::from_matrix(a.clone(), p, 17);
+    let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+        let local = dm.local_view(ctx.rank());
+        let rf = par_ilut(ctx, &dm, &local, opts).expect("factorization failed");
+        let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
+        let b_local: Vec<f64> = local.nodes.iter().map(|&g| b_global[g]).collect();
+        let x_local = dist_solve(ctx, &local, &rf, &plan, &b_local);
+        (local.nodes.clone(), x_local, rf)
+    });
+    let mut x = vec![f64::NAN; a.n_rows()];
+    let mut factors = Vec::new();
+    for (nodes, xl, rf) in out.results {
+        for (g, v) in nodes.into_iter().zip(xl) {
+            x[g] = v;
+        }
+        factors.push(rf);
+    }
+    (x, factors)
+}
+
+fn rel_residual(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = a.spmv_owned(x);
+    let r: Vec<f64> = ax.iter().zip(b).map(|(y, bi)| y - bi).collect();
+    norm2(&r) / norm2(b)
+}
+
+#[test]
+fn single_rank_matches_serial_ilut() {
+    let a = gen::convection_diffusion_2d(8, 8, 4.0, -3.0);
+    let opts = IlutOptions::new(5, 1e-2);
+    let serial = ilut(&a, &opts).unwrap();
+    let dm = DistMatrix::from_matrix(a.clone(), 1, 1);
+    let out = Machine::run(1, MachineModel::cray_t3d(), |ctx| {
+        let local = dm.local_view(0);
+        par_ilut(ctx, &dm, &local, &opts).unwrap()
+    });
+    let rf = &out.results[0];
+    assert_eq!(rf.interior.len(), a.n_rows());
+    assert!(rf.levels.is_empty(), "no interface nodes on one rank");
+    for i in 0..a.n_rows() {
+        let row = &rf.rows[&i];
+        let sl: Vec<(usize, f64)> = serial.l[i].iter().collect();
+        assert_eq!(row.l, sl, "L row {i}");
+        assert_eq!(row.diag, serial.u[i].vals[0], "diag {i}");
+        let su: Vec<(usize, f64)> = serial.u[i].iter().skip(1).collect();
+        assert_eq!(row.u, su, "U row {i}");
+    }
+}
+
+#[test]
+fn no_dropping_gives_exact_solve_2d() {
+    let a = gen::laplace_2d(10, 10);
+    let n = a.n_rows();
+    let x_true: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+    let b = a.spmv_owned(&x_true);
+    for p in [2, 4] {
+        let (x, _) = factor_and_solve(&a, p, &IlutOptions::new(n, 0.0), &b);
+        let err: f64 = x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-8, "p={p}: max error {err}");
+    }
+}
+
+#[test]
+fn no_dropping_gives_exact_solve_torso() {
+    let a = gen::fem_torso(8, 2);
+    let n = a.n_rows();
+    let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos()).collect();
+    let b = a.spmv_owned(&x_true);
+    let (x, factors) = factor_and_solve(&a, 3, &IlutOptions::new(n, 0.0), &b);
+    let err: f64 = x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    assert!(err < 1e-7, "max error {err}");
+    // Every node factored exactly once across ranks.
+    let total: usize = factors.iter().map(|f| f.rows.len()).sum();
+    assert_eq!(total, n);
+}
+
+#[test]
+fn dropped_factorization_is_a_useful_preconditioner() {
+    let a = gen::convection_diffusion_2d(14, 14, 8.0, 2.0);
+    let n = a.n_rows();
+    let x_true = vec![1.0; n];
+    let b = a.spmv_owned(&x_true);
+    let (x, _) = factor_and_solve(&a, 4, &IlutOptions::new(8, 1e-4), &b);
+    // One application of an incomplete factorization is not exact but must
+    // be a solid approximation on this well-behaved problem.
+    let res = rel_residual(&a, &x, &b);
+    assert!(res < 0.5, "relative residual {res} too poor for a preconditioner");
+}
+
+#[test]
+fn every_interface_node_lands_in_exactly_one_level() {
+    let a = gen::laplace_2d(12, 12);
+    let dm = DistMatrix::from_matrix(a, 4, 17);
+    let opts = IlutOptions::new(5, 1e-2);
+    let out = Machine::run(4, MachineModel::cray_t3d(), |ctx| {
+        let local = dm.local_view(ctx.rank());
+        let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
+        (local.interface.clone(), rf)
+    });
+    let mut q = None;
+    for (interface, rf) in &out.results {
+        // Same number of global levels on every rank.
+        match q {
+            None => q = Some(rf.levels.len()),
+            Some(q0) => assert_eq!(rf.levels.len(), q0, "level counts disagree"),
+        }
+        let mut seen: Vec<usize> = rf.levels.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let mut expect = interface.clone();
+        expect.sort_unstable();
+        assert_eq!(seen, expect, "interface nodes must be covered exactly once");
+    }
+    assert!(q.unwrap() >= 1, "a 4-way split has interface nodes to factor");
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = gen::laplace_2d(10, 10);
+    let opts = IlutOptions::new(4, 1e-3);
+    let run = || {
+        let dm = DistMatrix::from_matrix(a.clone(), 3, 17);
+        Machine::run(3, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
+            (rf.levels.clone(), rf.stats.flops)
+        })
+    };
+    let a1 = run();
+    let a2 = run();
+    for (r1, r2) in a1.results.iter().zip(&a2.results) {
+        assert_eq!(r1.0, r2.0);
+        assert_eq!(r1.1, r2.1);
+    }
+    assert_eq!(a1.sim_time, a2.sim_time, "simulated time must be reproducible");
+}
+
+#[test]
+fn zero_pivot_reported_on_all_ranks() {
+    // Row 2 has no diagonal and no lower couplings, so no elimination can
+    // fill its pivot: the factorization must fail on every rank.
+    let mut coo = pilut_sparse::CooMatrix::new(4, 4);
+    coo.push(0, 0, 2.0);
+    coo.push(0, 1, -1.0);
+    coo.push(1, 0, -1.0);
+    coo.push(1, 1, 2.0);
+    coo.push(2, 3, 1.0);
+    coo.push(3, 3, 2.0);
+    let a = coo.to_csr();
+    let dm = DistMatrix::from_matrix(a, 2, 5);
+    let opts = IlutOptions::new(6, 0.0);
+    let out = Machine::run(2, MachineModel::cray_t3d(), |ctx| {
+        let local = dm.local_view(ctx.rank());
+        par_ilut(ctx, &dm, &local, &opts)
+    });
+    for r in &out.results {
+        match r {
+            Err(FactorError::ZeroPivot { .. }) => {}
+            other => panic!("expected zero pivot on every rank, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn ilut_star_uses_no_more_levels_than_ilut() {
+    // A 3-D problem with a small threshold generates enough interface fill
+    // for the reduced matrices to densify — the regime ILUT* targets.
+    let a = gen::laplace_3d(7, 7, 7);
+    let run = |opts: IlutOptions| {
+        let dm = DistMatrix::from_matrix(a.clone(), 4, 17);
+        let out = Machine::run(4, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
+            (rf.stats.levels, rf.stats.reduced_nnz_peak)
+        });
+        let levels = out.results[0].0;
+        let peak: usize = out.results.iter().map(|r| r.1).sum();
+        (levels, peak)
+    };
+    let (q_ilut, peak_ilut) = run(IlutOptions::new(10, 1e-6));
+    let (q_star, peak_star) = run(IlutOptions::star(10, 1e-6, 2));
+    assert!(q_star <= q_ilut, "ILUT* levels {q_star} > ILUT levels {q_ilut}");
+    assert!(
+        peak_star <= peak_ilut,
+        "ILUT* reduced fill {peak_star} > ILUT {peak_ilut}"
+    );
+}
+
+#[test]
+fn solve_roundtrip_repeatable_for_gmres_use() {
+    // Two successive dist_solve calls with the same plan must agree —
+    // the message protocol has to stay aligned across repeated solves.
+    let a = gen::laplace_2d(9, 9);
+    let dm = DistMatrix::from_matrix(a.clone(), 3, 7);
+    let opts = IlutOptions::new(5, 1e-3);
+    let out = Machine::run(3, MachineModel::cray_t3d(), |ctx| {
+        let local = dm.local_view(ctx.rank());
+        let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
+        let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
+        let b: Vec<f64> = local.nodes.iter().map(|&g| (g as f64).sin()).collect();
+        let x1 = dist_solve(ctx, &local, &rf, &plan, &b);
+        let x2 = dist_solve(ctx, &local, &rf, &plan, &b);
+        (x1, x2)
+    });
+    for (x1, x2) in out.results {
+        assert_eq!(x1, x2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the factorization invariants, serial and
+//! parallel.
+
+use pilut_core::dist::DistMatrix;
+use pilut_core::options::IlutOptions;
+use pilut_core::parallel::par_ilut;
+use pilut_core::serial::{ilu0, iluk, ilut};
+use pilut_core::trisolve::{dist_solve, TrisolvePlan};
+use pilut_par::{Machine, MachineModel};
+use pilut_sparse::{CooMatrix, CsrMatrix};
+use proptest::prelude::*;
+
+/// Random strictly diagonally dominant matrix — ILUT never breaks down on
+/// these and the exact factorization is well conditioned.
+fn diag_dominant(max_n: usize, extra: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, -40i32..40), 0..=extra).prop_map(move |trips| {
+            let mut coo = CooMatrix::new(n, n);
+            let mut row_sum = vec![0.0f64; n];
+            for (i, j, v) in trips {
+                if i != j {
+                    let v = v as f64 / 10.0;
+                    coo.push(i, j, v);
+                    row_sum[i] += v.abs();
+                }
+            }
+            for (i, &s) in row_sum.iter().enumerate() {
+                coo.push(i, i, s + 1.0 + (i % 3) as f64);
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No dropping ⇒ exact LU ⇒ exact solve.
+    #[test]
+    fn unbounded_ilut_is_exact(a in diag_dominant(24, 80), seed in 0u64..100) {
+        let n = a.n_rows();
+        let f = ilut(&a, &IlutOptions::new(n, 0.0)).unwrap();
+        f.check_structure().unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 9) as f64 - 4.0).collect();
+        let b = a.spmv_owned(&x_true);
+        let x = f.solve(&b);
+        prop_assert!(max_err(&x, &x_true) < 1e-6, "err {}", max_err(&x, &x_true));
+    }
+
+    /// The m-cap is a hard bound on per-row fill.
+    #[test]
+    fn fill_caps_hold(a in diag_dominant(30, 120), m in 1usize..6) {
+        let f = ilut(&a, &IlutOptions::new(m, 0.0)).unwrap();
+        for i in 0..f.n {
+            prop_assert!(f.l[i].len() <= m);
+            prop_assert!(f.u[i].len() <= m + 1); // + diagonal
+        }
+    }
+
+    /// Larger thresholds never increase fill.
+    #[test]
+    fn threshold_monotonicity(a in diag_dominant(20, 70)) {
+        let n = a.n_rows();
+        let loose = ilut(&a, &IlutOptions::new(n, 1e-6)).unwrap();
+        let tight = ilut(&a, &IlutOptions::new(n, 1e-1)).unwrap();
+        prop_assert!(tight.nnz() <= loose.nnz());
+    }
+
+    /// ILU(k) fill grows monotonically with the level, and level 0 = ILU(0).
+    #[test]
+    fn iluk_level_monotonicity(a in diag_dominant(20, 60)) {
+        let f0 = ilu0(&a).unwrap();
+        let k0 = iluk(&a, 0).unwrap();
+        prop_assert_eq!(f0.nnz(), k0.nnz());
+        let k1 = iluk(&a, 1).unwrap();
+        let k2 = iluk(&a, 2).unwrap();
+        prop_assert!(k0.nnz() <= k1.nnz());
+        prop_assert!(k1.nnz() <= k2.nnz());
+    }
+
+    /// Triangular solves invert the factored operator: for any factors,
+    /// solve(multiply(x)) == x. (Uses the dense reconstruction.)
+    #[test]
+    fn trisolve_inverts_lu(a in diag_dominant(16, 50), seed in 0u64..50) {
+        let f = ilut(&a, &IlutOptions::new(4, 1e-2)).unwrap();
+        let n = f.n;
+        let x: Vec<f64> = (0..n).map(|i| ((seed + 3 * i as u64) % 7) as f64 - 3.0).collect();
+        // y = L U x via the dense product.
+        let dense = f.multiply_dense();
+        let y: Vec<f64> = dense.iter().map(|row| {
+            row.iter().zip(&x).map(|(m, xi)| m * xi).sum()
+        }).collect();
+        let back = f.solve(&y);
+        prop_assert!(max_err(&back, &x) < 1e-6, "err {}", max_err(&back, &x));
+    }
+}
+
+proptest! {
+    // The machine-backed cases are heavier; fewer of them.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The parallel factorization with no dropping solves exactly for any
+    /// rank count, matching the serial ground truth.
+    #[test]
+    fn parallel_exactness_any_rank_count(a in diag_dominant(28, 90), p in 1usize..5, seed in 0u64..20) {
+        let n = a.n_rows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 11) as f64 - 5.0).collect();
+        let b_global = a.spmv_owned(&x_true);
+        let dm = DistMatrix::from_matrix(a.clone(), p, seed);
+        let opts = IlutOptions::new(n, 0.0);
+        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
+            let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
+            let b: Vec<f64> = local.nodes.iter().map(|&g| b_global[g]).collect();
+            let x = dist_solve(ctx, &local, &rf, &plan, &b);
+            (local.nodes.clone(), x)
+        });
+        let mut x = vec![f64::NAN; n];
+        for (nodes, xl) in out.results {
+            for (g, v) in nodes.into_iter().zip(xl) {
+                x[g] = v;
+            }
+        }
+        prop_assert!(max_err(&x, &x_true) < 1e-5, "p={p} err {}", max_err(&x, &x_true));
+    }
+
+    /// Parallel fill caps hold on every rank's rows.
+    #[test]
+    fn parallel_fill_caps_hold(a in diag_dominant(24, 70), p in 2usize..4, m in 1usize..5) {
+        let dm = DistMatrix::from_matrix(a.clone(), p, 3);
+        let opts = IlutOptions::star(m, 1e-3, 2);
+        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            par_ilut(ctx, &dm, &local, &opts).unwrap()
+        });
+        for rf in &out.results {
+            for (v, row) in &rf.rows {
+                prop_assert!(row.l.len() <= m, "L row {v} has {}", row.l.len());
+                prop_assert!(row.u.len() <= m, "U row {v} has {}", row.u.len());
+                prop_assert!(row.diag != 0.0);
+            }
+        }
+    }
+}

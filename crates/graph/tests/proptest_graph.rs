@@ -1,0 +1,97 @@
+//! Property-based tests of partitioning, MIS, and colouring.
+
+use pilut_graph::coloring::{greedy_coloring, is_proper_coloring};
+use pilut_graph::mis::{is_independent, is_maximal_independent, luby_mis, MisOptions};
+use pilut_graph::{partition_kway, Graph, PartitionOptions};
+use pilut_sparse::{CooMatrix, CsrMatrix};
+use proptest::prelude::*;
+
+/// Random undirected graph via a symmetric pattern matrix.
+fn undirected(max_n: usize, max_edges: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..=max_edges).prop_map(move |edges| {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 4.0);
+            }
+            for (i, j) in edges {
+                if i != j {
+                    coo.push(i, j, -1.0);
+                    coo.push(j, i, -1.0);
+                }
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// Random directed pattern (unsymmetric).
+fn directed(max_n: usize, max_arcs: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..=max_arcs).prop_map(move |arcs| {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 1.0);
+            }
+            for (i, j) in arcs {
+                if i != j {
+                    coo.push(i, j, 1.0);
+                }
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_covers_and_balances(a in undirected(60, 150), k in 1usize..34) {
+        let g = Graph::from_csr_pattern(&a);
+        let r = partition_kway(&g, &PartitionOptions::new(k));
+        prop_assert_eq!(r.part.len(), g.n_vertices());
+        prop_assert!(r.part.iter().all(|&p| p < k));
+        prop_assert_eq!(r.part_weights.iter().sum::<i64>(), g.total_vertex_weight());
+        prop_assert_eq!(r.edge_cut, g.edge_cut(&r.part));
+        // Loose balance bound: random graphs with singleton matchings can
+        // frustrate refinement, but no part may hold nearly everything when
+        // k > 1 and the graph has enough vertices.
+        if k > 1 && g.n_vertices() >= 4 * k {
+            let max = *r.part_weights.iter().max().unwrap();
+            prop_assert!(
+                (max as f64) <= 0.9 * g.total_vertex_weight() as f64,
+                "degenerate partition: {:?}", r.part_weights
+            );
+        }
+    }
+
+    #[test]
+    fn mis_is_independent_on_any_digraph(p in directed(40, 120), seed in 0u64..50) {
+        let mis = luby_mis(&p, &MisOptions { seed, max_rounds: 5 });
+        prop_assert!(is_independent(&p, &mis));
+        prop_assert!(!mis.is_empty(), "at least one vertex always joins");
+    }
+
+    #[test]
+    fn mis_is_maximal_with_enough_rounds(p in directed(30, 80), seed in 0u64..20) {
+        let mis = luby_mis(&p, &MisOptions { seed, max_rounds: 128 });
+        prop_assert!(is_maximal_independent(&p, &mis));
+    }
+
+    #[test]
+    fn coloring_is_always_proper(a in undirected(50, 120)) {
+        let g = Graph::from_csr_pattern(&a);
+        let (colors, nc) = greedy_coloring(&g);
+        prop_assert!(is_proper_coloring(&g, &colors));
+        let max_deg = (0..g.n_vertices()).map(|u| g.degree(u)).max().unwrap_or(0);
+        prop_assert!(nc <= max_deg + 1, "greedy exceeded Δ+1: {nc} > {}", max_deg + 1);
+    }
+
+    #[test]
+    fn edge_cut_zero_iff_parts_disconnect_nothing(a in undirected(30, 60)) {
+        let g = Graph::from_csr_pattern(&a);
+        let all_zero = vec![0usize; g.n_vertices()];
+        prop_assert_eq!(g.edge_cut(&all_zero), 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Collective operations over all ranks.
+//!
+//! Everything is built from point-to-point messages along binomial trees
+//! rooted at rank 0, so the logical-clock cost model charges the realistic
+//! `O(log p)` latency depth automatically. The SPMD contract applies: every
+//! rank must call each collective in the same program order.
+
+use crate::ctx::Ctx;
+use crate::payload::Payload;
+
+/// Element-wise reduction operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl Ctx {
+    fn next_coll_tag(&mut self) -> u64 {
+        let tag = Self::RESERVED_TAG_BASE | self.coll_seq;
+        self.coll_seq += 1;
+        self.counters.collectives += 1;
+        tag
+    }
+
+    /// Lowest set bit of `r` (its parent distance in the binomial tree).
+    fn lowbit(r: usize) -> usize {
+        r & r.wrapping_neg()
+    }
+
+    /// Reduce-to-root along the binomial tree, combining with `combine`.
+    fn tree_reduce<T, C>(&mut self, tag: u64, mut acc: T, to_payload: fn(&T) -> Payload, from_payload: fn(Payload) -> T, combine: C) -> Option<T>
+    where
+        C: Fn(&mut T, T),
+    {
+        let (r, p) = (self.rank(), self.nprocs());
+        let mut bit = 1usize;
+        while bit < p {
+            if r & bit != 0 {
+                self.send_internal(r - bit, tag, to_payload(&acc));
+                return None;
+            }
+            if r + bit < p {
+                let got = from_payload(self.recv_internal(r + bit, tag));
+                combine(&mut acc, got);
+            }
+            bit <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Broadcast from rank 0 along the binomial tree.
+    fn tree_bcast(&mut self, tag: u64, data: Option<Payload>) -> Payload {
+        let (r, p) = (self.rank(), self.nprocs());
+        let data = if r == 0 {
+            data.expect("root must provide the broadcast payload")
+        } else {
+            let parent = r - Self::lowbit(r);
+            self.recv_internal(parent, tag)
+        };
+        // Children: r + 2^j for j below the parent-bit, largest first so the
+        // far half of the tree starts as early as possible.
+        let t = if r == 0 { usize::BITS as usize } else { Self::lowbit(r).trailing_zeros() as usize };
+        let mut j = t;
+        while j > 0 {
+            j -= 1;
+            let child = r + (1usize << j);
+            if child < p && (r != 0 || (1usize << j) < p) {
+                self.send_internal(child, tag, data.clone());
+            }
+        }
+        data
+    }
+
+    /// Synchronises all ranks; every rank leaves with the same logical clock:
+    /// the maximum entry clock plus the barrier's modelled cost
+    /// (`2·⌈log2 p⌉` message latencies — an up-sweep and a down-sweep).
+    pub fn barrier(&mut self) {
+        let tag = self.next_coll_tag();
+        let entry = self.time();
+        let root = self.tree_reduce(
+            tag,
+            vec![entry],
+            |v| Payload::F64(v.clone()),
+            Payload::into_f64,
+            |acc, got| acc[0] = acc[0].max(got[0]),
+        );
+        let max_entry = self.tree_bcast(tag, root.map(Payload::F64)).into_f64()[0];
+        let levels = self.nprocs().next_power_of_two().trailing_zeros() as f64;
+        // Each sweep hop moves one 8-byte clock stamp.
+        let hop = self.model().latency + 8.0 * self.model().inv_bandwidth;
+        let aligned = max_entry + 2.0 * levels * hop;
+        let t = self.time().max(aligned);
+        self.elapse(t - self.time());
+    }
+
+    /// Element-wise all-reduce over `f64` vectors (same length on all ranks).
+    pub fn all_reduce_f64(&mut self, data: Vec<f64>, op: ReduceOp) -> Vec<f64> {
+        let tag = self.next_coll_tag();
+        let combine = move |acc: &mut Vec<f64>, got: Vec<f64>| {
+            assert_eq!(acc.len(), got.len(), "all_reduce length mismatch");
+            for (a, g) in acc.iter_mut().zip(got) {
+                match op {
+                    ReduceOp::Sum => *a += g,
+                    ReduceOp::Max => *a = a.max(g),
+                    ReduceOp::Min => *a = a.min(g),
+                }
+            }
+        };
+        let root = self.tree_reduce(tag, data, |v| Payload::F64(v.clone()), Payload::into_f64, combine);
+        self.tree_bcast(tag, root.map(Payload::F64)).into_f64()
+    }
+
+    /// Element-wise all-reduce over `u64` vectors.
+    pub fn all_reduce_u64(&mut self, data: Vec<u64>, op: ReduceOp) -> Vec<u64> {
+        let tag = self.next_coll_tag();
+        let combine = move |acc: &mut Vec<u64>, got: Vec<u64>| {
+            assert_eq!(acc.len(), got.len(), "all_reduce length mismatch");
+            for (a, g) in acc.iter_mut().zip(got) {
+                match op {
+                    ReduceOp::Sum => *a += g,
+                    ReduceOp::Max => *a = (*a).max(g),
+                    ReduceOp::Min => *a = (*a).min(g),
+                }
+            }
+        };
+        let root = self.tree_reduce(tag, data, |v| Payload::U64(v.clone()), Payload::into_u64, combine);
+        self.tree_bcast(tag, root.map(Payload::U64)).into_u64()
+    }
+
+    /// Scalar conveniences.
+    pub fn all_reduce_sum(&mut self, x: f64) -> f64 {
+        self.all_reduce_f64(vec![x], ReduceOp::Sum)[0]
+    }
+
+    pub fn all_reduce_max(&mut self, x: f64) -> f64 {
+        self.all_reduce_f64(vec![x], ReduceOp::Max)[0]
+    }
+
+    pub fn all_reduce_sum_u64(&mut self, x: u64) -> u64 {
+        self.all_reduce_u64(vec![x], ReduceOp::Sum)[0]
+    }
+
+    /// Gathers each rank's (variable-length) `u64` vector; every rank
+    /// receives all of them, indexed by rank.
+    pub fn all_gather_u64(&mut self, local: &[u64]) -> Vec<Vec<u64>> {
+        let tag = self.next_coll_tag();
+        // Encoding: repeated [rank, len, data...]. The tree reduce simply
+        // concatenates encodings.
+        let mut enc = Vec::with_capacity(local.len() + 2);
+        enc.push(self.rank() as u64);
+        enc.push(local.len() as u64);
+        enc.extend_from_slice(local);
+        let root = self.tree_reduce(
+            tag,
+            enc,
+            |v| Payload::U64(v.clone()),
+            Payload::into_u64,
+            |acc, mut got| acc.append(&mut got),
+        );
+        let all = self.tree_bcast(tag, root.map(Payload::U64)).into_u64();
+        decode_u64_blocks(&all, self.nprocs())
+    }
+
+    /// Gathers each rank's (variable-length) `f64` vector.
+    pub fn all_gather_f64(&mut self, local: &[f64]) -> Vec<Vec<f64>> {
+        let tag = self.next_coll_tag();
+        let enc = (vec![self.rank() as u64, local.len() as u64], local.to_vec());
+        let root = self.tree_reduce(
+            tag,
+            enc,
+            |(h, d)| Payload::Mixed(h.clone(), d.clone()),
+            Payload::into_mixed,
+            |acc, mut got| {
+                acc.0.append(&mut got.0);
+                acc.1.append(&mut got.1);
+            },
+        );
+        let (heads, data) = self.tree_bcast(tag, root.map(|(h, d)| Payload::Mixed(h, d))).into_mixed();
+        let mut out = vec![Vec::new(); self.nprocs()];
+        let mut cursor = 0usize;
+        let mut i = 0usize;
+        while i + 1 < heads.len() + 1 && i < heads.len() {
+            let rank = heads[i] as usize;
+            let len = heads[i + 1] as usize;
+            out[rank] = data[cursor..cursor + len].to_vec();
+            cursor += len;
+            i += 2;
+        }
+        out
+    }
+
+    /// Sparse all-to-all: each rank supplies `(destination, payload)` pairs
+    /// and receives the pairs addressed to it as `(source, payload)`,
+    /// ordered by source (and send order within a source).
+    ///
+    /// Cost: one `O(p)`-payload all-reduce to learn the incoming count,
+    /// then direct messages.
+    pub fn exchange(&mut self, sends: Vec<(usize, Payload)>) -> Vec<(usize, Payload)> {
+        let p = self.nprocs();
+        let mut counts = vec![0u64; p];
+        for &(dest, _) in &sends {
+            assert!(dest < p, "exchange destination {dest} out of range");
+            counts[dest] += 1;
+        }
+        // After the sum-reduce, slot `me` holds how many messages I receive.
+        let totals = self.all_reduce_u64(counts, ReduceOp::Sum);
+        let incoming = totals[self.rank()] as usize;
+        let tag = self.next_coll_tag();
+        for (dest, payload) in sends {
+            self.send_internal(dest, tag, payload);
+        }
+        let mut out = Vec::with_capacity(incoming);
+        for _ in 0..incoming {
+            out.push(self.recv_any_internal(tag));
+        }
+        // Deterministic order regardless of arrival interleaving: sort by
+        // source; per-source FIFO is preserved by the stable sort.
+        out.sort_by_key(|&(src, _)| src);
+        out
+    }
+}
+
+fn decode_u64_blocks(all: &[u64], p: usize) -> Vec<Vec<u64>> {
+    let mut out = vec![Vec::new(); p];
+    let mut i = 0usize;
+    while i < all.len() {
+        let rank = all[i] as usize;
+        let len = all[i + 1] as usize;
+        out[rank] = all[i + 2..i + 2 + len].to_vec();
+        i += 2 + len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, MachineModel};
+
+    fn model() -> MachineModel {
+        MachineModel::cray_t3d()
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        for p in [1, 2, 3, 5, 8] {
+            let out = Machine::run(p, model(), |ctx| {
+                ctx.work(1e6 * (ctx.rank() as f64 + 1.0));
+                ctx.barrier();
+                ctx.time()
+            });
+            let t0 = out.results[0];
+            for (r, &t) in out.results.iter().enumerate() {
+                assert!((t - t0).abs() < 1e-12, "rank {r} clock {t} != {t0} at p={p}");
+            }
+            // The barrier cannot finish before the slowest rank's work.
+            assert!(t0 >= 1e6 * p as f64 * model().flop_time);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sum_and_max() {
+        for p in [1, 2, 4, 7] {
+            let out = Machine::run(p, model(), |ctx| {
+                let s = ctx.all_reduce_sum(ctx.rank() as f64 + 1.0);
+                let m = ctx.all_reduce_max(ctx.rank() as f64);
+                (s, m)
+            });
+            let expect_sum = (p * (p + 1)) as f64 / 2.0;
+            for &(s, m) in &out.results {
+                assert_eq!(s, expect_sum);
+                assert_eq!(m, (p - 1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_vectors_u64() {
+        let out = Machine::run(5, model(), |ctx| {
+            let v = vec![ctx.rank() as u64, 10 + ctx.rank() as u64];
+            ctx.all_reduce_u64(v, ReduceOp::Min)
+        });
+        for r in &out.results {
+            assert_eq!(r, &vec![0, 10]);
+        }
+    }
+
+    #[test]
+    fn all_gather_variable_lengths() {
+        let out = Machine::run(4, model(), |ctx| {
+            let local: Vec<u64> = (0..ctx.rank() as u64).collect();
+            ctx.all_gather_u64(&local)
+        });
+        for gathered in &out.results {
+            assert_eq!(gathered.len(), 4);
+            for (r, v) in gathered.iter().enumerate() {
+                let expect: Vec<u64> = (0..r as u64).collect();
+                assert_eq!(v, &expect, "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_f64_roundtrip() {
+        let out = Machine::run(3, model(), |ctx| {
+            let local = vec![ctx.rank() as f64 * 1.5; ctx.rank() + 1];
+            ctx.all_gather_f64(&local)
+        });
+        for gathered in &out.results {
+            assert_eq!(gathered[2], vec![3.0, 3.0, 3.0]);
+            assert_eq!(gathered[0], vec![0.0]);
+        }
+    }
+
+    #[test]
+    fn exchange_routes_messages() {
+        // Ring: each rank sends its rank to the next, two copies to rank 0.
+        let out = Machine::run(4, model(), |ctx| {
+            let me = ctx.rank();
+            let mut sends = vec![((me + 1) % 4, Payload::U64(vec![me as u64]))];
+            if me == 2 {
+                sends.push((0, Payload::U64(vec![100])));
+            }
+            ctx.exchange(sends)
+        });
+        // Rank 1 receives exactly one message, from 0.
+        assert_eq!(out.results[1], vec![(0, Payload::U64(vec![0]))]);
+        // Rank 0 receives from 2 (the extra) and 3 (the ring), ordered by src.
+        assert_eq!(
+            out.results[0],
+            vec![(2, Payload::U64(vec![100])), (3, Payload::U64(vec![3]))]
+        );
+    }
+
+    #[test]
+    fn exchange_preserves_per_source_order() {
+        let out = Machine::run(2, model(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.exchange(vec![
+                    (1, Payload::U64(vec![1])),
+                    (1, Payload::U64(vec![2])),
+                    (1, Payload::U64(vec![3])),
+                ])
+            } else {
+                ctx.exchange(vec![])
+            }
+        });
+        let got: Vec<u64> = out.results[1].iter().map(|(_, p)| p.clone().into_u64()[0]).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn collectives_compose_in_sequence() {
+        let out = Machine::run(6, model(), |ctx| {
+            let a = ctx.all_reduce_sum(1.0);
+            ctx.barrier();
+            let b = ctx.all_reduce_sum_u64(2);
+            let g = ctx.all_gather_u64(&[ctx.rank() as u64]);
+            (a, b, g.len())
+        });
+        for &(a, b, g) in &out.results {
+            assert_eq!(a, 6.0);
+            assert_eq!(b, 12);
+            assert_eq!(g, 6);
+        }
+    }
+}

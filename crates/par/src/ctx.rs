@@ -1,0 +1,257 @@
+//! Per-rank execution context: point-to-point messaging and the logical
+//! clock.
+
+use crate::machine::MachineModel;
+use crate::payload::Payload;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::VecDeque;
+
+/// One message in flight.
+#[derive(Debug)]
+pub struct Envelope {
+    pub from: usize,
+    pub tag: u64,
+    /// Sender's logical clock at send time.
+    pub time: f64,
+    pub payload: Payload,
+}
+
+/// Per-rank cost counters, aggregated by the machine after the run.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    pub messages: u64,
+    pub bytes: u64,
+    pub flops: f64,
+    pub words_copied: f64,
+    pub collectives: u64,
+}
+
+/// A rank's handle onto the virtual machine.
+///
+/// All communication is matched by `(from, tag)`. Tags below
+/// [`Ctx::RESERVED_TAG_BASE`] are free for user protocols; the collectives
+/// use tags above it, namespaced by an internal sequence number, so user
+/// traffic can never be confused with collective traffic as long as every
+/// rank calls the collectives in the same program order (the usual SPMD
+/// contract).
+pub struct Ctx {
+    rank: usize,
+    nprocs: usize,
+    model: MachineModel,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    /// Received-but-unmatched messages.
+    pending: VecDeque<Envelope>,
+    time: f64,
+    pub(crate) counters: Counters,
+    /// Collective sequence number (same on every rank by SPMD order).
+    pub(crate) coll_seq: u64,
+}
+
+impl Ctx {
+    /// Tags at or above this value are reserved for collectives.
+    pub const RESERVED_TAG_BASE: u64 = 1 << 48;
+
+    pub(crate) fn new(
+        rank: usize,
+        nprocs: usize,
+        model: MachineModel,
+        senders: Vec<Sender<Envelope>>,
+        receiver: Receiver<Envelope>,
+    ) -> Self {
+        Ctx {
+            rank,
+            nprocs,
+            model,
+            senders,
+            receiver,
+            pending: VecDeque::new(),
+            time: 0.0,
+            counters: Counters::default(),
+            coll_seq: 0,
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    /// The rank's current logical clock, in simulated seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    pub(crate) fn into_counters(self) -> Counters {
+        self.counters
+    }
+
+    /// Charges `flops` floating-point operations to the clock.
+    pub fn work(&mut self, flops: f64) {
+        debug_assert!(flops >= 0.0);
+        self.time += flops * self.model.flop_time;
+        self.counters.flops += flops;
+    }
+
+    /// Charges the motion of `words` 8-byte words (copying rows around while
+    /// forming reduced matrices, permuting, etc.).
+    pub fn copy_words(&mut self, words: f64) {
+        debug_assert!(words >= 0.0);
+        self.time += words * self.model.word_copy_time;
+        self.counters.words_copied += words;
+    }
+
+    /// Advances the clock directly (rarely needed; prefer `work`/`copy_words`).
+    pub fn elapse(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.time += seconds;
+    }
+
+    /// Sends `payload` to rank `to` with a user `tag`
+    /// (`tag < RESERVED_TAG_BASE`).
+    pub fn send(&mut self, to: usize, tag: u64, payload: Payload) {
+        assert!(tag < Self::RESERVED_TAG_BASE, "tag {tag} is reserved for collectives");
+        self.send_internal(to, tag, payload);
+    }
+
+    pub(crate) fn send_internal(&mut self, to: usize, tag: u64, payload: Payload) {
+        assert!(to < self.nprocs, "rank {to} out of range");
+        self.counters.messages += 1;
+        self.counters.bytes += payload.bytes() as u64;
+        let env = Envelope { from: self.rank, tag, time: self.time, payload };
+        if to == self.rank {
+            // Self-sends are local queue operations: no wire cost.
+            self.pending.push_back(env);
+        } else {
+            self.senders[to].send(env).expect("receiver hung up");
+        }
+    }
+
+    /// Receives the message with the given `(from, tag)`, blocking until it
+    /// arrives, and advances the clock by the modelled transfer time.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Payload {
+        assert!(tag < Self::RESERVED_TAG_BASE, "tag {tag} is reserved for collectives");
+        self.recv_internal(from, tag)
+    }
+
+    pub(crate) fn recv_internal(&mut self, from: usize, tag: u64) -> Payload {
+        // Check the pending queue first.
+        if let Some(pos) = self.pending.iter().position(|e| e.from == from && e.tag == tag) {
+            let env = self.pending.remove(pos).unwrap();
+            return self.accept(env);
+        }
+        loop {
+            let env = self.receiver.recv().expect("all senders hung up while waiting");
+            if env.from == from && env.tag == tag {
+                return self.accept(env);
+            }
+            self.pending.push_back(env);
+        }
+    }
+
+    /// Receives the next message with the given `tag` from *any* rank,
+    /// blocking until one arrives. Used by the sparse all-to-all, where the
+    /// receiver knows how many messages to expect but not their order.
+    pub(crate) fn recv_any_internal(&mut self, tag: u64) -> (usize, Payload) {
+        if let Some(pos) = self.pending.iter().position(|e| e.tag == tag) {
+            let env = self.pending.remove(pos).unwrap();
+            let from = env.from;
+            return (from, self.accept(env));
+        }
+        loop {
+            let env = self.receiver.recv().expect("all senders hung up while waiting");
+            if env.tag == tag {
+                let from = env.from;
+                return (from, self.accept(env));
+            }
+            self.pending.push_back(env);
+        }
+    }
+
+    fn accept(&mut self, env: Envelope) -> Payload {
+        let wire = if env.from == self.rank {
+            0.0
+        } else {
+            self.model.latency + env.payload.bytes() as f64 * self.model.inv_bandwidth
+        };
+        self.time = self.time.max(env.time + wire);
+        env.payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, MachineModel};
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = Machine::run(2, MachineModel::cray_t3d(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, Payload::U64(vec![1]));
+                ctx.send(1, 2, Payload::U64(vec![2]));
+                vec![]
+            } else {
+                // Receive in reverse order.
+                let b = ctx.recv(0, 2).into_u64();
+                let a = ctx.recv(0, 1).into_u64();
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out.results[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn clock_takes_max_of_sender_and_receiver() {
+        let model = MachineModel { flop_time: 1.0, latency: 0.1, inv_bandwidth: 0.0, word_copy_time: 0.0 };
+        let out = Machine::run(2, model, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.work(5.0); // clock = 5
+                ctx.send(1, 0, Payload::Empty);
+                ctx.time()
+            } else {
+                ctx.work(1.0); // clock = 1
+                ctx.recv(0, 0);
+                ctx.time() // max(1, 5 + 0.1) = 5.1
+            }
+        });
+        assert!((out.results[1] - 5.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_send_is_free_and_works() {
+        let out = Machine::run(1, MachineModel::cray_t3d(), |ctx| {
+            ctx.send(0, 3, Payload::F64(vec![2.5]));
+            let v = ctx.recv(0, 3).into_f64();
+            (v[0], ctx.time())
+        });
+        assert_eq!(out.results[0].0, 2.5);
+        assert_eq!(out.results[0].1, 0.0);
+    }
+
+    #[test]
+    fn copy_words_charges_time() {
+        let model = MachineModel { flop_time: 0.0, latency: 0.0, inv_bandwidth: 0.0, word_copy_time: 2.0 };
+        let out = Machine::run(1, model, |ctx| {
+            ctx.copy_words(3.0);
+            ctx.time()
+        });
+        assert_eq!(out.results[0], 6.0);
+        assert_eq!(out.stats.words_copied, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_tags_rejected() {
+        Machine::run(1, MachineModel::cray_t3d(), |ctx| {
+            ctx.send(0, Ctx::RESERVED_TAG_BASE, Payload::Empty);
+        });
+    }
+}

@@ -1,0 +1,33 @@
+//! An SPMD message-passing virtual machine with a logical-clock cost model.
+//!
+//! **What the paper used →** a 128-processor Cray T3D (150 MHz Alpha EV4
+//! processors on a 3-D torus) programmed in a message-passing style.
+//! **What this crate provides →** the closest synthetic equivalent that
+//! exercises the same code paths: [`Machine::run`] launches `p` OS threads,
+//! one per *rank*, each holding a [`Ctx`] with point-to-point `send`/`recv`
+//! and the collectives the algorithms need (`barrier`, `all_reduce_*`,
+//! `all_gather_*`, `exchange`).
+//!
+//! Every rank carries a **logical clock**. Compute advances it through
+//! [`Ctx::work`] (a flop-cost model) and [`Ctx::copy_words`] (a data-motion
+//! model); receiving a message advances it to
+//! `max(own, sender_stamp + latency + bytes · inv_bandwidth)`; collectives
+//! synchronise clocks along binomial trees, charging one latency per hop.
+//! The *simulated time* of a run — [`RunOutput::sim_time`] — is the maximum
+//! clock over ranks, and is fully deterministic for a deterministic program,
+//! no matter how the host schedules the threads or how many cores it has.
+//! This is what lets a laptop reproduce the *shape* of 16–128 processor
+//! T3D measurements (speedups, crossovers, algorithm ratios), which depend
+//! only on per-rank operation counts, message counts/volumes, and
+//! synchronisation depth — exactly the three quantities the model tracks.
+//! Real wall-clock time can of course also be measured around `Machine::run`
+//! for small `p`; the Criterion benches do that.
+
+pub mod collectives;
+pub mod ctx;
+pub mod machine;
+pub mod payload;
+
+pub use ctx::Ctx;
+pub use machine::{Machine, MachineModel, MachineStats, RunOutput};
+pub use payload::Payload;

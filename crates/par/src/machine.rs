@@ -1,0 +1,211 @@
+//! The virtual machine: model constants, thread launch, and run statistics.
+
+use crate::ctx::{Counters, Ctx, Envelope};
+use crossbeam::channel;
+
+/// Cost-model constants of the simulated machine.
+///
+/// Times are in seconds. The defaults in [`MachineModel::cray_t3d`] are
+/// calibrated from the paper's own reported figures: the matrix–vector
+/// product achieves ≈6.7 MFLOP/s per processor (§6), and the T3D's
+/// message-passing layer had ≈30 µs latency and ≈50 MB/s achieved
+/// point-to-point bandwidth for medium messages.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineModel {
+    /// Seconds per floating-point operation.
+    pub flop_time: f64,
+    /// Per-message latency (seconds) — the "alpha" term.
+    pub latency: f64,
+    /// Seconds per byte on the wire — the "beta" term.
+    pub inv_bandwidth: f64,
+    /// Seconds per 8-byte word for local data motion (building/copying
+    /// reduced matrices; the paper calls this "time spent essentially
+    /// copying data", §4.2).
+    pub word_copy_time: f64,
+}
+
+impl MachineModel {
+    /// The paper's testbed. The T3D's interconnect had unusually low
+    /// latency for its era (a few µs for shmem puts, ~10 µs through the
+    /// message-passing layer) and ~120 MB/s achieved link bandwidth.
+    pub fn cray_t3d() -> Self {
+        MachineModel {
+            flop_time: 1.0 / 6.7e6,
+            latency: 10e-6,
+            inv_bandwidth: 1.0 / 120e6,
+            word_copy_time: 1.0 / 25e6,
+        }
+    }
+
+    /// A machine with free communication — useful to isolate load balance
+    /// from communication overhead in ablation benches.
+    pub fn zero_comm() -> Self {
+        MachineModel { latency: 0.0, inv_bandwidth: 0.0, ..Self::cray_t3d() }
+    }
+
+    /// A slow-network machine ("workstation cluster" in the paper's
+    /// conclusions: ILUT* matters most there).
+    pub fn workstation_cluster() -> Self {
+        MachineModel {
+            flop_time: 1.0 / 6.7e6,
+            latency: 500e-6,
+            inv_bandwidth: 1.0 / 8e6,
+            word_copy_time: 1.0 / 25e6,
+        }
+    }
+}
+
+/// Aggregated run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MachineStats {
+    /// Total messages sent across all ranks.
+    pub messages: u64,
+    /// Total bytes sent across all ranks.
+    pub bytes: u64,
+    /// Total floating-point operations performed (modelled).
+    pub flops: f64,
+    /// Total words moved by `copy_words`.
+    pub words_copied: f64,
+    /// Collective operations entered (each rank's participation counted once
+    /// per rank, divided by `p` on aggregation).
+    pub collectives: u64,
+    /// Per-rank final logical clocks.
+    pub rank_times: Vec<f64>,
+}
+
+/// The result of a [`Machine::run`] call.
+#[derive(Clone, Debug)]
+pub struct RunOutput<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Simulated parallel time: the maximum logical clock over ranks.
+    pub sim_time: f64,
+    /// Aggregate counters.
+    pub stats: MachineStats,
+}
+
+/// The SPMD launcher.
+pub struct Machine;
+
+impl Machine {
+    /// Runs `f` on `p` ranks (one OS thread each) and gathers the results.
+    ///
+    /// The closure receives each rank's [`Ctx`]; ranks communicate only via
+    /// the `Ctx`, so `f` must be `Sync` (it is shared) and the per-rank
+    /// return values are collected in rank order.
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or if any rank panics (the panic is propagated).
+    pub fn run<R, F>(p: usize, model: MachineModel, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Sync,
+    {
+        assert!(p > 0, "need at least one rank");
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (s, r) = channel::unbounded::<Envelope>();
+            senders.push(s);
+            receivers.push(r);
+        }
+        let mut slots: Vec<Option<(R, f64, Counters)>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, (rx, slot)) in receivers.into_iter().zip(slots.iter_mut()).enumerate() {
+                let senders = senders.clone();
+                let fref = &f;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = Ctx::new(rank, p, model, senders, rx);
+                    let r = fref(&mut ctx);
+                    *slot = Some((r, ctx.time(), ctx.into_counters()));
+                }));
+            }
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+        let mut results = Vec::with_capacity(p);
+        let mut stats = MachineStats::default();
+        let mut collective_calls = 0u64;
+        for slot in slots {
+            let (r, time, c) = slot.expect("rank did not finish");
+            results.push(r);
+            stats.messages += c.messages;
+            stats.bytes += c.bytes;
+            stats.flops += c.flops;
+            stats.words_copied += c.words_copied;
+            collective_calls += c.collectives;
+            stats.rank_times.push(time);
+        }
+        stats.collectives = collective_calls / p as u64;
+        let sim_time = stats.rank_times.iter().copied().fold(0.0, f64::max);
+        RunOutput { results, sim_time, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Payload;
+
+    #[test]
+    fn ranks_get_distinct_ids_and_results_in_order() {
+        let out = Machine::run(4, MachineModel::cray_t3d(), |ctx| ctx.rank() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn work_advances_the_clock() {
+        let model = MachineModel::cray_t3d();
+        let out = Machine::run(2, model, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.work(6.7e6); // one simulated second of flops
+            }
+        });
+        assert!((out.sim_time - 1.0).abs() < 1e-9, "sim_time = {}", out.sim_time);
+        assert_eq!(out.stats.flops, 6.7e6);
+    }
+
+    #[test]
+    fn message_time_includes_latency_and_bandwidth() {
+        let model = MachineModel { flop_time: 0.0, latency: 1.0, inv_bandwidth: 0.5, word_copy_time: 0.0 };
+        let out = Machine::run(2, model, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, Payload::F64(vec![0.0; 2])); // 16 bytes
+                0.0
+            } else {
+                ctx.recv(0, 7);
+                ctx.time()
+            }
+        });
+        // 1.0 latency + 16 * 0.5 bandwidth = 9.0
+        assert!((out.results[1] - 9.0).abs() < 1e-12, "got {}", out.results[1]);
+        assert_eq!(out.stats.messages, 1);
+        assert_eq!(out.stats.bytes, 16);
+    }
+
+    #[test]
+    fn sim_time_is_deterministic() {
+        let run = || {
+            Machine::run(8, MachineModel::cray_t3d(), |ctx| {
+                ctx.work(1000.0 * (ctx.rank() + 1) as f64);
+                ctx.barrier();
+                ctx.work(500.0);
+                ctx.time()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats.rank_times, b.stats.rank_times);
+        assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Machine::run(0, MachineModel::cray_t3d(), |_| ());
+    }
+}

@@ -1,0 +1,78 @@
+//! Message payloads.
+
+/// The data carried by one message. Index data travels as `u64`, numeric
+/// data as `f64`; the mixed variant covers the common "sparse row" shape
+/// (column indices + values) without any serialisation layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    Empty,
+    U64(Vec<u64>),
+    F64(Vec<f64>),
+    /// Paired index/value arrays (not necessarily of equal length).
+    Mixed(Vec<u64>, Vec<f64>),
+}
+
+impl Payload {
+    /// Size on the (simulated) wire, in bytes.
+    pub fn bytes(&self) -> usize {
+        match self {
+            Payload::Empty => 0,
+            Payload::U64(v) => 8 * v.len(),
+            Payload::F64(v) => 8 * v.len(),
+            Payload::Mixed(a, b) => 8 * (a.len() + b.len()),
+        }
+    }
+
+    /// Unwraps a `U64` payload.
+    ///
+    /// # Panics
+    /// Panics if the variant differs — a protocol error in the caller.
+    pub fn into_u64(self) -> Vec<u64> {
+        match self {
+            Payload::U64(v) => v,
+            other => panic!("expected U64 payload, got {other:?}"),
+        }
+    }
+
+    /// Unwraps an `F64` payload.
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a `Mixed` payload.
+    pub fn into_mixed(self) -> (Vec<u64>, Vec<f64>) {
+        match self {
+            Payload::Mixed(a, b) => (a, b),
+            other => panic!("expected Mixed payload, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_counts() {
+        assert_eq!(Payload::Empty.bytes(), 0);
+        assert_eq!(Payload::U64(vec![1, 2, 3]).bytes(), 24);
+        assert_eq!(Payload::Mixed(vec![1], vec![2.0, 3.0]).bytes(), 24);
+    }
+
+    #[test]
+    fn unwrap_right_variant() {
+        assert_eq!(Payload::F64(vec![1.5]).into_f64(), vec![1.5]);
+        let (a, b) = Payload::Mixed(vec![7], vec![0.5]).into_mixed();
+        assert_eq!(a, vec![7]);
+        assert_eq!(b, vec![0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected U64")]
+    fn unwrap_wrong_variant_panics() {
+        Payload::F64(vec![]).into_u64();
+    }
+}

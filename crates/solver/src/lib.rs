@@ -1,0 +1,19 @@
+//! Restarted GMRES (Saad & Schultz 1986), serial and distributed.
+//!
+//! The paper evaluates its preconditioners inside GMRES(10)/GMRES(50)
+//! (Table 3): right-preconditioned, modified Gram–Schmidt Arnoldi, Givens
+//! rotations for the least-squares problem, restart after `restart` inner
+//! steps, convergence when the residual norm drops by a fixed factor.
+//!
+//! * [`gmres()`] — the serial solver over [`pilut_core::precond::Preconditioner`];
+//! * [`dist_gmres()`] — the distributed solver running on the `pilut-par`
+//!   virtual machine, with distributed SpMV, all-reduce inner products and
+//!   the parallel triangular solves as the preconditioner action.
+
+pub mod cg;
+pub mod dist_gmres;
+pub mod gmres;
+
+pub use cg::{cg, CgOptions, CgResult, IcPreconditioner};
+pub use dist_gmres::{dist_gmres, DistDiagonal, DistIlu, DistIdentity, DistPrecond};
+pub use gmres::{gmres, GmresOptions, GmresResult};

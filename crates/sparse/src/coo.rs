@@ -1,0 +1,165 @@
+//! Coordinate-format matrix builder.
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix under construction, as a list of `(row, col, value)`
+/// triplets. Duplicate positions are summed when converting to CSR, which is
+/// the convenient semantics for finite-element style assembly.
+#[derive(Clone, Debug, Default)]
+pub struct CooMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        CooMatrix { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of triplets pushed so far (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Adds `value` at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the position is out of range.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n_rows, "row {row} out of range ({})", self.n_rows);
+        assert!(col < self.n_cols, "col {col} out of range ({})", self.n_cols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+    }
+
+    /// Converts to CSR, summing duplicate positions and dropping entries
+    /// whose accumulated value is exactly zero only if they never appeared
+    /// (i.e. explicit zeros are kept — incomplete factorizations care about
+    /// patterns, not just values).
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row, then sort each row segment by column and
+        // merge duplicates.
+        let mut counts = vec![0usize; self.n_rows + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; self.nnz()];
+        {
+            let mut next = counts.clone();
+            for (k, &r) in self.rows.iter().enumerate() {
+                order[next[r]] = k;
+                next[r] += 1;
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut col_idx: Vec<usize> = Vec::with_capacity(self.nnz());
+        let mut values: Vec<f64> = Vec::with_capacity(self.nnz());
+        row_ptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for i in 0..self.n_rows {
+            scratch.clear();
+            for &k in &order[counts[i]..counts[i + 1]] {
+                scratch.push((self.cols[k], self.vals[k]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut it = scratch.iter().copied();
+            if let Some((mut cur_c, mut cur_v)) = it.next() {
+                for (c, v) in it {
+                    if c == cur_c {
+                        cur_v += v;
+                    } else {
+                        col_idx.push(cur_c);
+                        values.push(cur_v);
+                        cur_c = c;
+                        cur_v = v;
+                    }
+                }
+                col_idx.push(cur_c);
+                values.push(cur_v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_raw(self.n_rows, self.n_cols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_sums_duplicates() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 0, -1.0);
+        coo.push(0, 1, 5.0);
+        let a = coo.to_csr();
+        assert_eq!(a.get(0, 0), Some(3.0));
+        assert_eq!(a.get(0, 1), Some(5.0));
+        assert_eq!(a.get(1, 0), Some(-1.0));
+        assert_eq!(a.get(1, 1), None);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn keeps_explicit_zeros() {
+        let mut coo = CooMatrix::new(1, 2);
+        coo.push(0, 1, 0.0);
+        let a = coo.to_csr();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 1), Some(0.0));
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let coo = CooMatrix::new(3, 3);
+        let a = coo.to_csr();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.n_rows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_position() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_sorts() {
+        let mut coo = CooMatrix::new(2, 4);
+        coo.push(1, 3, 1.0);
+        coo.push(1, 0, 2.0);
+        coo.push(0, 2, 3.0);
+        coo.push(1, 1, 4.0);
+        let a = coo.to_csr();
+        assert_eq!(a.row(1).0, &[0, 1, 3]);
+        assert_eq!(a.row(1).1, &[2.0, 4.0, 1.0]);
+    }
+}

@@ -1,0 +1,424 @@
+//! Compressed sparse row matrices.
+
+use crate::coo::CooMatrix;
+use crate::permute::Permutation;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Column indices within each row are kept sorted in ascending order and
+/// duplicate entries are not allowed; every constructor enforces this.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a matrix from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent: `row_ptr` must have
+    /// `n_rows + 1` monotone entries ending at `col_idx.len()`, column
+    /// indices must be in range and strictly ascending within each row,
+    /// and `col_idx`/`values` must have equal length.
+    pub fn from_raw(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr length mismatch");
+        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end mismatch");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        for i in 0..n_rows {
+            assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be monotone");
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "columns must be strictly ascending in row {i}");
+            }
+            if let Some(&last) = row.last() {
+                assert!(last < n_cols, "column index out of range in row {i}");
+            }
+        }
+        CsrMatrix { n_rows, n_cols, row_ptr, col_idx, values }
+    }
+
+    /// An `n_rows × n_cols` matrix with no stored entries.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        CsrMatrix {
+            n_rows,
+            n_cols,
+            row_ptr: vec![0; n_rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            n_rows: n,
+            n_cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds from coordinate form, summing duplicates.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        coo.to_csr()
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The column indices and values of row `i`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let (s, e) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[s..e], &self.values[s..e])
+    }
+
+    /// Number of stored entries in row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// The stored value at `(i, j)`, or `None` if the position is not stored.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        let (cols, vals) = self.row(i);
+        cols.binary_search(&j).ok().map(|k| vals[k])
+    }
+
+    /// The diagonal as a dense vector (missing entries are zero).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.n_rows.min(self.n_cols);
+        let mut d = vec![0.0; n];
+        for (i, di) in d.iter_mut().enumerate() {
+            if let Some(v) = self.get(i, i) {
+                *di = v;
+            }
+        }
+        d
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
+        for (i, out) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0;
+            for (&j, &v) in cols.iter().zip(vals) {
+                acc += v * x[j];
+            }
+            *out = acc;
+        }
+    }
+
+    /// Returns `A x` as a fresh vector.
+    pub fn spmv_owned(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n_rows];
+        self.spmv(x, &mut y);
+        y
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.n_cols + 1];
+        for &j in &self.col_idx {
+            counts[j + 1] += 1;
+        }
+        for j in 0..self.n_cols {
+            counts[j + 1] += counts[j];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for i in 0..self.n_rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let p = next[j];
+                next[j] += 1;
+                col_idx[p] = i;
+                values[p] = v;
+            }
+        }
+        // Rows of the transpose come out in ascending source-row order, so
+        // columns are already sorted.
+        CsrMatrix {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// True if the nonzero *pattern* is symmetric (values may differ).
+    pub fn is_structurally_symmetric(&self) -> bool {
+        if self.n_rows != self.n_cols {
+            return false;
+        }
+        let t = self.transpose();
+        self.row_ptr == t.row_ptr && self.col_idx == t.col_idx
+    }
+
+    /// The union of the pattern with its transpose, keeping this matrix's
+    /// values and storing explicit zeros for the added positions.
+    pub fn symmetrized_pattern(&self) -> CsrMatrix {
+        assert_eq!(self.n_rows, self.n_cols, "pattern symmetrisation needs a square matrix");
+        let t = self.transpose();
+        let n = self.n_rows;
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..n {
+            let (ca, va) = self.row(i);
+            let (cb, _) = t.row(i);
+            let (mut p, mut q) = (0, 0);
+            while p < ca.len() || q < cb.len() {
+                let ja = ca.get(p).copied().unwrap_or(usize::MAX);
+                let jb = cb.get(q).copied().unwrap_or(usize::MAX);
+                if ja < jb {
+                    col_idx.push(ja);
+                    values.push(va[p]);
+                    p += 1;
+                } else if jb < ja {
+                    col_idx.push(jb);
+                    values.push(0.0);
+                    q += 1;
+                } else {
+                    col_idx.push(ja);
+                    values.push(va[p]);
+                    p += 1;
+                    q += 1;
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix { n_rows: n, n_cols: n, row_ptr, col_idx, values }
+    }
+
+    /// The 2-norm of row `i`.
+    pub fn row_norm2(&self, i: usize) -> f64 {
+        let (_, vals) = self.row(i);
+        vals.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Frobenius norm of the whole matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Symmetric permutation `P A Pᵀ`: entry `(i, j)` moves to
+    /// `(perm.new_of(i), perm.new_of(j))`.
+    pub fn permute_symmetric(&self, perm: &Permutation) -> CsrMatrix {
+        assert_eq!(self.n_rows, self.n_cols);
+        assert_eq!(perm.len(), self.n_rows);
+        let n = self.n_rows;
+        let mut coo = CooMatrix::with_capacity(n, n, self.nnz());
+        for i in 0..n {
+            let (cols, vals) = self.row(i);
+            let ni = perm.new_of(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                coo.push(ni, perm.new_of(j), v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Extracts the square principal submatrix on `keep` (global indices,
+    /// ascending); returned matrix is indexed by position within `keep`.
+    pub fn principal_submatrix(&self, keep: &[usize]) -> CsrMatrix {
+        assert_eq!(self.n_rows, self.n_cols);
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]));
+        let mut to_local = vec![usize::MAX; self.n_cols];
+        for (l, &g) in keep.iter().enumerate() {
+            to_local[g] = l;
+        }
+        let mut coo = CooMatrix::new(keep.len(), keep.len());
+        for (li, &gi) in keep.iter().enumerate() {
+            let (cols, vals) = self.row(gi);
+            for (&gj, &v) in cols.iter().zip(vals) {
+                let lj = to_local[gj];
+                if lj != usize::MAX {
+                    coo.push(li, lj, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Scales every row to unit diagonal where possible; returns the original
+    /// diagonal. Rows with a zero diagonal are left untouched.
+    pub fn scale_rows_by_diagonal(&mut self) -> Vec<f64> {
+        let d = self.diagonal();
+        for (i, &di) in d.iter().enumerate() {
+            if di != 0.0 {
+                let (s, e) = (self.row_ptr[i], self.row_ptr[i + 1]);
+                for v in &mut self.values[s..e] {
+                    *v /= di;
+                }
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [ 4 -1  0 ]
+        // [-1  4 -1 ]
+        // [ 0 -1  4 ]
+        CsrMatrix::from_raw(
+            3,
+            3,
+            vec![0, 2, 5, 7],
+            vec![0, 1, 0, 1, 2, 1, 2],
+            vec![4.0, -1.0, -1.0, 4.0, -1.0, -1.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let a = small();
+        assert_eq!(a.n_rows(), 3);
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), Some(4.0));
+        assert_eq!(a.get(0, 2), None);
+        assert_eq!(a.row(1).0, &[0, 1, 2]);
+        assert_eq!(a.diagonal(), vec![4.0, 4.0, 4.0]);
+        assert_eq!(a.row_nnz(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_columns() {
+        CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_column() {
+        CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let y = a.spmv_owned(&x);
+        assert_eq!(y, vec![2.0, 4.0, 10.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = CsrMatrix::from_raw(
+            2,
+            3,
+            vec![0, 2, 3],
+            vec![0, 2, 1],
+            vec![1.0, 2.0, 3.0],
+        );
+        let t = a.transpose();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.get(2, 0), Some(2.0));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn structural_symmetry() {
+        assert!(small().is_structurally_symmetric());
+        let a = CsrMatrix::from_raw(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1.0, 2.0, 3.0]);
+        assert!(!a.is_structurally_symmetric());
+        let s = a.symmetrized_pattern();
+        assert!(s.is_structurally_symmetric());
+        assert_eq!(s.get(1, 0), Some(0.0)); // added explicit zero
+        assert_eq!(s.get(0, 1), Some(2.0)); // original value kept
+    }
+
+    #[test]
+    fn identity_spmv_is_noop() {
+        let i = CsrMatrix::identity(4);
+        let x = [1.0, -2.0, 3.5, 0.0];
+        assert_eq!(i.spmv_owned(&x), x.to_vec());
+    }
+
+    #[test]
+    fn permute_symmetric_reverses() {
+        let a = small();
+        let p = Permutation::from_new_order(&[2, 1, 0]);
+        let b = a.permute_symmetric(&p);
+        assert_eq!(b.get(0, 0), Some(4.0));
+        assert_eq!(b.get(2, 1), Some(-1.0));
+        assert_eq!(b.get(0, 2), None);
+        // Double reversal gives the original back.
+        assert_eq!(b.permute_symmetric(&p), a);
+    }
+
+    #[test]
+    fn principal_submatrix_picks_block() {
+        let a = small();
+        let s = a.principal_submatrix(&[0, 2]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.get(0, 0), Some(4.0));
+        assert_eq!(s.get(0, 1), None); // (0,2) of A is zero
+        assert_eq!(s.get(1, 1), Some(4.0));
+    }
+
+    #[test]
+    fn row_norms() {
+        let a = small();
+        assert!((a.row_norm2(0) - (17.0f64).sqrt()).abs() < 1e-15);
+        assert!((a.frobenius_norm() - (52.0f64).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diagonal_scaling() {
+        let mut a = small();
+        let d = a.scale_rows_by_diagonal();
+        assert_eq!(d, vec![4.0, 4.0, 4.0]);
+        assert_eq!(a.get(1, 1), Some(1.0));
+        assert_eq!(a.get(1, 0), Some(-0.25));
+    }
+}

@@ -1,0 +1,30 @@
+//! Sparse-matrix substrate for the `pilut` workspace.
+//!
+//! The SC'97 paper builds on SPARSKIT-style compressed sparse row kernels;
+//! this crate provides that substrate from scratch:
+//!
+//! * [`CsrMatrix`] — compressed sparse row storage with the kernels the
+//!   factorization and solver layers need (SpMV, transpose, permutation,
+//!   row norms, pattern queries),
+//! * [`CooMatrix`] — a coordinate-format builder,
+//! * [`WorkRow`] — the full-length working row with a companion nonzero
+//!   pointer list used by the ILUT elimination loop (paper §2.1),
+//! * [`gen`] — synthetic problem generators standing in for the paper's
+//!   G40 and TORSO matrices (see DESIGN.md §4),
+//! * [`io`] — Matrix Market coordinate-format reader/writer,
+//! * [`Permutation`] — row/column reorderings and their inverses.
+
+pub mod coo;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod permute;
+pub mod stats;
+pub mod vec_ops;
+pub mod workrow;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use permute::Permutation;
+pub use stats::MatrixStats;
+pub use workrow::WorkRow;

@@ -1,0 +1,179 @@
+//! The sparse accumulator ("working row") of the ILUT elimination loop.
+//!
+//! The paper (§2.1) implements `w` as "a full vector … and a companion
+//! pointer which points to the positions of its non-zero elements", so that
+//! scatter, linear combination, and reset are all sparse operations. This is
+//! exactly that data structure.
+
+/// A full-length working row with a companion list of occupied positions.
+///
+/// `O(1)` scatter/lookup, `O(nnz)` iteration and reset regardless of the
+/// logical length.
+#[derive(Clone, Debug)]
+pub struct WorkRow {
+    values: Vec<f64>,
+    occupied: Vec<bool>,
+    nz_list: Vec<usize>,
+}
+
+impl WorkRow {
+    /// A working row of logical length `n`, initially empty.
+    pub fn new(n: usize) -> Self {
+        WorkRow { values: vec![0.0; n], occupied: vec![false; n], nz_list: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nz_list.is_empty()
+    }
+
+    /// Number of occupied positions (including ones holding exact zeros,
+    /// excluding positions removed with [`WorkRow::drop_pos`]).
+    pub fn nnz(&self) -> usize {
+        self.nz_list.iter().filter(|&&j| self.occupied[j]).count()
+    }
+
+    /// True if position `j` is occupied.
+    pub fn contains(&self, j: usize) -> bool {
+        self.occupied[j]
+    }
+
+    /// The value at `j` (zero if unoccupied).
+    pub fn get(&self, j: usize) -> f64 {
+        self.values[j]
+    }
+
+    /// Sets position `j` to `v`, marking it occupied.
+    pub fn set(&mut self, j: usize, v: f64) {
+        if !self.occupied[j] {
+            self.occupied[j] = true;
+            self.nz_list.push(j);
+        }
+        self.values[j] = v;
+    }
+
+    /// Adds `v` into position `j`, marking it occupied.
+    pub fn add(&mut self, j: usize, v: f64) {
+        if !self.occupied[j] {
+            self.occupied[j] = true;
+            self.nz_list.push(j);
+            self.values[j] = v;
+        } else {
+            self.values[j] += v;
+        }
+    }
+
+    /// Removes position `j` from the occupied set (lazily: the slot value is
+    /// zeroed, the companion list is compacted on the next `clear`/`drain`).
+    pub fn drop_pos(&mut self, j: usize) {
+        if self.occupied[j] {
+            self.occupied[j] = false;
+            self.values[j] = 0.0;
+        }
+    }
+
+    /// Scatters a sparse row `w[cols[k]] += scale * vals[k]`.
+    pub fn axpy(&mut self, scale: f64, cols: &[usize], vals: &[f64]) {
+        for (&j, &v) in cols.iter().zip(vals) {
+            self.add(j, scale * v);
+        }
+    }
+
+    /// The occupied positions, unsorted (insertion order, possibly holding
+    /// stale entries for dropped positions — callers should use
+    /// [`WorkRow::drain_sorted`] or filter with [`WorkRow::contains`]).
+    pub fn positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nz_list.iter().copied().filter(move |&j| self.occupied[j])
+    }
+
+    /// Extracts all occupied `(col, value)` pairs sorted by column and resets
+    /// the row to empty, in `O(nnz log nnz)`.
+    pub fn drain_sorted(&mut self) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = Vec::with_capacity(self.nz_list.len());
+        for &j in &self.nz_list {
+            if self.occupied[j] {
+                out.push((j, self.values[j]));
+                self.occupied[j] = false;
+                self.values[j] = 0.0;
+            }
+        }
+        self.nz_list.clear();
+        out.sort_unstable_by_key(|&(j, _)| j);
+        out
+    }
+
+    /// Resets to empty in `O(nnz)`.
+    pub fn clear(&mut self) {
+        for &j in &self.nz_list {
+            self.occupied[j] = false;
+            self.values[j] = 0.0;
+        }
+        self.nz_list.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_and_drain() {
+        let mut w = WorkRow::new(8);
+        w.set(5, 1.0);
+        w.add(2, 2.0);
+        w.add(5, 0.5);
+        assert_eq!(w.nnz(), 2);
+        assert_eq!(w.get(5), 1.5);
+        assert!(!w.contains(0));
+        let rows = w.drain_sorted();
+        assert_eq!(rows, vec![(2, 2.0), (5, 1.5)]);
+        assert!(w.is_empty());
+        assert_eq!(w.get(5), 0.0);
+    }
+
+    #[test]
+    fn axpy_combines() {
+        let mut w = WorkRow::new(6);
+        w.set(0, 1.0);
+        w.axpy(-2.0, &[0, 3], &[0.5, 1.0]);
+        assert_eq!(w.get(0), 0.0); // still occupied with exact zero
+        assert!(w.contains(0));
+        assert_eq!(w.get(3), -2.0);
+        assert_eq!(w.nnz(), 2);
+    }
+
+    #[test]
+    fn drop_pos_removes() {
+        let mut w = WorkRow::new(4);
+        w.set(1, 3.0);
+        w.set(2, 4.0);
+        w.drop_pos(1);
+        assert!(!w.contains(1));
+        assert_eq!(w.nnz(), 1);
+        assert_eq!(w.drain_sorted(), vec![(2, 4.0)]);
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let mut w = WorkRow::new(4);
+        w.set(0, 1.0);
+        w.set(3, 2.0);
+        w.clear();
+        assert!(w.is_empty());
+        w.set(3, 7.0);
+        assert_eq!(w.drain_sorted(), vec![(3, 7.0)]);
+    }
+
+    #[test]
+    fn positions_skips_dropped() {
+        let mut w = WorkRow::new(5);
+        w.set(4, 1.0);
+        w.set(1, 1.0);
+        w.drop_pos(4);
+        let pos: Vec<usize> = w.positions().collect();
+        assert_eq!(pos, vec![1]);
+    }
+}

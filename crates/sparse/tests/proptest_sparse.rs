@@ -1,0 +1,136 @@
+//! Property-based tests of the sparse substrate.
+
+use proptest::prelude::*;
+use pilut_sparse::{io, CooMatrix, CsrMatrix, Permutation, WorkRow};
+
+/// Strategy: a random sparse square matrix as triplets.
+fn coo_matrix(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, -100i32..100), 0..=max_nnz).prop_map(
+            move |trips| {
+                let mut coo = CooMatrix::new(n, n);
+                for (i, j, v) in trips {
+                    coo.push(i, j, v as f64 / 7.0);
+                }
+                coo.to_csr()
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(a in coo_matrix(24, 80)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_preserves_nnz_and_swaps_entries(a in coo_matrix(16, 60)) {
+        let t = a.transpose();
+        prop_assert_eq!(t.nnz(), a.nnz());
+        for i in 0..a.n_rows() {
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                prop_assert_eq!(t.get(j, i), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference(a in coo_matrix(20, 70), seed in 0u64..1000) {
+        let n = a.n_cols();
+        let x: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 13) as f64 - 6.0).collect();
+        let y = a.spmv_owned(&x);
+        for (i, &yi) in y.iter().enumerate() {
+            let mut acc = 0.0;
+            for (j, &xj) in x.iter().enumerate() {
+                if let Some(v) = a.get(i, j) {
+                    acc += v * xj;
+                }
+            }
+            prop_assert!((yi - acc).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_entries(a in coo_matrix(15, 50), seed in 0u64..100) {
+        let n = a.n_rows();
+        // Derive a permutation from the seed.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = ((seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let p = Permutation::from_new_order(&order);
+        let b = a.permute_symmetric(&p);
+        prop_assert_eq!(b.nnz(), a.nnz());
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                prop_assert_eq!(b.get(p.new_of(i), p.new_of(j)), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrized_pattern_contains_both_directions(a in coo_matrix(15, 50)) {
+        let s = a.symmetrized_pattern();
+        prop_assert!(s.is_structurally_symmetric());
+        for i in 0..a.n_rows() {
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                prop_assert_eq!(s.get(i, j), Some(v));
+                prop_assert!(s.get(j, i).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(a in coo_matrix(18, 60)) {
+        let mut buf = Vec::new();
+        io::write_matrix_market(&a, &mut buf).unwrap();
+        let b = io::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(a.n_rows(), b.n_rows());
+        prop_assert_eq!(a.nnz(), b.nnz());
+        for i in 0..a.n_rows() {
+            let (ca, va) = a.row(i);
+            let (cb, vb) = b.row(i);
+            prop_assert_eq!(ca, cb);
+            for (x, y) in va.iter().zip(vb) {
+                prop_assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// WorkRow behaves like a HashMap-backed sparse accumulator.
+    #[test]
+    fn workrow_matches_model(ops in proptest::collection::vec((0usize..32, -50i32..50, prop::bool::ANY), 0..200)) {
+        let mut w = WorkRow::new(32);
+        let mut model: std::collections::HashMap<usize, f64> = Default::default();
+        for (pos, val, is_add) in ops {
+            let v = val as f64;
+            if is_add {
+                w.add(pos, v);
+                *model.entry(pos).or_insert(0.0) += v;
+            } else {
+                w.set(pos, v);
+                model.insert(pos, v);
+            }
+        }
+        let mut expect: Vec<(usize, f64)> = model.into_iter().collect();
+        expect.sort_unstable_by_key(|&(c, _)| c);
+        let got = w.drain_sorted();
+        prop_assert_eq!(got.len(), expect.len());
+        for ((gc, gv), (ec, ev)) in got.iter().zip(&expect) {
+            prop_assert_eq!(gc, ec);
+            prop_assert!((gv - ev).abs() < 1e-9);
+        }
+        prop_assert!(w.is_empty());
+    }
+
+    #[test]
+    fn principal_submatrix_of_everything_is_identity_op(a in coo_matrix(12, 40)) {
+        let keep: Vec<usize> = (0..a.n_rows()).collect();
+        prop_assert_eq!(a.principal_submatrix(&keep), a);
+    }
+}
