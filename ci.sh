@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full local CI gate. Everything here runs offline with an empty cargo
+# registry cache; crates/bench (criterion) is deliberately outside the
+# workspace and outside this gate.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> xtask lint"
+cargo run -p xtask -- lint
+
+echo "==> release build"
+cargo build --workspace --release
+
+echo "==> tests"
+cargo test --workspace -q
+
+echo "ci.sh: all green"

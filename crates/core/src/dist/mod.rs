@@ -39,7 +39,10 @@ impl Distribution {
     /// Partitions the matrix graph with the multilevel k-way partitioner.
     pub fn from_matrix(a: &CsrMatrix, p: usize, seed: u64) -> Self {
         let g = Graph::from_csr_pattern(a);
-        let opts = PartitionOptions { seed, ..PartitionOptions::new(p) };
+        let opts = PartitionOptions {
+            seed,
+            ..PartitionOptions::new(p)
+        };
         let r = partition_kway(&g, &opts);
         Self::from_part(r.part, p)
     }
@@ -50,14 +53,17 @@ impl Distribution {
         Self::from_part((0..n).map(|i| (i / per).min(p - 1)).collect(), p)
     }
 
+    /// Global number of matrix rows.
     pub fn n_rows(&self) -> usize {
         self.part.len()
     }
 
+    /// Number of ranks the rows are distributed over.
     pub fn n_ranks(&self) -> usize {
         self.rows_of.len()
     }
 
+    /// The rank that owns global `row`.
     pub fn owner(&self, row: usize) -> usize {
         self.part[row]
     }
@@ -96,10 +102,12 @@ pub struct LocalView {
 }
 
 impl LocalView {
+    /// Number of locally owned nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
+    /// True when this rank owns no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
@@ -112,12 +120,14 @@ impl LocalView {
         }
     }
 
+    /// True when global `node` is owned by this rank.
     pub fn owns(&self, node: usize) -> bool {
         self.local_pos[node] != usize::MAX
     }
 }
 
 impl DistMatrix {
+    /// Wraps a global matrix together with its row distribution.
     pub fn new(a: CsrMatrix, dist: Distribution) -> Self {
         assert_eq!(a.n_rows(), a.n_cols());
         assert_eq!(a.n_rows(), dist.n_rows());
@@ -131,10 +141,12 @@ impl DistMatrix {
         Self::new(a, dist)
     }
 
+    /// The full (replicated) matrix.
     pub fn matrix(&self) -> &CsrMatrix {
         &self.a
     }
 
+    /// The row distribution.
     pub fn dist(&self) -> &Distribution {
         &self.dist
     }
@@ -144,6 +156,7 @@ impl DistMatrix {
         &self.sym
     }
 
+    /// Global matrix dimension.
     pub fn n(&self) -> usize {
         self.a.n_rows()
     }
@@ -169,13 +182,21 @@ impl DistMatrix {
         for (p, &g) in nodes.iter().enumerate() {
             local_pos[g] = p;
         }
-        LocalView { rank, interior, interface, nodes, local_pos }
+        LocalView {
+            rank,
+            interior,
+            interface,
+            nodes,
+            local_pos,
+        }
     }
 
     /// Total interface nodes over all ranks — the size of the paper's
     /// reduced matrix `A_I`.
     pub fn total_interface(&self) -> usize {
-        (0..self.dist.n_ranks()).map(|r| self.local_view(r).interface.len()).sum()
+        (0..self.dist.n_ranks())
+            .map(|r| self.local_view(r).interface.len())
+            .sum()
     }
 }
 
@@ -221,7 +242,11 @@ mod tests {
         assert_eq!(total, 400);
         // A good 4-way partition of a 20x20 grid leaves far fewer than half
         // the nodes on the interface.
-        assert!(dm.total_interface() < 200, "interface = {}", dm.total_interface());
+        assert!(
+            dm.total_interface() < 200,
+            "interface = {}",
+            dm.total_interface()
+        );
     }
 
     #[test]

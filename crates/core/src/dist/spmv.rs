@@ -45,7 +45,10 @@ impl SpmvPlan {
             list.sort_unstable();
             list.dedup();
             debug_assert_ne!(owner, me, "own columns are never remote");
-            sends.push((owner, Payload::U64(list.iter().map(|&x| x as u64).collect())));
+            sends.push((
+                owner,
+                Payload::U64(list.iter().map(|&x| x as u64).collect()),
+            ));
             recv.push((owner, list.clone()));
         }
         let incoming = ctx.exchange(sends);
@@ -55,7 +58,11 @@ impl SpmvPlan {
             debug_assert!(nodes.iter().all(|&v| local.owns(v)));
             send.push((peer, nodes));
         }
-        SpmvPlan { send, recv, x_remote: vec![0.0; dm.n()] }
+        SpmvPlan {
+            send,
+            recv,
+            x_remote: vec![0.0; dm.n()],
+        }
     }
 
     /// Number of boundary values this rank ships per product.
@@ -78,6 +85,7 @@ pub fn dist_spmv(
     for (peer, nodes) in &plan.send {
         let vals: Vec<f64> = nodes
             .iter()
+            // lint: allow(unwrap): the plan was built from this view's own nodes
             .map(|&g| x[local.pos_of(g).expect("plan refers to non-local node")])
             .collect();
         ctx.copy_words(vals.len() as f64);
@@ -123,7 +131,7 @@ mod tests {
         let x_global: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
         let y_serial = a.spmv_owned(&x_global);
         let dm = DistMatrix::from_matrix(a, p, 11);
-        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             let mut plan = SpmvPlan::build(ctx, &dm, &local);
             let x_local: Vec<f64> = local.nodes.iter().map(|&g| x_global[g]).collect();
@@ -137,7 +145,12 @@ mod tests {
             }
         }
         for i in 0..n {
-            assert!((y[i] - y_serial[i]).abs() < 1e-12, "row {i}: {} vs {}", y[i], y_serial[i]);
+            assert!(
+                (y[i] - y_serial[i]).abs() < 1e-12,
+                "row {i}: {} vs {}",
+                y[i],
+                y_serial[i]
+            );
         }
     }
 
@@ -155,7 +168,7 @@ mod tests {
     fn single_rank_needs_no_messages() {
         let a = gen::laplace_2d(6, 6);
         let dm = DistMatrix::from_matrix(a, 1, 1);
-        let out = Machine::run(1, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(1, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(0);
             let mut plan = SpmvPlan::build(ctx, &dm, &local);
             assert_eq!(plan.sent_values(), 0);
@@ -170,7 +183,7 @@ mod tests {
     fn repeated_products_reuse_plan() {
         let a = gen::laplace_2d(10, 10);
         let dm = DistMatrix::from_matrix(a, 2, 5);
-        let out = Machine::run(2, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             let mut plan = SpmvPlan::build(ctx, &dm, &local);
             let x = vec![1.0; local.len()];

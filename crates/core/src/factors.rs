@@ -8,33 +8,44 @@ pub struct SparseRow {
 }
 
 impl SparseRow {
+    /// Builds a row from sorted column indices and matching values.
     pub fn new(cols: Vec<usize>, vals: Vec<f64>) -> Self {
         debug_assert_eq!(cols.len(), vals.len());
-        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row columns must ascend");
+        debug_assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "row columns must ascend"
+        );
         SparseRow { cols, vals }
     }
 
     /// Builds from unsorted `(col, val)` pairs.
     pub fn from_pairs(mut pairs: Vec<(usize, f64)>) -> Self {
         pairs.sort_unstable_by_key(|&(c, _)| c);
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "duplicate columns");
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate columns"
+        );
         let cols = pairs.iter().map(|&(c, _)| c).collect();
         let vals = pairs.iter().map(|&(_, v)| v).collect();
         SparseRow { cols, vals }
     }
 
+    /// Number of stored entries.
     pub fn len(&self) -> usize {
         self.cols.len()
     }
 
+    /// True when the row stores nothing.
     pub fn is_empty(&self) -> bool {
         self.cols.is_empty()
     }
 
+    /// The value at `col`, if stored.
     pub fn get(&self, col: usize) -> Option<f64> {
         self.cols.binary_search(&col).ok().map(|k| self.vals[k])
     }
 
+    /// Iterates `(col, value)` pairs in storage order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
         self.cols.iter().copied().zip(self.vals.iter().copied())
     }
@@ -59,7 +70,12 @@ impl LuFactors {
     /// `debug_assert!`s.
     pub fn check_structure(&self) -> Result<(), String> {
         if self.l.len() != self.n || self.u.len() != self.n {
-            return Err(format!("row count mismatch: n={} l={} u={}", self.n, self.l.len(), self.u.len()));
+            return Err(format!(
+                "row count mismatch: n={} l={} u={}",
+                self.n,
+                self.l.len(),
+                self.u.len()
+            ));
         }
         for i in 0..self.n {
             if let Some(&c) = self.l[i].cols.last() {
@@ -69,8 +85,13 @@ impl LuFactors {
             }
             match self.u[i].cols.first() {
                 Some(&c) if c == i => {}
-                other => return Err(format!("U row {i} must start at the diagonal, got {other:?}")),
+                other => {
+                    return Err(format!(
+                        "U row {i} must start at the diagonal, got {other:?}"
+                    ))
+                }
             }
+            // lint: allow(float-eq): exact zero-pivot test
             if self.u[i].vals[0] == 0.0 {
                 return Err(format!("U row {i} has a zero diagonal"));
             }
@@ -78,14 +99,17 @@ impl LuFactors {
         Ok(())
     }
 
+    /// Total entries stored in L.
     pub fn nnz_l(&self) -> usize {
         self.l.iter().map(|r| r.len()).sum()
     }
 
+    /// Total entries stored in U (diagonals included).
     pub fn nnz_u(&self) -> usize {
         self.u.iter().map(|r| r.len()).sum()
     }
 
+    /// Total stored entries across both factors.
     pub fn nnz(&self) -> usize {
         self.nnz_l() + self.nnz_u()
     }

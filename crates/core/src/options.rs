@@ -23,12 +23,21 @@ pub struct IlutOptions {
 impl IlutOptions {
     /// Plain ILUT(m, t).
     pub fn new(m: usize, tau: f64) -> Self {
-        IlutOptions { m, tau, reduced_cap_factor: None, mis_rounds: 5, seed: 1 }
+        IlutOptions {
+            m,
+            tau,
+            reduced_cap_factor: None,
+            mis_rounds: 5,
+            seed: 1,
+        }
     }
 
     /// ILUT\*(m, t, k).
     pub fn star(m: usize, tau: f64, k: usize) -> Self {
-        IlutOptions { reduced_cap_factor: Some(k), ..Self::new(m, tau) }
+        IlutOptions {
+            reduced_cap_factor: Some(k),
+            ..Self::new(m, tau)
+        }
     }
 
     /// The reduced-row capacity: `k·m` for ILUT\*, unbounded for ILUT.

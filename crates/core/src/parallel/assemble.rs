@@ -43,11 +43,19 @@ pub fn assemble_factors(per_rank: &[RankFactors], n: usize) -> AssembledFactors 
     let q = per_rank.first().map_or(0, |rf| rf.levels.len());
     let mut order: Vec<usize> = Vec::with_capacity(n);
     for rf in per_rank {
-        assert_eq!(rf.levels.len(), q, "rank {} disagrees on level count", rf.rank);
+        assert_eq!(
+            rf.levels.len(),
+            q,
+            "rank {} disagrees on level count",
+            rf.rank
+        );
         order.extend_from_slice(&rf.interior);
     }
     for l in 0..q {
-        let mut level: Vec<usize> = per_rank.iter().flat_map(|rf| rf.levels[l].iter().copied()).collect();
+        let mut level: Vec<usize> = per_rank
+            .iter()
+            .flat_map(|rf| rf.levels[l].iter().copied())
+            .collect();
         level.sort_unstable();
         order.extend_from_slice(&level);
     }
@@ -59,8 +67,7 @@ pub fn assemble_factors(per_rank: &[RankFactors], n: usize) -> AssembledFactors 
     for rf in per_rank {
         for (&node, row) in &rf.rows {
             let pos = perm.new_of(node);
-            let l: Vec<(usize, f64)> =
-                row.l.iter().map(|&(c, v)| (perm.new_of(c), v)).collect();
+            let l: Vec<(usize, f64)> = row.l.iter().map(|&(c, v)| (perm.new_of(c), v)).collect();
             let mut u: Vec<(usize, f64)> =
                 row.u.iter().map(|&(c, v)| (perm.new_of(c), v)).collect();
             u.push((pos, row.diag));
@@ -68,8 +75,16 @@ pub fn assemble_factors(per_rank: &[RankFactors], n: usize) -> AssembledFactors 
             u_rows[pos] = SparseRow::from_pairs(u);
         }
     }
-    let factors = LuFactors { n, l: l_rows, u: u_rows };
-    debug_assert!(factors.check_structure().is_ok(), "{:?}", factors.check_structure());
+    let factors = LuFactors {
+        n,
+        l: l_rows,
+        u: u_rows,
+    };
+    debug_assert!(
+        factors.check_structure().is_ok(),
+        "{:?}",
+        factors.check_structure()
+    );
     AssembledFactors { factors, perm }
 }
 
@@ -88,7 +103,7 @@ mod tests {
         let n = a.n_rows();
         let dm = DistMatrix::from_matrix(a.clone(), 3, 7);
         let opts = IlutOptions::new(n, 0.0); // exact
-        let out = Machine::run(3, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(3, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             par_ilut(ctx, &dm, &local, &opts).unwrap()
         });
@@ -111,7 +126,7 @@ mod tests {
         let a = gen::laplace_3d(6, 6, 6);
         let dm = DistMatrix::from_matrix(a, 4, 11);
         let opts = IlutOptions::star(5, 1e-4, 2);
-        let out = Machine::run(4, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             par_ilut(ctx, &dm, &local, &opts).unwrap()
         });

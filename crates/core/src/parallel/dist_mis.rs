@@ -87,7 +87,10 @@ pub fn build_level_links(
         }
         list.sort_unstable();
         list.dedup();
-        sends.push((owner, Payload::U64(list.iter().map(|&x| x as u64).collect())));
+        sends.push((
+            owner,
+            Payload::U64(list.iter().map(|&x| x as u64).collect()),
+        ));
         needed_by_rank.push((owner, list.clone()));
     }
     let incoming = ctx.exchange(sends);
@@ -100,7 +103,12 @@ pub fn build_level_links(
         }
         refs_by_rank.push((peer, nodes));
     }
-    LevelLinks { refs_by_rank, needed_by_rank, local_refs, needers }
+    LevelLinks {
+        refs_by_rank,
+        needed_by_rank,
+        local_refs,
+        needers,
+    }
 }
 
 /// Message tags of the per-round neighbour steps. A constant tag per step
@@ -173,6 +181,7 @@ pub fn dist_mis(
                     None => {
                         let &(ku, su) = remote
                             .get(&u)
+                            // lint: allow(unwrap): the exchange returns exactly the requested remote nodes
                             .expect("referenced remote node missing from exchange");
                         (ku, su)
                     }
@@ -255,7 +264,11 @@ pub fn dist_mis(
                 .iter()
                 .find(|&&(p, _)| p == peer)
                 .map(|(_, nodes)| {
-                    nodes.iter().filter(|v| confirmed_set.contains(v)).map(|&v| v as u64).collect()
+                    nodes
+                        .iter()
+                        .filter(|v| confirmed_set.contains(v))
+                        .map(|&v| v as u64)
+                        .collect()
                 })
                 .unwrap_or_default();
             let kills = kills_by_rank.get(&peer).cloned().unwrap_or_default();
@@ -343,13 +356,16 @@ mod tests {
         let part: Vec<usize> = (0..n).map(|v| v % p).collect();
         let dist = Distribution::from_part(part, p);
         let arcs = arcs.to_vec();
-        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
             let me = ctx.rank();
             let mut reduced: HashMap<usize, Vec<usize>> = HashMap::new();
             for v in 0..n {
                 if v % p == me {
-                    let mut cols: Vec<usize> =
-                        arcs.iter().filter(|&&(s, _)| s == v).map(|&(_, t)| t).collect();
+                    let mut cols: Vec<usize> = arcs
+                        .iter()
+                        .filter(|&&(s, _)| s == v)
+                        .map(|&(_, t)| t)
+                        .collect();
                     cols.push(v); // diagonal
                     cols.sort_unstable();
                     cols.dedup();
@@ -385,13 +401,25 @@ mod tests {
         let arcs = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)];
         let set = run_mis(6, &arcs, 2, 8);
         assert_independent(&set, &arcs);
-        assert!(set.len() >= 2, "chain of 6 should give at least 3-ish: {set:?}");
+        assert!(
+            set.len() >= 2,
+            "chain of 6 should give at least 3-ish: {set:?}"
+        );
     }
 
     #[test]
     fn unsymmetric_cross_rank_conflicts_resolved() {
         // Arcs deliberately crossing rank boundaries (v % p ownership).
-        let arcs = [(0, 1), (2, 1), (2, 3), (4, 3), (4, 5), (0, 5), (1, 6), (6, 0)];
+        let arcs = [
+            (0, 1),
+            (2, 1),
+            (2, 3),
+            (4, 3),
+            (4, 5),
+            (0, 5),
+            (1, 6),
+            (6, 0),
+        ];
         for p in [2, 3, 4] {
             let set = run_mis(7, &arcs, p, 8);
             assert_independent(&set, &arcs);

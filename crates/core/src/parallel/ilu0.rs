@@ -77,13 +77,21 @@ pub fn par_ilu0(
                 upper.push((j, v));
             }
         }
+        // lint: allow(float-eq): exact zero-pivot test
         if diag == 0.0 {
             my_err.get_or_insert(i);
             diag = 1.0;
         }
         stats.nnz_l += lower.len();
         stats.nnz_u += upper.len() + 1;
-        rows.insert(i, FactorRow { l: lower, diag, u: upper });
+        rows.insert(
+            i,
+            FactorRow {
+                l: lower,
+                diag,
+                u: upper,
+            },
+        );
     }
 
     // ---- Phase 1b: eliminate interiors from interface rows (pattern-
@@ -113,7 +121,14 @@ pub fn par_ilu0(
         let rest = w.drain_sorted();
         stats.reduced_nnz_initial += rest.len();
         stats.nnz_l += lower.len();
-        rows.insert(i, FactorRow { l: lower, diag: 0.0, u: Vec::new() });
+        rows.insert(
+            i,
+            FactorRow {
+                l: lower,
+                diag: 0.0,
+                u: Vec::new(),
+            },
+        );
         reduced.insert(i, rest);
     }
     stats.reduced_nnz_peak = stats.reduced_nnz_initial;
@@ -168,6 +183,7 @@ pub fn par_ilu0(
         // *unfactored* nodes form U; couplings to already-factored interface
         // nodes were eliminated in earlier sweeps below.
         for &v in level {
+            // lint: allow(unwrap): scheduling inserts every reduced row before it is scheduled
             let rr = reduced.remove(&v).expect("scheduled row missing");
             let mut diag = 0.0;
             let mut upper = Vec::with_capacity(rr.len());
@@ -178,11 +194,13 @@ pub fn par_ilu0(
                     upper.push((c, val));
                 }
             }
+            // lint: allow(float-eq): exact zero-pivot test
             if diag == 0.0 {
                 my_err.get_or_insert(v);
                 diag = 1.0;
             }
             stats.nnz_u += upper.len() + 1;
+            // lint: allow(unwrap): interface rows are created for every boundary row up front
             let row = rows.get_mut(&v).expect("interface row missing");
             row.diag = diag;
             row.u = upper;
@@ -230,7 +248,11 @@ pub fn par_ilu0(
                     FactorRow {
                         l: Vec::new(),
                         diag,
-                        u: cols.iter().map(|&c| c as usize).zip(vals.iter().copied()).collect(),
+                        u: cols
+                            .iter()
+                            .map(|&c| c as usize)
+                            .zip(vals.iter().copied())
+                            .collect(),
                     },
                 );
                 iu += 2 + len;
@@ -240,6 +262,7 @@ pub fn par_ilu0(
         // Remote members of this level, detectable from the shipped rows.
         let keys: Vec<usize> = reduced.keys().copied().collect();
         for i in keys {
+            // lint: allow(unwrap): the level schedule covers every remaining row
             let rr = reduced.remove(&i).unwrap();
             let pivots: Vec<usize> = rr
                 .iter()
@@ -255,9 +278,14 @@ pub fn par_ilu0(
             }
             let mut mults: Vec<(usize, f64)> = Vec::with_capacity(pivots.len());
             for k in pivots {
-                let urow = if role[k] != 0 { &rows[&k] } else { &remote_u[&k] };
+                let urow = if role[k] != 0 {
+                    &rows[&k]
+                } else {
+                    &remote_u[&k]
+                };
                 let wk = w.get(k);
                 w.drop_pos(k);
+                // lint: allow(float-eq): skips exactly cancelled multipliers
                 if wk == 0.0 {
                     continue;
                 }
@@ -271,6 +299,7 @@ pub fn par_ilu0(
                 ctx.work(2.0 * urow.u.len() as f64 + 1.0);
                 mults.push((k, mult));
             }
+            // lint: allow(unwrap): interface rows are created for every boundary row up front
             let row = rows.get_mut(&i).expect("interface row missing");
             row.l.extend(mults);
             row.l.sort_unstable_by_key(|&(c, _)| c);

@@ -118,7 +118,9 @@ pub fn par_ilut(
                 heap.push(Reverse(j));
             }
         }
-        eliminate(ctx, &mut w, &mut heap, &rows, tau_i, i, &role, false, &mut stats);
+        eliminate(
+            ctx, &mut w, &mut heap, &rows, tau_i, i, &role, false, &mut stats,
+        );
         // Split: lower = my interiors with smaller id (the multipliers);
         // everything else is "later" (interface nodes factor after ALL
         // interiors regardless of their global id).
@@ -137,6 +139,7 @@ pub fn par_ilut(
                 upper.push((j, v));
             }
         }
+        // lint: allow(float-eq): exact zero-pivot test
         if diag == 0.0 {
             my_err.get_or_insert(i);
             diag = if tau_i > 0.0 { tau_i } else { 1.0 }; // keep going until the collective abort
@@ -163,7 +166,9 @@ pub fn par_ilut(
                 heap.push(Reverse(j));
             }
         }
-        eliminate(ctx, &mut w, &mut heap, &rows, tau_i, i, &role, true, &mut stats);
+        eliminate(
+            ctx, &mut w, &mut heap, &rows, tau_i, i, &role, true, &mut stats,
+        );
         let entries = w.drain_sorted();
         stats.flops += selection_cost(entries.len());
         ctx.work(selection_cost(entries.len()));
@@ -178,7 +183,14 @@ pub fn par_ilut(
         }
         let l = threshold_and_cap(lower, tau_i, opts.m, None);
         stats.nnz_l += l.len();
-        rows.insert(i, FactorRow { l, diag: 0.0, u: Vec::new() });
+        rows.insert(
+            i,
+            FactorRow {
+                l,
+                diag: 0.0,
+                u: Vec::new(),
+            },
+        );
         // Reduced row: threshold always applies; ILUT* additionally caps.
         let rr = threshold_and_cap(rest, tau_i, opts.reduced_cap(), Some(i));
         ctx.copy_words(rr.len() as f64);
@@ -222,10 +234,18 @@ pub fn par_ilut(
             .map(|(&v, row)| (v, row.iter().map(|&(c, _)| c).collect()))
             .collect();
         let links = build_level_links(ctx, dm.dist(), &reduced_cols);
-        let mis = dist_mis(ctx, &links, &reduced_cols, opts.seed, level_idx, opts.mis_rounds);
+        let mis = dist_mis(
+            ctx,
+            &links,
+            &reduced_cols,
+            opts.seed,
+            level_idx,
+            opts.mis_rounds,
+        );
 
         // Factor my I_l rows: independence means only rule-2 dropping.
         for &v in &mis.my_in {
+            // lint: allow(unwrap): set members always carry a reduced row
             let rr = reduced.remove(&v).expect("member without a reduced row");
             let tau_v = tau_of[&v];
             let mut diag = 0.0;
@@ -237,6 +257,7 @@ pub fn par_ilut(
                     off.push((c, val));
                 }
             }
+            // lint: allow(float-eq): exact zero-pivot test
             if diag == 0.0 {
                 my_err.get_or_insert(v);
                 diag = if tau_v > 0.0 { tau_v } else { 1.0 };
@@ -245,6 +266,7 @@ pub fn par_ilut(
             stats.flops += selection_cost(u.len());
             ctx.work(selection_cost(u.len()));
             stats.nnz_u += u.len() + 1;
+            // lint: allow(unwrap): interface rows are created for every boundary row up front
             let row = rows.get_mut(&v).expect("interface row missing");
             row.diag = diag;
             row.u = u;
@@ -289,7 +311,11 @@ pub fn par_ilut(
                     FactorRow {
                         l: Vec::new(),
                         diag,
-                        u: cols.iter().map(|&c| c as usize).zip(vals.iter().copied()).collect(),
+                        u: cols
+                            .iter()
+                            .map(|&c| c as usize)
+                            .zip(vals.iter().copied())
+                            .collect(),
                     },
                 );
                 iu += 2 + len;
@@ -303,13 +329,17 @@ pub fn par_ilut(
         };
         let remaining: Vec<usize> = reduced.keys().copied().collect();
         for i in remaining {
+            // lint: allow(unwrap): the level schedule covers every remaining row
             let rr = reduced.remove(&i).unwrap();
             let tau_i = tau_of[&i];
             // Pivot columns of this row that belong to I_l (no new ones can
             // appear during the sweep: U rows of independent nodes contain no
             // I_l columns).
-            let pivots: Vec<usize> =
-                rr.iter().map(|&(c, _)| c).filter(|&c| c != i && in_level(c)).collect();
+            let pivots: Vec<usize> = rr
+                .iter()
+                .map(|&(c, _)| c)
+                .filter(|&c| c != i && in_level(c))
+                .collect();
             if pivots.is_empty() {
                 reduced.insert(i, rr);
                 continue;
@@ -319,10 +349,16 @@ pub fn par_ilut(
             }
             let mut mults: Vec<(usize, f64)> = Vec::with_capacity(pivots.len());
             for k in pivots {
-                let urow = if role[k] != 0 { rows.get(&k) } else { remote_u.get(&k) };
+                let urow = if role[k] != 0 {
+                    rows.get(&k)
+                } else {
+                    remote_u.get(&k)
+                };
+                // lint: allow(unwrap): pivot rows are received before their level runs
                 let urow = urow.expect("missing U row for level pivot");
                 let wk = w.get(k);
                 w.drop_pos(k);
+                // lint: allow(float-eq): skips exactly cancelled multipliers
                 if wk == 0.0 {
                     continue;
                 }
@@ -340,6 +376,7 @@ pub fn par_ilut(
                 mults.push((k, mult));
             }
             // Merge multipliers into the row's L and reapply rule 3.
+            // lint: allow(unwrap): interface rows are created for every boundary row up front
             let row = rows.get_mut(&i).expect("interface row missing");
             let mut lmerge = std::mem::take(&mut row.l);
             lmerge.extend(mults);
@@ -395,6 +432,7 @@ fn eliminate(
             continue; // duplicate heap entry
         }
         let wk = w.get(k);
+        // lint: allow(float-eq): skips exactly cancelled multipliers
         if wk == 0.0 {
             w.drop_pos(k);
             continue;

@@ -41,6 +41,7 @@ impl DiagonalPreconditioner {
             .iter()
             .enumerate()
             .map(|(i, &d)| {
+                // lint: allow(float-eq): exact zero-diagonal guard
                 assert!(d != 0.0, "zero diagonal at row {i}");
                 1.0 / d
             })
@@ -66,14 +67,23 @@ pub struct IluPreconditioner {
 }
 
 impl IluPreconditioner {
+    /// Wraps factors as a preconditioner with a default label.
     pub fn new(factors: LuFactors) -> Self {
-        IluPreconditioner { factors, label: "ILU".to_string() }
+        IluPreconditioner {
+            factors,
+            label: "ILU".to_string(),
+        }
     }
 
+    /// Wraps factors with a custom label for reporting.
     pub fn with_label(factors: LuFactors, label: impl Into<String>) -> Self {
-        IluPreconditioner { factors, label: label.into() }
+        IluPreconditioner {
+            factors,
+            label: label.into(),
+        }
     }
 
+    /// The underlying factors.
     pub fn factors(&self) -> &LuFactors {
         &self.factors
     }

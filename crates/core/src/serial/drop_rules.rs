@@ -16,11 +16,15 @@ pub fn threshold_and_cap(
             kept_special.push(entries.swap_remove(pos));
         }
     }
+    // lint: allow(float-eq): drops exactly-zero entries only
     entries.retain(|&(_, v)| v.abs() >= tau_i && v != 0.0);
     if entries.len() > cap {
         // Partial selection of the `cap` largest magnitudes.
         entries.select_nth_unstable_by(cap, |a, b| {
-            b.1.abs().partial_cmp(&a.1.abs()).expect("NaN in factorization")
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                // lint: allow(unwrap): factor values are finite; NaN would poison comparisons
+                .expect("NaN in factorization")
         });
         entries.truncate(cap);
     }
@@ -47,23 +51,13 @@ mod tests {
 
     #[test]
     fn caps_to_largest() {
-        let out = threshold_and_cap(
-            vec![(0, 1.0), (1, 4.0), (2, -3.0), (3, 2.0)],
-            0.0,
-            2,
-            None,
-        );
+        let out = threshold_and_cap(vec![(0, 1.0), (1, 4.0), (2, -3.0), (3, 2.0)], 0.0, 2, None);
         assert_eq!(out, vec![(1, 4.0), (2, -3.0)]);
     }
 
     #[test]
     fn always_keep_bypasses_everything() {
-        let out = threshold_and_cap(
-            vec![(0, 1.0), (1, 1e-9), (2, -3.0)],
-            0.1,
-            1,
-            Some(1),
-        );
+        let out = threshold_and_cap(vec![(0, 1.0), (1, 1e-9), (2, -3.0)], 0.1, 1, Some(1));
         // Diagonal 1 kept despite being tiny; cap=1 keeps only the largest other.
         assert_eq!(out, vec![(1, 1e-9), (2, -3.0)]);
     }

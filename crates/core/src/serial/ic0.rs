@@ -20,10 +20,12 @@ pub struct IcFactors {
 }
 
 impl IcFactors {
+    /// Matrix dimension.
     pub fn n(&self) -> usize {
         self.n
     }
 
+    /// Stored entries in the lower-triangular factor.
     pub fn nnz(&self) -> usize {
         self.rows.iter().map(|r| r.len()).sum()
     }
@@ -34,6 +36,7 @@ impl IcFactors {
         let mut y = b.to_vec();
         // Forward: L y = b.
         for (i, row) in self.rows.iter().enumerate() {
+            // lint: allow(unwrap): every IC row stores at least its diagonal
             let (last, lower) = row.split_last().expect("empty IC row");
             let mut s = y[i];
             for &(j, v) in lower {
@@ -43,6 +46,7 @@ impl IcFactors {
         }
         // Backward: Lᵀ x = y (column sweep over L's rows in reverse).
         for i in (0..self.n).rev() {
+            // lint: allow(unwrap): every IC row stores at least its diagonal
             let (last, lower) = self.rows[i].split_last().unwrap();
             y[i] /= last.1;
             let yi = y[i];
@@ -94,6 +98,7 @@ pub fn ic0(a: &CsrMatrix) -> Result<IcFactors, FactorError> {
                 }
             }
             if j < i {
+                // lint: allow(unwrap): rows[j] ends with its diagonal entry
                 let ljj = rows[j].last().unwrap().1;
                 row.push((j, s / ljj));
             } else {
@@ -152,7 +157,12 @@ mod tests {
         // One IC(0) application should be a rough solve: residual reduced.
         let az = a.spmv_owned(&z);
         let r0: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let r1: f64 = az.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let r1: f64 = az
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
         assert!(r1 < r0, "no reduction: {r1} vs {r0}");
     }
 
@@ -164,6 +174,9 @@ mod tests {
         coo.push(0, 1, 2.0);
         coo.push(1, 0, 2.0);
         coo.push(1, 1, 1.0); // indefinite: 1 - 4 < 0
-        assert!(matches!(ic0(&coo.to_csr()), Err(FactorError::ZeroPivot { row: 1 })));
+        assert!(matches!(
+            ic0(&coo.to_csr()),
+            Err(FactorError::ZeroPivot { row: 1 })
+        ));
     }
 }

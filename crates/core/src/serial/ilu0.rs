@@ -26,6 +26,7 @@ pub fn ilu0(a: &CsrMatrix) -> Result<LuFactors, FactorError> {
         let mut lower: Vec<(usize, f64)> = Vec::new();
         for &k in cols.iter().filter(|&&k| k < i) {
             let wk = w.get(k);
+            // lint: allow(float-eq): skips exactly cancelled multipliers
             if wk == 0.0 {
                 // The position is part of the pattern even when the value
                 // cancelled to zero — ILU(0) is defined by structure alone.
@@ -51,6 +52,7 @@ pub fn ilu0(a: &CsrMatrix) -> Result<LuFactors, FactorError> {
                 upper.push((j, v));
             }
         }
+        // lint: allow(float-eq): exact zero-pivot test
         if upper.first().map(|&(c, _)| c) != Some(i) || upper[0].1 == 0.0 {
             return Err(FactorError::ZeroPivot { row: i });
         }

@@ -48,9 +48,7 @@ pub fn iluk(a: &CsrMatrix, k: usize) -> Result<LuFactors, FactorError> {
             let ulev = &u_levels[p];
             let mult = val[p] / urow.vals[0];
             val[p] = mult;
-            for ((&j, &uval), &ul) in
-                urow.cols[1..].iter().zip(&urow.vals[1..]).zip(&ulev[1..])
-            {
+            for ((&j, &uval), &ul) in urow.cols[1..].iter().zip(&urow.vals[1..]).zip(&ulev[1..]) {
                 let new_level = lev[p].saturating_add(ul).saturating_add(1);
                 if lev[j] == usize::MAX {
                     if new_level > k {
@@ -85,6 +83,7 @@ pub fn iluk(a: &CsrMatrix, k: usize) -> Result<LuFactors, FactorError> {
             lev[j] = usize::MAX;
         }
         touched.clear();
+        // lint: allow(float-eq): exact zero-pivot test
         if upper.first().map(|&(c, _)| c) != Some(i) || upper[0].1 == 0.0 {
             return Err(FactorError::ZeroPivot { row: i });
         }

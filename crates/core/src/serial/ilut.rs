@@ -49,6 +49,7 @@ pub fn ilut_with_stats(
                 continue;
             }
             let wk = w.get(k);
+            // lint: allow(float-eq): skips exactly cancelled multipliers
             if wk == 0.0 {
                 w.drop_pos(k);
                 continue;
@@ -88,6 +89,7 @@ pub fn ilut_with_stats(
         }
         let lower = threshold_and_cap(lower, tau_i, opts.m, None);
         let upper = threshold_and_cap(upper, tau_i, opts.m, Some(i));
+        // lint: allow(float-eq): exact zero-pivot test
         if upper.first().map(|&(c, _)| c) != Some(i) || upper[0].1 == 0.0 {
             return Err(FactorError::ZeroPivot { row: i });
         }
@@ -126,7 +128,11 @@ mod tests {
         let f = ilut(&a, &IlutOptions::new(m, 0.0)).unwrap();
         for i in 0..f.n {
             assert!(f.l[i].len() <= m, "L row {i} has {} entries", f.l[i].len());
-            assert!(f.u[i].len() <= m + 1, "U row {i} has {} entries", f.u[i].len());
+            assert!(
+                f.u[i].len() <= m + 1,
+                "U row {i} has {} entries",
+                f.u[i].len()
+            );
         }
     }
 

@@ -76,7 +76,12 @@ impl TrisolvePlan {
                 bwd_push.entry(v as usize).or_default().push(peer);
             }
         }
-        TrisolvePlan { fwd_push, bwd_push, fwd_owner, bwd_owner }
+        TrisolvePlan {
+            fwd_push,
+            bwd_push,
+            fwd_owner,
+            bwd_owner,
+        }
     }
 }
 
@@ -110,10 +115,12 @@ pub fn dist_forward(
     // Interior phase: L columns of interior rows are earlier interiors of
     // this rank — all local, all already computed in ascending order.
     for &i in &rf.interior {
+        // lint: allow(unwrap): the schedule lists only locally owned rows
         let p = local.pos_of(i).unwrap();
         let row = &rf.rows[&i];
         let mut s = x[p];
         for &(j, v) in &row.l {
+            // lint: allow(unwrap): interior L columns are local by construction
             s -= v * x[local.pos_of(j).expect("interior L column must be local")];
         }
         flops += 2.0 * row.l.len() as f64;
@@ -122,6 +129,7 @@ pub fn dist_forward(
     // Interface phase, level by level.
     for level in &rf.levels {
         for &i in level {
+            // lint: allow(unwrap): the schedule lists only locally owned rows
             let p = local.pos_of(i).unwrap();
             let row = &rf.rows[&i];
             let mut s = x[p];
@@ -140,6 +148,7 @@ pub fn dist_forward(
         // Push the freshly computed values to the ranks that need them.
         for &i in level {
             if let Some(peers) = plan.fwd_push.get(&i) {
+                // lint: allow(unwrap): the schedule lists only locally owned rows
                 let v = x[local.pos_of(i).unwrap()];
                 for &peer in peers {
                     ctx.send(peer, TAG_FWD | i as u64, Payload::F64(vec![v]));
@@ -166,6 +175,7 @@ pub fn dist_backward(
     // Interface levels in reverse order.
     for level in rf.levels.iter().rev() {
         for &i in level {
+            // lint: allow(unwrap): the schedule lists only locally owned rows
             let p = local.pos_of(i).unwrap();
             let row = &rf.rows[&i];
             let mut s = x[p];
@@ -183,6 +193,7 @@ pub fn dist_backward(
         }
         for &i in level {
             if let Some(peers) = plan.bwd_push.get(&i) {
+                // lint: allow(unwrap): the schedule lists only locally owned rows
                 let v = x[local.pos_of(i).unwrap()];
                 for &peer in peers {
                     ctx.send(peer, TAG_BWD | i as u64, Payload::F64(vec![v]));
@@ -193,10 +204,12 @@ pub fn dist_backward(
     // Interior phase, descending elimination order; U columns of interior
     // rows are local (later interiors or own interfaces).
     for &i in rf.interior.iter().rev() {
+        // lint: allow(unwrap): the schedule lists only locally owned rows
         let p = local.pos_of(i).unwrap();
         let row = &rf.rows[&i];
         let mut s = x[p];
         for &(j, v) in &row.u {
+            // lint: allow(unwrap): interior U columns are local by construction
             s -= v * x[local.pos_of(j).expect("interior U column must be local")];
         }
         flops += 2.0 * row.u.len() as f64 + 1.0;

@@ -14,7 +14,7 @@ fn single_rank_matches_serial_ilu0() {
     let a = gen::convection_diffusion_2d(7, 7, 4.0, -1.0);
     let serial = ilu0(&a).unwrap();
     let dm = DistMatrix::from_matrix(a.clone(), 1, 1);
-    let out = Machine::run(1, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(1, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(0);
         par_ilu0(ctx, &dm, &local).unwrap()
     });
@@ -33,7 +33,7 @@ fn single_rank_matches_serial_ilu0() {
 fn pattern_is_preserved_across_ranks() {
     let a = gen::fem_torso(10, 3);
     let dm = DistMatrix::from_matrix(a.clone(), 4, 9);
-    let out = Machine::run(4, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         par_ilu0(ctx, &dm, &local).unwrap()
     });
@@ -60,10 +60,13 @@ fn static_schedule_is_much_shorter_than_ilut_levels() {
     let p = 4;
     let q_of = |use_ilut: bool| {
         let dm = DistMatrix::from_matrix(a.clone(), p, 17);
-        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             if use_ilut {
-                par_ilut(ctx, &dm, &local, &IlutOptions::new(10, 1e-6)).unwrap().stats.levels
+                par_ilut(ctx, &dm, &local, &IlutOptions::new(10, 1e-6))
+                    .unwrap()
+                    .stats
+                    .levels
             } else {
                 par_ilu0(ctx, &dm, &local).unwrap().stats.levels
             }
@@ -72,7 +75,10 @@ fn static_schedule_is_much_shorter_than_ilut_levels() {
     };
     let q0 = q_of(false);
     let qt = q_of(true);
-    assert!(q0 * 3 <= qt, "ILU(0) schedule {q0} not much shorter than ILUT {qt}");
+    assert!(
+        q0 * 3 <= qt,
+        "ILU(0) schedule {q0} not much shorter than ILUT {qt}"
+    );
 }
 
 #[test]
@@ -83,7 +89,7 @@ fn factors_drive_the_parallel_trisolve() {
     let a = gen::laplace_2d(12, 12);
     let dm = DistMatrix::from_matrix(a.clone(), 3, 5);
     let b_global = a.spmv_owned(&vec![1.0; a.n_rows()]);
-    let out = Machine::run(3, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(3, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         let rf = par_ilu0(ctx, &dm, &local).unwrap();
         let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
@@ -100,9 +106,18 @@ fn factors_drive_the_parallel_trisolve() {
         }
     }
     let ax = a.spmv_owned(&x);
-    let num: f64 = ax.iter().zip(&b_global).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+    let num: f64 = ax
+        .iter()
+        .zip(&b_global)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
     let den: f64 = b_global.iter().map(|v| v * v).sum::<f64>().sqrt();
-    assert!(num / den < 0.7, "one ILU(0) application too weak: {}", num / den);
+    assert!(
+        num / den < 0.7,
+        "one ILU(0) application too weak: {}",
+        num / den
+    );
 }
 
 #[test]
@@ -110,7 +125,7 @@ fn deterministic_and_consistent_levels() {
     let a = gen::laplace_2d(10, 10);
     let run = || {
         let dm = DistMatrix::from_matrix(a.clone(), 4, 3);
-        Machine::run(4, MachineModel::cray_t3d(), |ctx| {
+        Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             let rf = par_ilu0(ctx, &dm, &local).unwrap();
             (rf.levels.clone(), rf.stats.levels)

@@ -19,7 +19,7 @@ fn factor_and_solve(
     b_global: &[f64],
 ) -> (Vec<f64>, Vec<RankFactors>) {
     let dm = DistMatrix::from_matrix(a.clone(), p, 17);
-    let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         let rf = par_ilut(ctx, &dm, &local, opts).expect("factorization failed");
         let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
@@ -50,7 +50,7 @@ fn single_rank_matches_serial_ilut() {
     let opts = IlutOptions::new(5, 1e-2);
     let serial = ilut(&a, &opts).unwrap();
     let dm = DistMatrix::from_matrix(a.clone(), 1, 1);
-    let out = Machine::run(1, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(1, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(0);
         par_ilut(ctx, &dm, &local, &opts).unwrap()
     });
@@ -75,7 +75,11 @@ fn no_dropping_gives_exact_solve_2d() {
     let b = a.spmv_owned(&x_true);
     for p in [2, 4] {
         let (x, _) = factor_and_solve(&a, p, &IlutOptions::new(n, 0.0), &b);
-        let err: f64 = x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err: f64 = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-8, "p={p}: max error {err}");
     }
 }
@@ -87,7 +91,11 @@ fn no_dropping_gives_exact_solve_torso() {
     let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos()).collect();
     let b = a.spmv_owned(&x_true);
     let (x, factors) = factor_and_solve(&a, 3, &IlutOptions::new(n, 0.0), &b);
-    let err: f64 = x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    let err: f64 = x
+        .iter()
+        .zip(&x_true)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
     assert!(err < 1e-7, "max error {err}");
     // Every node factored exactly once across ranks.
     let total: usize = factors.iter().map(|f| f.rows.len()).sum();
@@ -104,7 +112,10 @@ fn dropped_factorization_is_a_useful_preconditioner() {
     // One application of an incomplete factorization is not exact but must
     // be a solid approximation on this well-behaved problem.
     let res = rel_residual(&a, &x, &b);
-    assert!(res < 0.5, "relative residual {res} too poor for a preconditioner");
+    assert!(
+        res < 0.5,
+        "relative residual {res} too poor for a preconditioner"
+    );
 }
 
 #[test]
@@ -112,7 +123,7 @@ fn every_interface_node_lands_in_exactly_one_level() {
     let a = gen::laplace_2d(12, 12);
     let dm = DistMatrix::from_matrix(a, 4, 17);
     let opts = IlutOptions::new(5, 1e-2);
-    let out = Machine::run(4, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
         (local.interface.clone(), rf)
@@ -130,7 +141,10 @@ fn every_interface_node_lands_in_exactly_one_level() {
         expect.sort_unstable();
         assert_eq!(seen, expect, "interface nodes must be covered exactly once");
     }
-    assert!(q.unwrap() >= 1, "a 4-way split has interface nodes to factor");
+    assert!(
+        q.unwrap() >= 1,
+        "a 4-way split has interface nodes to factor"
+    );
 }
 
 #[test]
@@ -139,7 +153,7 @@ fn deterministic_given_seed() {
     let opts = IlutOptions::new(4, 1e-3);
     let run = || {
         let dm = DistMatrix::from_matrix(a.clone(), 3, 17);
-        Machine::run(3, MachineModel::cray_t3d(), |ctx| {
+        Machine::run_checked(3, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
             (rf.levels.clone(), rf.stats.flops)
@@ -151,7 +165,10 @@ fn deterministic_given_seed() {
         assert_eq!(r1.0, r2.0);
         assert_eq!(r1.1, r2.1);
     }
-    assert_eq!(a1.sim_time, a2.sim_time, "simulated time must be reproducible");
+    assert_eq!(
+        a1.sim_time, a2.sim_time,
+        "simulated time must be reproducible"
+    );
 }
 
 #[test]
@@ -168,7 +185,7 @@ fn zero_pivot_reported_on_all_ranks() {
     let a = coo.to_csr();
     let dm = DistMatrix::from_matrix(a, 2, 5);
     let opts = IlutOptions::new(6, 0.0);
-    let out = Machine::run(2, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         par_ilut(ctx, &dm, &local, &opts)
     });
@@ -187,7 +204,7 @@ fn ilut_star_uses_no_more_levels_than_ilut() {
     let a = gen::laplace_3d(7, 7, 7);
     let run = |opts: IlutOptions| {
         let dm = DistMatrix::from_matrix(a.clone(), 4, 17);
-        let out = Machine::run(4, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
             (rf.stats.levels, rf.stats.reduced_nnz_peak)
@@ -198,7 +215,10 @@ fn ilut_star_uses_no_more_levels_than_ilut() {
     };
     let (q_ilut, peak_ilut) = run(IlutOptions::new(10, 1e-6));
     let (q_star, peak_star) = run(IlutOptions::star(10, 1e-6, 2));
-    assert!(q_star <= q_ilut, "ILUT* levels {q_star} > ILUT levels {q_ilut}");
+    assert!(
+        q_star <= q_ilut,
+        "ILUT* levels {q_star} > ILUT levels {q_ilut}"
+    );
     assert!(
         peak_star <= peak_ilut,
         "ILUT* reduced fill {peak_star} > ILUT {peak_ilut}"
@@ -212,7 +232,7 @@ fn solve_roundtrip_repeatable_for_gmres_use() {
     let a = gen::laplace_2d(9, 9);
     let dm = DistMatrix::from_matrix(a.clone(), 3, 7);
     let opts = IlutOptions::new(5, 1e-3);
-    let out = Machine::run(3, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(3, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
         let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);

@@ -1,0 +1,209 @@
+//! Randomized property tests of the factorization invariants, serial and
+//! parallel.
+//!
+//! Formerly proptest strategies; now driven by the in-tree seeded
+//! [`SplitMix64`] so the suite runs with zero registry dependencies.
+
+use pilut_core::dist::DistMatrix;
+use pilut_core::options::IlutOptions;
+use pilut_core::parallel::par_ilut;
+use pilut_core::serial::{ilu0, iluk, ilut};
+use pilut_core::trisolve::{dist_solve, TrisolvePlan};
+use pilut_par::{Machine, MachineModel};
+use pilut_sparse::{CooMatrix, CsrMatrix, SplitMix64};
+
+/// Random strictly diagonally dominant matrix — ILUT never breaks down on
+/// these and the exact factorization is well conditioned.
+fn diag_dominant(rng: &mut SplitMix64, max_n: usize, extra: usize) -> CsrMatrix {
+    let n = 2 + rng.next_usize(max_n - 1);
+    let m = rng.next_usize(extra + 1);
+    let mut coo = CooMatrix::new(n, n);
+    let mut row_sum = vec![0.0f64; n];
+    for _ in 0..m {
+        let i = rng.next_usize(n);
+        let j = rng.next_usize(n);
+        if i != j {
+            let v = (rng.next_usize(80) as i32 - 40) as f64 / 10.0;
+            coo.push(i, j, v);
+            row_sum[i] += v.abs();
+        }
+    }
+    for (i, &s) in row_sum.iter().enumerate() {
+        coo.push(i, i, s + 1.0 + (i % 3) as f64);
+    }
+    coo.to_csr()
+}
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// No dropping ⇒ exact LU ⇒ exact solve.
+#[test]
+fn unbounded_ilut_is_exact() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(case);
+        let a = diag_dominant(&mut rng, 24, 80);
+        let n = a.n_rows();
+        let f = ilut(&a, &IlutOptions::new(n, 0.0)).expect("dominant matrix cannot break down");
+        f.check_structure().expect("factors well-formed");
+        let seed = rng.next_u64() % 100;
+        let x_true: Vec<f64> = (0..n)
+            .map(|i| ((seed + i as u64) % 9) as f64 - 4.0)
+            .collect();
+        let b = a.spmv_owned(&x_true);
+        let x = f.solve(&b);
+        assert!(
+            max_err(&x, &x_true) < 1e-6,
+            "case {case} err {}",
+            max_err(&x, &x_true)
+        );
+    }
+}
+
+/// The m-cap is a hard bound on per-row fill.
+#[test]
+fn fill_caps_hold() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(case);
+        let a = diag_dominant(&mut rng, 30, 120);
+        let m = 1 + rng.next_usize(5);
+        let f = ilut(&a, &IlutOptions::new(m, 0.0)).expect("dominant matrix cannot break down");
+        for i in 0..f.n {
+            assert!(f.l[i].len() <= m, "case {case}");
+            assert!(f.u[i].len() <= m + 1, "case {case}"); // + diagonal
+        }
+    }
+}
+
+/// Larger thresholds never increase fill.
+#[test]
+fn threshold_monotonicity() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(case);
+        let a = diag_dominant(&mut rng, 20, 70);
+        let n = a.n_rows();
+        let loose = ilut(&a, &IlutOptions::new(n, 1e-6)).expect("no breakdown");
+        let tight = ilut(&a, &IlutOptions::new(n, 1e-1)).expect("no breakdown");
+        assert!(tight.nnz() <= loose.nnz(), "case {case}");
+    }
+}
+
+/// ILU(k) fill grows monotonically with the level, and level 0 = ILU(0).
+#[test]
+fn iluk_level_monotonicity() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(case);
+        let a = diag_dominant(&mut rng, 20, 60);
+        let f0 = ilu0(&a).expect("no breakdown");
+        let k0 = iluk(&a, 0).expect("no breakdown");
+        assert_eq!(f0.nnz(), k0.nnz(), "case {case}");
+        let k1 = iluk(&a, 1).expect("no breakdown");
+        let k2 = iluk(&a, 2).expect("no breakdown");
+        assert!(k0.nnz() <= k1.nnz(), "case {case}");
+        assert!(k1.nnz() <= k2.nnz(), "case {case}");
+    }
+}
+
+/// Triangular solves invert the factored operator: for any factors,
+/// solve(multiply(x)) == x. (Uses the dense reconstruction.)
+#[test]
+fn trisolve_inverts_lu() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(case);
+        let a = diag_dominant(&mut rng, 16, 50);
+        let f = ilut(&a, &IlutOptions::new(4, 1e-2)).expect("no breakdown");
+        let n = f.n;
+        let seed = rng.next_u64() % 50;
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((seed + 3 * i as u64) % 7) as f64 - 3.0)
+            .collect();
+        // y = L U x via the dense product.
+        let dense = f.multiply_dense();
+        let y: Vec<f64> = dense
+            .iter()
+            .map(|row| row.iter().zip(&x).map(|(m, xi)| m * xi).sum())
+            .collect();
+        let back = f.solve(&y);
+        assert!(
+            max_err(&back, &x) < 1e-6,
+            "case {case} err {}",
+            max_err(&back, &x)
+        );
+    }
+}
+
+// The machine-backed cases are heavier; fewer of them.
+
+/// The parallel factorization with no dropping solves exactly for any
+/// rank count, matching the serial ground truth.
+#[test]
+fn parallel_exactness_any_rank_count() {
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(case);
+        let a = diag_dominant(&mut rng, 28, 90);
+        let p = 1 + rng.next_usize(4);
+        let seed = rng.next_u64() % 20;
+        let n = a.n_rows();
+        let x_true: Vec<f64> = (0..n)
+            .map(|i| ((seed + i as u64) % 11) as f64 - 5.0)
+            .collect();
+        let b_global = a.spmv_owned(&x_true);
+        let dm = DistMatrix::from_matrix(a.clone(), p, seed);
+        let opts = IlutOptions::new(n, 0.0);
+        let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let rf = par_ilut(ctx, &dm, &local, &opts).expect("no breakdown");
+            let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
+            let b: Vec<f64> = local.nodes.iter().map(|&g| b_global[g]).collect();
+            let x = dist_solve(ctx, &local, &rf, &plan, &b);
+            (local.nodes.clone(), x)
+        });
+        let mut x = vec![f64::NAN; n];
+        for (nodes, xl) in out.results {
+            for (g, v) in nodes.into_iter().zip(xl) {
+                x[g] = v;
+            }
+        }
+        assert!(
+            max_err(&x, &x_true) < 1e-5,
+            "case {case} p={p} err {}",
+            max_err(&x, &x_true)
+        );
+    }
+}
+
+/// Parallel fill caps hold on every rank's rows.
+#[test]
+fn parallel_fill_caps_hold() {
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(case);
+        let a = diag_dominant(&mut rng, 24, 70);
+        let p = 2 + rng.next_usize(2);
+        let m = 1 + rng.next_usize(4);
+        let dm = DistMatrix::from_matrix(a.clone(), p, 3);
+        let opts = IlutOptions::star(m, 1e-3, 2);
+        let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            par_ilut(ctx, &dm, &local, &opts).expect("no breakdown")
+        });
+        for rf in &out.results {
+            for (v, row) in &rf.rows {
+                assert!(
+                    row.l.len() <= m,
+                    "case {case}: L row {v} has {}",
+                    row.l.len()
+                );
+                assert!(
+                    row.u.len() <= m,
+                    "case {case}: U row {v} has {}",
+                    row.u.len()
+                );
+                assert!(row.diag != 0.0, "case {case}");
+            }
+        }
+    }
+}

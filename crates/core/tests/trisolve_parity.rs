@@ -16,7 +16,9 @@ fn single_rank_sweeps_match_serial() {
     let a = gen::convection_diffusion_2d(9, 9, 5.0, -2.0);
     let opts = IlutOptions::new(6, 1e-3);
     let serial = ilut(&a, &opts).unwrap();
-    let b: Vec<f64> = (0..a.n_rows()).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+    let b: Vec<f64> = (0..a.n_rows())
+        .map(|i| ((i * 13) % 7) as f64 - 3.0)
+        .collect();
     let mut y_serial = b.clone();
     serial.forward_solve(&mut y_serial);
     let mut x_serial = y_serial.clone();
@@ -24,7 +26,7 @@ fn single_rank_sweeps_match_serial() {
 
     let dm = DistMatrix::from_matrix(a, 1, 1);
     let b2 = b.clone();
-    let out = Machine::run(1, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(1, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(0);
         let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
         let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
@@ -50,7 +52,7 @@ fn multi_rank_forward_backward_compose() {
     let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
     let b_global = a.spmv_owned(&x_true);
     let dm = DistMatrix::from_matrix(a, 4, 13);
-    let out = Machine::run(4, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
         let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
@@ -61,7 +63,11 @@ fn multi_rank_forward_backward_compose() {
     });
     for (nodes, x) in out.results {
         for (g, v) in nodes.into_iter().zip(x) {
-            assert!((v - x_true[g]).abs() < 1e-7, "node {g}: {v} vs {}", x_true[g]);
+            assert!(
+                (v - x_true[g]).abs() < 1e-7,
+                "node {g}: {v} vs {}",
+                x_true[g]
+            );
         }
     }
 }
@@ -76,7 +82,7 @@ fn more_levels_cost_more_simulated_time() {
     let p = 8;
     let time_of = |opts: IlutOptions| {
         let dm = DistMatrix::from_matrix(a.clone(), p, 17);
-        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
             let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
@@ -93,7 +99,10 @@ fn more_levels_cost_more_simulated_time() {
     };
     let (t_ilut, q_ilut) = time_of(IlutOptions::new(10, 1e-6));
     let (t_star, q_star) = time_of(IlutOptions::star(10, 1e-6, 2));
-    assert!(q_ilut > q_star, "expected ILUT to need more levels: {q_ilut} vs {q_star}");
+    assert!(
+        q_ilut > q_star,
+        "expected ILUT to need more levels: {q_ilut} vs {q_star}"
+    );
     assert!(
         t_ilut > t_star,
         "substitution with more levels should cost more: {t_ilut} vs {t_star}"

@@ -22,7 +22,12 @@ impl Graph {
     /// # Panics
     /// Panics on inconsistent arrays, self-loops, unsorted neighbour lists,
     /// or an asymmetric arc set.
-    pub fn from_raw(xadj: Vec<usize>, adjncy: Vec<usize>, adjwgt: Vec<i64>, vwgt: Vec<i64>) -> Self {
+    pub fn from_raw(
+        xadj: Vec<usize>,
+        adjncy: Vec<usize>,
+        adjwgt: Vec<i64>,
+        vwgt: Vec<i64>,
+    ) -> Self {
         let n = xadj.len().saturating_sub(1);
         assert_eq!(vwgt.len(), n);
         assert_eq!(adjncy.len(), adjwgt.len());
@@ -37,7 +42,12 @@ impl Graph {
                 assert!(v < n, "neighbour out of range at {u}");
             }
         }
-        let g = Graph { xadj, adjncy, adjwgt, vwgt };
+        let g = Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        };
         for u in 0..n {
             for (v, w) in g.neighbors(u) {
                 let back = g
@@ -54,7 +64,11 @@ impl Graph {
     /// (the pattern is symmetrised; the diagonal is ignored). Unit vertex
     /// and edge weights.
     pub fn from_csr_pattern(a: &CsrMatrix) -> Self {
-        assert_eq!(a.n_rows(), a.n_cols(), "structure graph needs a square matrix");
+        assert_eq!(
+            a.n_rows(),
+            a.n_cols(),
+            "structure graph needs a square matrix"
+        );
         let s = a.symmetrized_pattern();
         let n = s.n_rows();
         let mut xadj = Vec::with_capacity(n + 1);
@@ -70,9 +84,15 @@ impl Graph {
             xadj.push(adjncy.len());
         }
         let m = adjncy.len();
-        Graph { xadj, adjncy, adjwgt: vec![1; m], vwgt: vec![1; n] }
+        Graph {
+            xadj,
+            adjncy,
+            adjwgt: vec![1; m],
+            vwgt: vec![1; n],
+        }
     }
 
+    /// Number of vertices.
     pub fn n_vertices(&self) -> usize {
         self.vwgt.len()
     }
@@ -82,14 +102,17 @@ impl Graph {
         self.adjncy.len() / 2
     }
 
+    /// Number of neighbours of `u`.
     pub fn degree(&self, u: usize) -> usize {
         self.xadj[u + 1] - self.xadj[u]
     }
 
+    /// The weight of vertex `u`.
     pub fn vertex_weight(&self, u: usize) -> i64 {
         self.vwgt[u]
     }
 
+    /// Sum of all vertex weights.
     pub fn total_vertex_weight(&self) -> i64 {
         self.vwgt.iter().sum()
     }
@@ -97,7 +120,10 @@ impl Graph {
     /// Iterates `(neighbour, edge_weight)` pairs of `u`.
     pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, i64)> + '_ {
         let (s, e) = (self.xadj[u], self.xadj[u + 1]);
-        self.adjncy[s..e].iter().copied().zip(self.adjwgt[s..e].iter().copied())
+        self.adjncy[s..e]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[s..e].iter().copied())
     }
 
     /// Neighbour ids only.
@@ -108,7 +134,10 @@ impl Graph {
     /// Weight of edge `{u, v}` if present.
     pub fn edge_weight(&self, u: usize, v: usize) -> Option<i64> {
         let (s, e) = (self.xadj[u], self.xadj[u + 1]);
-        self.adjncy[s..e].binary_search(&v).ok().map(|k| self.adjwgt[s + k])
+        self.adjncy[s..e]
+            .binary_search(&v)
+            .ok()
+            .map(|k| self.adjwgt[s + k])
     }
 
     /// Sum of the weights of edges crossing the given partition.

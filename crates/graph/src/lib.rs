@@ -28,5 +28,5 @@ pub mod rcm;
 
 pub use adj::Graph;
 pub use mis::{luby_mis, MisOptions};
-pub use rcm::reverse_cuthill_mckee;
 pub use partition::{partition_kway, PartitionOptions, PartitionResult};
+pub use rcm::reverse_cuthill_mckee;

@@ -14,8 +14,7 @@
 //! synchronisation cost on a distributed machine.
 
 use pilut_sparse::CsrMatrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pilut_sparse::SplitMix64;
 
 /// Options for [`luby_mis`].
 #[derive(Clone, Debug)]
@@ -28,7 +27,10 @@ pub struct MisOptions {
 
 impl Default for MisOptions {
     fn default() -> Self {
-        MisOptions { max_rounds: 5, seed: 1 }
+        MisOptions {
+            max_rounds: 5,
+            seed: 1,
+        }
     }
 }
 
@@ -43,9 +45,9 @@ pub fn luby_mis(pattern: &CsrMatrix, opts: &MisOptions) -> Vec<usize> {
     assert_eq!(pattern.n_rows(), pattern.n_cols());
     let n = pattern.n_rows();
     let t = pattern.transpose();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rng = SplitMix64::new(opts.seed);
     // Random keys with a deterministic tie-break by vertex id.
-    let keys: Vec<(u64, usize)> = (0..n).map(|v| (rng.gen::<u64>(), v)).collect();
+    let keys: Vec<(u64, usize)> = (0..n).map(|v| (rng.next_u64(), v)).collect();
 
     #[derive(Clone, Copy, PartialEq)]
     enum State {
@@ -202,8 +204,17 @@ mod tests {
         // A chain of one-directional arcs — the failure case for plain Luby.
         let p = directed(6, &[(0, 1), (2, 1), (2, 3), (4, 3), (4, 5), (0, 5)]);
         for seed in 0..20 {
-            let mis = luby_mis(&p, &MisOptions { seed, ..Default::default() });
-            assert!(is_independent(&p, &mis), "seed {seed} gave dependent set {mis:?}");
+            let mis = luby_mis(
+                &p,
+                &MisOptions {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                is_independent(&p, &mis),
+                "seed {seed} gave dependent set {mis:?}"
+            );
             assert!(!mis.is_empty());
         }
     }
@@ -212,7 +223,13 @@ mod tests {
     fn maximal_on_symmetric_grid_with_enough_rounds() {
         let a = gen::laplace_2d(8, 8);
         for seed in 0..5 {
-            let mis = luby_mis(&a, &MisOptions { max_rounds: 64, seed });
+            let mis = luby_mis(
+                &a,
+                &MisOptions {
+                    max_rounds: 64,
+                    seed,
+                },
+            );
             assert!(is_maximal_independent(&a, &mis), "seed {seed}");
         }
     }
@@ -220,8 +237,20 @@ mod tests {
     #[test]
     fn truncated_rounds_still_capture_most_vertices() {
         let a = gen::laplace_2d(16, 16);
-        let full = luby_mis(&a, &MisOptions { max_rounds: 64, seed: 9 });
-        let trunc = luby_mis(&a, &MisOptions { max_rounds: 5, seed: 9 });
+        let full = luby_mis(
+            &a,
+            &MisOptions {
+                max_rounds: 64,
+                seed: 9,
+            },
+        );
+        let trunc = luby_mis(
+            &a,
+            &MisOptions {
+                max_rounds: 5,
+                seed: 9,
+            },
+        );
         assert!(is_independent(&a, &trunc));
         assert!(
             trunc.len() * 10 >= full.len() * 9,
@@ -234,7 +263,10 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let a = gen::laplace_2d(10, 10);
-        let o = MisOptions { seed: 42, ..Default::default() };
+        let o = MisOptions {
+            seed: 42,
+            ..Default::default()
+        };
         assert_eq!(luby_mis(&a, &o), luby_mis(&a, &o));
     }
 

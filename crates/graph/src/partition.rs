@@ -19,9 +19,7 @@
 //! implementation preserves every measured behaviour (DESIGN.md §8).
 
 use crate::adj::Graph;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use pilut_sparse::SplitMix64;
 
 /// Tuning knobs for [`partition_kway`].
 #[derive(Clone, Debug)]
@@ -41,6 +39,7 @@ pub struct PartitionOptions {
 }
 
 impl PartitionOptions {
+    /// Options for a `k`-way partition with default refinement settings.
     pub fn new(k: usize) -> Self {
         PartitionOptions {
             k,
@@ -77,7 +76,7 @@ pub fn partition_kway(g: &Graph, opts: &PartitionOptions) -> PartitionResult {
         let part: Vec<usize> = (0..n).collect();
         return finish(g, part, k);
     }
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rng = SplitMix64::new(opts.seed);
 
     // --- Coarsening phase -------------------------------------------------
     let mut levels: Vec<(Graph, Vec<usize>)> = Vec::new(); // (finer graph, cmap)
@@ -122,15 +121,19 @@ pub fn partition_kway(g: &Graph, opts: &PartitionOptions) -> PartitionResult {
 fn finish(g: &Graph, part: Vec<usize>, k: usize) -> PartitionResult {
     let edge_cut = g.edge_cut(&part);
     let part_weights = g.part_weights(&part, k);
-    PartitionResult { part, edge_cut, part_weights }
+    PartitionResult {
+        part,
+        edge_cut,
+        part_weights,
+    }
 }
 
 /// One level of heavy-edge matching coarsening. Returns the coarse graph and
 /// the fine→coarse vertex map.
-fn coarsen_once(g: &Graph, rng: &mut StdRng) -> (Graph, Vec<usize>) {
+fn coarsen_once(g: &Graph, rng: &mut SplitMix64) -> (Graph, Vec<usize>) {
     let n = g.n_vertices();
     let mut order: Vec<usize> = (0..n).collect();
-    order.shuffle(rng);
+    rng.shuffle(&mut order);
     let mut mate = vec![usize::MAX; n];
     for &u in &order {
         if mate[u] != usize::MAX {
@@ -176,7 +179,7 @@ fn coarsen_once(g: &Graph, rng: &mut StdRng) -> (Graph, Vec<usize>) {
     let mut adjwgt: Vec<i64> = Vec::new();
     xadj.push(0);
     let mut pos = vec![usize::MAX; nc]; // coarse nbr -> slot in current row
-    // Group fine vertices by coarse id.
+                                        // Group fine vertices by coarse id.
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); nc];
     for u in 0..n {
         members[cmap[u]].push(u);
@@ -225,7 +228,7 @@ fn recursive_bisect(
     targets: &[i64],
     base: usize,
     part: &mut [usize],
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     opts: &PartitionOptions,
 ) {
     let k = targets.len();
@@ -247,7 +250,15 @@ fn recursive_bisect(
     let w_left: i64 = targets[..k_left].iter().sum();
     let (left, right) = bisect(g, vertices, w_left, rng, opts);
     recursive_bisect(g, &left, &targets[..k_left], base, part, rng, opts);
-    recursive_bisect(g, &right, &targets[k_left..], base + k_left, part, rng, opts);
+    recursive_bisect(
+        g,
+        &right,
+        &targets[k_left..],
+        base + k_left,
+        part,
+        rng,
+        opts,
+    );
 }
 
 /// Splits `vertices` into two sets, the first with weight ≈ `w_left`,
@@ -256,16 +267,21 @@ fn bisect(
     g: &Graph,
     vertices: &[usize],
     w_left: i64,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     opts: &PartitionOptions,
 ) -> (Vec<usize>, Vec<usize>) {
     let mut in_set = vec![false; g.n_vertices()];
     for &u in vertices {
         in_set[u] = true;
     }
-    let mut best: Option<(i64, Vec<bool>)> = None;
+    let total: i64 = vertices.iter().map(|&u| g.vertex_weight(u)).sum();
+    let tol = ((total as f64 * (opts.imbalance - 1.0)).ceil() as i64).max(1);
+    // Rank trials by (balance violation beyond tolerance, cut): a cheap cut
+    // is worthless if the split is lopsided, because recursion below this
+    // level can never restore weight that landed on the wrong side.
+    let mut best: Option<((i64, i64), Vec<bool>)> = None;
     for _ in 0..opts.bisection_tries.max(1) {
-        let seed = vertices[rng.gen_range(0..vertices.len())];
+        let seed = vertices[rng.next_usize(vertices.len())];
         let mut side = vec![false; g.n_vertices()]; // true = left
         let mut grown = 0i64;
         let mut queue = std::collections::VecDeque::new();
@@ -294,10 +310,18 @@ fn bisect(
         }
         refine_bisection(g, vertices, &in_set, &mut side, w_left, opts);
         let cut = cut_within(g, vertices, &side);
-        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
-            best = Some((cut, side));
+        let lw: i64 = vertices
+            .iter()
+            .filter(|&&u| side[u])
+            .map(|&u| g.vertex_weight(u))
+            .sum();
+        let violation = ((lw - w_left).abs() - tol).max(0);
+        let key = (violation, cut);
+        if best.as_ref().is_none_or(|(bk, _)| key < *bk) {
+            best = Some((key, side));
         }
     }
+    // lint: allow(unwrap): the trial loop always records at least one candidate
     let (_, side) = best.unwrap();
     let mut left = Vec::new();
     let mut right = Vec::new();
@@ -310,8 +334,10 @@ fn bisect(
     }
     // Degenerate splits can happen on tiny graphs; force non-emptiness.
     if left.is_empty() && !right.is_empty() {
+        // lint: allow(unwrap): pop is guarded by the non-emptiness test
         left.push(right.pop().unwrap());
     } else if right.is_empty() && !left.is_empty() {
+        // lint: allow(unwrap): pop is guarded by the non-emptiness test
         right.push(left.pop().unwrap());
     }
     (left, right)
@@ -341,7 +367,11 @@ fn refine_bisection(
 ) {
     let total: i64 = vertices.iter().map(|&u| g.vertex_weight(u)).sum();
     let tol = ((total as f64 * (opts.imbalance - 1.0)).ceil() as i64).max(1);
-    let mut weight_left: i64 = vertices.iter().filter(|&&u| side[u]).map(|&u| g.vertex_weight(u)).sum();
+    let mut weight_left: i64 = vertices
+        .iter()
+        .filter(|&&u| side[u])
+        .map(|&u| g.vertex_weight(u))
+        .sum();
     for _ in 0..opts.refine_passes {
         let mut moved_any = false;
         for &u in vertices {
@@ -360,7 +390,11 @@ fn refine_bisection(
             }
             let gain = ext - int;
             let wu = g.vertex_weight(u);
-            let new_left = if side[u] { weight_left - wu } else { weight_left + wu };
+            let new_left = if side[u] {
+                weight_left - wu
+            } else {
+                weight_left + wu
+            };
             let balance_ok = (new_left - w_left).abs() <= tol;
             let improves_balance = (new_left - w_left).abs() < (weight_left - w_left).abs();
             if (gain > 0 && balance_ok) || (gain == 0 && improves_balance) {
@@ -376,14 +410,20 @@ fn refine_bisection(
 }
 
 /// Greedy balance-constrained k-way boundary refinement.
-fn refine_kway(g: &Graph, part: &mut [usize], k: usize, opts: &PartitionOptions, rng: &mut StdRng) {
+fn refine_kway(
+    g: &Graph,
+    part: &mut [usize],
+    k: usize,
+    opts: &PartitionOptions,
+    rng: &mut SplitMix64,
+) {
     let n = g.n_vertices();
     let total = g.total_vertex_weight();
     let max_w = ((total as f64 / k as f64) * opts.imbalance).ceil() as i64;
     let mut pw = g.part_weights(part, k);
     let mut order: Vec<usize> = (0..n).collect();
     for _ in 0..opts.refine_passes {
-        order.shuffle(rng);
+        rng.shuffle(&mut order);
         let mut moved_any = false;
         let mut conn: Vec<i64> = vec![0; k]; // connectivity scratch
         let mut touched: Vec<usize> = Vec::new();
@@ -416,18 +456,29 @@ fn refine_kway(g: &Graph, part: &mut [usize], k: usize, opts: &PartitionOptions,
                 let gain = conn[p] - here;
                 let fits = pw[p] + wu <= max_w;
                 let helps_balance = pw[p] + wu < pw[pu];
-                if fits && (gain > best_gain || (gain == best_gain && gain >= 0 && helps_balance && best_p == pu)) {
+                if fits
+                    && (gain > best_gain
+                        || (gain == best_gain && gain >= 0 && helps_balance && best_p == pu))
+                {
                     best_p = p;
                     best_gain = gain;
                 }
             }
-            // Also allow zero-gain moves purely to restore balance when the
-            // current part is overweight.
+            // Balance restoration: an overweight part may shed boundary
+            // vertices even at negative gain. Requiring the destination to
+            // stay strictly below the source's current weight makes the
+            // sorted weight vector decrease on every such move, so the pass
+            // cannot oscillate; among admissible parts, take the one that
+            // costs the cut least.
             if best_p == pu && pw[pu] > max_w {
+                let mut best_relief = i64::MIN;
                 for &p in &touched {
-                    if p != pu && pw[p] + wu <= max_w && conn[p] - here >= best_gain.min(0) {
-                        best_p = p;
-                        break;
+                    if p != pu && pw[p] + wu < pw[pu] {
+                        let relief = conn[p] - here;
+                        if relief > best_relief {
+                            best_relief = relief;
+                            best_p = p;
+                        }
                     }
                 }
             }
@@ -470,7 +521,11 @@ mod tests {
         let r = partition_kway(&g, &PartitionOptions::new(2));
         assert_eq!(r.part_weights.iter().sum::<i64>(), 256);
         let max = *r.part_weights.iter().max().unwrap();
-        assert!(max <= (256.0f64 / 2.0 * 1.06).ceil() as i64, "imbalanced: {:?}", r.part_weights);
+        assert!(
+            max <= (256.0f64 / 2.0 * 1.06).ceil() as i64,
+            "imbalanced: {:?}",
+            r.part_weights
+        );
         // Perfect bisection of a 16x16 grid cuts 16 edges; allow 2x slack.
         assert!(r.edge_cut <= 32, "cut too high: {}", r.edge_cut);
     }
@@ -480,7 +535,11 @@ mod tests {
         let g = grid_graph(20, 20);
         let r = partition_kway(&g, &PartitionOptions::new(4));
         let max = *r.part_weights.iter().max().unwrap();
-        assert!(max <= (400.0f64 / 4.0 * 1.08).ceil() as i64, "imbalanced: {:?}", r.part_weights);
+        assert!(
+            max <= (400.0f64 / 4.0 * 1.08).ceil() as i64,
+            "imbalanced: {:?}",
+            r.part_weights
+        );
         // Ideal 4-way cut of 20x20 grid is 40; allow 2.5x slack.
         assert!(r.edge_cut <= 100, "cut too high: {}", r.edge_cut);
         // All parts used.
@@ -496,7 +555,11 @@ mod tests {
         let g = Graph::from_csr_pattern(&gen::laplace_3d(8, 8, 8));
         let r = partition_kway(&g, &PartitionOptions::new(8));
         let max = *r.part_weights.iter().max().unwrap();
-        assert!(max <= (512.0f64 / 8.0 * 1.10).ceil() as i64, "imbalanced: {:?}", r.part_weights);
+        assert!(
+            max <= (512.0f64 / 8.0 * 1.10).ceil() as i64,
+            "imbalanced: {:?}",
+            r.part_weights
+        );
         assert!(r.edge_cut > 0);
     }
 
@@ -521,7 +584,7 @@ mod tests {
     #[test]
     fn coarsening_preserves_total_weight() {
         let g = grid_graph(10, 10);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let (c, cmap) = coarsen_once(&g, &mut rng);
         assert_eq!(c.total_vertex_weight(), g.total_vertex_weight());
         assert!(c.n_vertices() < g.n_vertices());
@@ -530,7 +593,7 @@ mod tests {
         assert!(cmap.iter().all(|&c_id| c_id < c.n_vertices()));
     }
 
-        /// Regression: a 3-D mesh at a large part count drives the recursive
+    /// Regression: a 3-D mesh at a large part count drives the recursive
     /// bisection into subtrees with fewer vertices than parts (the crash
     /// originally surfaced on the TORSO benchmark at p = 32).
     #[test]
@@ -540,10 +603,7 @@ mod tests {
         for k in [32usize, 64, 128] {
             let r = partition_kway(&g, &PartitionOptions::new(k));
             assert!(r.part.iter().all(|&p| p < k));
-            assert_eq!(
-                r.part_weights.iter().sum::<i64>(),
-                g.total_vertex_weight()
-            );
+            assert_eq!(r.part_weights.iter().sum::<i64>(), g.total_vertex_weight());
         }
     }
 
@@ -554,6 +614,10 @@ mod tests {
         let r = partition_kway(&g, &PartitionOptions::new(4));
         let total = g.total_vertex_weight();
         let max = *r.part_weights.iter().max().unwrap();
-        assert!(max as f64 <= total as f64 / 4.0 * 1.2, "imbalanced: {:?}", r.part_weights);
+        assert!(
+            max as f64 <= total as f64 / 4.0 * 1.2,
+            "imbalanced: {:?}",
+            r.part_weights
+        );
     }
 }

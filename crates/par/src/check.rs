@@ -1,0 +1,403 @@
+//! `commcheck` — the verification layer of the virtual machine.
+//!
+//! Message-passing bugs in the parallel ILUT protocols (a mismatched
+//! `(from, tag)` pair, collectives called in different orders on different
+//! ranks, a message sent and never received) all have the same production
+//! symptom: [`crate::Ctx::recv`] blocks forever and the run hangs with no
+//! diagnostic. In checked mode ([`crate::Machine::run_checked`]) every rank
+//! publishes its scheduling state to a shared **status board**, and blocked
+//! ranks poll a **watchdog predicate**: when every unfinished rank is
+//! blocked and no envelope is in flight, no future progress is possible, so
+//! the run aborts with the wait-for graph and the deadlock cycle instead of
+//! hanging. Two more checks ride on the same machinery:
+//!
+//! * **message-leak detection** — any envelope still buffered (or still in
+//!   a rank's channel) when that rank returns is reported as
+//!   `(from, to, tag, bytes)`; a leaked message is a protocol error even
+//!   when the run otherwise completes;
+//! * **collective-order checking** — every collective piggybacks its
+//!   operation kind on the reserved-tag traffic, so a barrier matched
+//!   against an all-reduce (or any out-of-order collective pair) panics
+//!   with both ranks' collective call sequences.
+//!
+//! The production path ([`crate::Machine::run`]) carries none of this: no
+//! shared board, no timeouts, no checks.
+
+use std::sync::Mutex;
+
+/// What a rank is doing right now, as published on the commcheck board.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RankStatus {
+    /// Computing or sending; may still make progress on its own.
+    Running,
+    /// Blocked in a receive. `from == None` means "any source"
+    /// (the sparse all-to-all's completion loop).
+    BlockedRecv {
+        /// Source rank the receive is matching, if specific.
+        from: Option<usize>,
+        /// Tag the receive is matching.
+        tag: u64,
+    },
+    /// Returned from the rank closure.
+    Finished,
+    /// Unwound with a panic; it will never send again.
+    Panicked,
+}
+
+/// The collective operations the machine offers, piggybacked on
+/// reserved-tag envelopes for order checking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollKind {
+    /// [`crate::Ctx::barrier`]
+    Barrier,
+    /// [`crate::Ctx::all_reduce_f64`] and its scalar conveniences.
+    AllReduceF64,
+    /// [`crate::Ctx::all_reduce_u64`] and its scalar conveniences.
+    AllReduceU64,
+    /// [`crate::Ctx::all_gather_u64`]
+    AllGatherU64,
+    /// [`crate::Ctx::all_gather_f64`]
+    AllGatherF64,
+    /// The data phase of [`crate::Ctx::exchange`].
+    Exchange,
+}
+
+/// One leaked envelope, reported at rank exit.
+#[derive(Clone, Debug)]
+pub struct LeakRecord {
+    /// Sending rank.
+    pub from: usize,
+    /// Receiving rank (whose buffer held the leak).
+    pub to: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Payload size on the simulated wire.
+    pub bytes: usize,
+}
+
+/// Mutable board contents, guarded by one mutex: scheduling states, the
+/// in-flight envelope count, per-rank collective logs, and the first
+/// failure diagnosis.
+struct Board {
+    status: Vec<RankStatus>,
+    /// Envelopes handed to each rank's channel and not yet drained by that
+    /// rank. Incremented *before* the channel send and decremented *after*
+    /// the channel receive, so it never undercounts: a spurious deadlock can
+    /// never be declared while a message could still arrive. Tracked per
+    /// destination so traffic stranded at a finished or panicked rank (a
+    /// leak, swept separately) cannot mask a deadlock among the live ranks.
+    in_flight_to: Vec<u64>,
+    coll_logs: Vec<Vec<CollKind>>,
+    failure: Option<String>,
+    leaks: Vec<LeakRecord>,
+}
+
+/// Shared state of one checked run. One instance per
+/// [`crate::Machine::run_checked`] call, shared by all rank threads.
+pub struct CheckState {
+    board: Mutex<Board>,
+}
+
+/// Marker prefix for secondary abort panics (ranks killed because another
+/// rank already produced the primary diagnosis). `run_checked` suppresses
+/// these in favour of the stored failure.
+pub(crate) const SECONDARY_ABORT: &str = "commcheck-secondary-abort";
+
+impl CheckState {
+    pub(crate) fn new(p: usize) -> Self {
+        CheckState {
+            board: Mutex::new(Board {
+                status: vec![RankStatus::Running; p],
+                in_flight_to: vec![0; p],
+                coll_logs: vec![Vec::new(); p],
+                failure: None,
+                leaks: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Board> {
+        // A poisoned board means some rank panicked mid-update; the data is
+        // plain-old-data and still the best diagnostic we have.
+        self.board.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Called by a sender immediately before handing an envelope to rank
+    /// `to`'s channel.
+    pub(crate) fn note_send(&self, to: usize) {
+        self.lock().in_flight_to[to] += 1;
+    }
+
+    /// Called by rank `rank` immediately after draining an envelope from
+    /// its channel (whether or not it matches the pending receive).
+    pub(crate) fn note_drain(&self, rank: usize) {
+        let mut b = self.lock();
+        debug_assert!(
+            b.in_flight_to[rank] > 0,
+            "drained more envelopes than were sent"
+        );
+        b.in_flight_to[rank] = b.in_flight_to[rank].saturating_sub(1);
+    }
+
+    pub(crate) fn set_status(&self, rank: usize, status: RankStatus) {
+        self.lock().status[rank] = status;
+    }
+
+    pub(crate) fn log_collective(&self, rank: usize, kind: CollKind) {
+        self.lock().coll_logs[rank].push(kind);
+    }
+
+    pub(crate) fn record_leaks(&self, leaks: impl IntoIterator<Item = LeakRecord>) {
+        self.lock().leaks.extend(leaks);
+    }
+
+    /// Records the primary failure if none is stored yet and returns the
+    /// message the calling rank should panic with.
+    pub(crate) fn fail(&self, report: String) -> String {
+        let mut b = self.lock();
+        if b.failure.is_none() {
+            b.failure = Some(report.clone());
+            report
+        } else {
+            format!("{SECONDARY_ABORT}: see primary failure")
+        }
+    }
+
+    pub(crate) fn take_failure(&self) -> Option<String> {
+        self.lock().failure.take()
+    }
+
+    pub(crate) fn take_leaks(&self) -> Vec<LeakRecord> {
+        std::mem::take(&mut self.lock().leaks)
+    }
+
+    pub(crate) fn coll_logs(&self) -> Vec<Vec<CollKind>> {
+        self.lock().coll_logs.clone()
+    }
+
+    /// The watchdog predicate, polled by blocked ranks: declares a deadlock
+    /// when every unfinished rank is blocked and no envelope is in flight.
+    /// Returns the message the calling rank must panic with, if any.
+    pub(crate) fn check_stuck(&self, _rank: usize) -> Option<String> {
+        let mut b = self.lock();
+        if b.failure.is_some() {
+            // Another rank already diagnosed the run; die quietly.
+            return Some(format!("{SECONDARY_ABORT}: see primary failure"));
+        }
+        let any_running = b.status.iter().any(|s| matches!(s, RankStatus::Running));
+        if any_running {
+            return None;
+        }
+        let mut any_blocked = false;
+        for (r, s) in b.status.iter().enumerate() {
+            if matches!(s, RankStatus::BlockedRecv { .. }) {
+                any_blocked = true;
+                if b.in_flight_to[r] > 0 {
+                    // A blocked rank still has traffic to drain; it will
+                    // wake and either match it or buffer it.
+                    return None;
+                }
+            }
+        }
+        if !any_blocked {
+            return None;
+        }
+        let report = deadlock_report(&b.status, &b.coll_logs);
+        b.failure = Some(report.clone());
+        Some(report)
+    }
+}
+
+/// Formats the wait-for graph, the deadlock cycle (if one exists), and any
+/// collective-sequence divergence between ranks.
+fn deadlock_report(status: &[RankStatus], coll_logs: &[Vec<CollKind>]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("commcheck: deadlock — every unfinished rank is blocked and no message is in flight\nwait-for graph:\n");
+    for (r, s) in status.iter().enumerate() {
+        match s {
+            RankStatus::Running => {
+                let _ = writeln!(out, "  rank {r}: running (!?)");
+            }
+            RankStatus::BlockedRecv { from: Some(f), tag } => {
+                let _ = writeln!(out, "  rank {r} -> rank {f}  (recv from={f} tag={tag})");
+            }
+            RankStatus::BlockedRecv { from: None, tag } => {
+                let _ = writeln!(out, "  rank {r} -> any rank  (recv from=any tag={tag})");
+            }
+            RankStatus::Finished => {
+                let _ = writeln!(out, "  rank {r}: finished");
+            }
+            RankStatus::Panicked => {
+                let _ = writeln!(out, "  rank {r}: panicked");
+            }
+        }
+    }
+    if let Some(cycle) = find_cycle(status) {
+        let path: Vec<String> = cycle.iter().map(|r| format!("rank {r}")).collect();
+        let _ = writeln!(out, "deadlock cycle: {} -> {}", path.join(" -> "), path[0]);
+    } else {
+        // No cycle: some rank waits on a rank that can never send again.
+        for (r, s) in status.iter().enumerate() {
+            if let RankStatus::BlockedRecv { from: Some(f), .. } = s {
+                match status[*f] {
+                    RankStatus::Finished => {
+                        let _ = writeln!(
+                            out,
+                            "rank {r} waits on rank {f}, which already finished without sending"
+                        );
+                    }
+                    RankStatus::Panicked => {
+                        let _ = writeln!(out, "rank {r} waits on rank {f}, which panicked");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    if let Some(divergence) = collective_divergence(coll_logs) {
+        let _ = write!(out, "{divergence}");
+    }
+    out
+}
+
+/// Follows single-source wait-for edges looking for a cycle; returns the
+/// ranks along it.
+fn find_cycle(status: &[RankStatus]) -> Option<Vec<usize>> {
+    let next = |r: usize| -> Option<usize> {
+        match status[r] {
+            RankStatus::BlockedRecv { from: Some(f), .. } => Some(f),
+            _ => None,
+        }
+    };
+    let n = status.len();
+    let mut mark = vec![0u8; n]; // 0 = unvisited, 1 = on current walk, 2 = done
+    for start in 0..n {
+        if mark[start] != 0 {
+            continue;
+        }
+        let mut walk = Vec::new();
+        let mut cur = start;
+        loop {
+            if mark[cur] == 1 {
+                // Found a cycle: trim the walk's tail leading into it.
+                let pos = walk
+                    .iter()
+                    .position(|&x| x == cur)
+                    // lint: allow(unwrap): `cur` was just found marked as on the current walk
+                    .expect("on current walk");
+                for &w in &walk {
+                    mark[w] = 2;
+                }
+                return Some(walk[pos..].to_vec());
+            }
+            if mark[cur] == 2 {
+                break;
+            }
+            mark[cur] = 1;
+            walk.push(cur);
+            match next(cur) {
+                Some(f) => cur = f,
+                None => break,
+            }
+        }
+        for &w in &walk {
+            mark[w] = 2;
+        }
+    }
+    None
+}
+
+/// Describes the first point where two ranks' collective call sequences
+/// differ, if they do.
+pub(crate) fn collective_divergence(coll_logs: &[Vec<CollKind>]) -> Option<String> {
+    use std::fmt::Write;
+    let (r0, rest) = (0usize, 1..coll_logs.len());
+    for r in rest {
+        let a = &coll_logs[r0];
+        let b = &coll_logs[r];
+        if a == b {
+            continue;
+        }
+        let at = a
+            .iter()
+            .zip(b.iter())
+            .position(|(x, y)| x != y)
+            .unwrap_or(a.len().min(b.len()));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "collective call sequences diverge between rank {r0} and rank {r} at call #{at}:"
+        );
+        let _ = writeln!(out, "  rank {r0}: {}", fmt_log(a, at));
+        let _ = writeln!(out, "  rank {r}: {}", fmt_log(b, at));
+        return Some(out);
+    }
+    None
+}
+
+/// Renders a collective log with a marker at the divergence point.
+fn fmt_log(log: &[CollKind], at: usize) -> String {
+    let mut parts: Vec<String> = Vec::with_capacity(log.len());
+    for (i, k) in log.iter().enumerate() {
+        if i == at {
+            parts.push(format!(">>{k:?}<<"));
+        } else {
+            parts.push(format!("{k:?}"));
+        }
+    }
+    if at >= log.len() {
+        parts.push(">>(end of sequence)<<".to_string());
+    }
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocked(from: usize, tag: u64) -> RankStatus {
+        RankStatus::BlockedRecv {
+            from: Some(from),
+            tag,
+        }
+    }
+
+    #[test]
+    fn cycle_found_in_simple_ring() {
+        let status = vec![blocked(1, 0), blocked(2, 0), blocked(0, 0)];
+        let cycle = find_cycle(&status).expect("ring deadlock has a cycle");
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn self_wait_is_a_cycle() {
+        let status = vec![blocked(0, 7)];
+        assert_eq!(find_cycle(&status), Some(vec![0]));
+    }
+
+    #[test]
+    fn waiting_on_finished_rank_has_no_cycle() {
+        let status = vec![blocked(1, 0), RankStatus::Finished];
+        assert!(find_cycle(&status).is_none());
+        let report = deadlock_report(&status, &[Vec::new(), Vec::new()]);
+        assert!(report.contains("already finished"), "{report}");
+    }
+
+    #[test]
+    fn divergence_pinpoints_first_difference() {
+        let logs = vec![
+            vec![CollKind::Barrier, CollKind::AllReduceF64],
+            vec![CollKind::Barrier, CollKind::Barrier],
+        ];
+        let d = collective_divergence(&logs).expect("logs differ");
+        assert!(d.contains("call #1"), "{d}");
+        assert!(d.contains(">>AllReduceF64<<"), "{d}");
+        assert!(d.contains(">>Barrier<<"), "{d}");
+    }
+
+    #[test]
+    fn equal_logs_have_no_divergence() {
+        let logs = vec![vec![CollKind::Barrier]; 4];
+        assert!(collective_divergence(&logs).is_none());
+    }
+}

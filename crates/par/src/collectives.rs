@@ -5,6 +5,7 @@
 //! `O(log p)` latency depth automatically. The SPMD contract applies: every
 //! rank must call each collective in the same program order.
 
+use crate::check::CollKind;
 use crate::ctx::Ctx;
 use crate::payload::Payload;
 
@@ -17,11 +18,23 @@ pub enum ReduceOp {
 }
 
 impl Ctx {
-    fn next_coll_tag(&mut self) -> u64 {
+    /// Opens a collective: allocates its reserved tag, marks the op as the
+    /// one currently executing (piggybacked on every reserved-tag envelope
+    /// for commcheck's order verification), and logs it on the board.
+    fn begin_collective(&mut self, kind: CollKind) -> u64 {
         let tag = Self::RESERVED_TAG_BASE | self.coll_seq;
         self.coll_seq += 1;
         self.counters.collectives += 1;
+        self.current_coll = Some(kind);
+        if let Some(check) = self.check() {
+            check.log_collective(self.rank(), kind);
+        }
         tag
+    }
+
+    /// Closes the collective opened by [`Ctx::begin_collective`].
+    fn end_collective(&mut self) {
+        self.current_coll = None;
     }
 
     /// Lowest set bit of `r` (its parent distance in the binomial tree).
@@ -30,7 +43,14 @@ impl Ctx {
     }
 
     /// Reduce-to-root along the binomial tree, combining with `combine`.
-    fn tree_reduce<T, C>(&mut self, tag: u64, mut acc: T, to_payload: fn(&T) -> Payload, from_payload: fn(Payload) -> T, combine: C) -> Option<T>
+    fn tree_reduce<T, C>(
+        &mut self,
+        tag: u64,
+        mut acc: T,
+        to_payload: fn(&T) -> Payload,
+        from_payload: fn(Payload) -> T,
+        combine: C,
+    ) -> Option<T>
     where
         C: Fn(&mut T, T),
     {
@@ -54,6 +74,7 @@ impl Ctx {
     fn tree_bcast(&mut self, tag: u64, data: Option<Payload>) -> Payload {
         let (r, p) = (self.rank(), self.nprocs());
         let data = if r == 0 {
+            // lint: allow(unwrap): tree_bcast is only called with Some at the root
             data.expect("root must provide the broadcast payload")
         } else {
             let parent = r - Self::lowbit(r);
@@ -61,7 +82,11 @@ impl Ctx {
         };
         // Children: r + 2^j for j below the parent-bit, largest first so the
         // far half of the tree starts as early as possible.
-        let t = if r == 0 { usize::BITS as usize } else { Self::lowbit(r).trailing_zeros() as usize };
+        let t = if r == 0 {
+            usize::BITS as usize
+        } else {
+            Self::lowbit(r).trailing_zeros() as usize
+        };
         let mut j = t;
         while j > 0 {
             j -= 1;
@@ -77,7 +102,7 @@ impl Ctx {
     /// the maximum entry clock plus the barrier's modelled cost
     /// (`2·⌈log2 p⌉` message latencies — an up-sweep and a down-sweep).
     pub fn barrier(&mut self) {
-        let tag = self.next_coll_tag();
+        let tag = self.begin_collective(CollKind::Barrier);
         let entry = self.time();
         let root = self.tree_reduce(
             tag,
@@ -93,11 +118,12 @@ impl Ctx {
         let aligned = max_entry + 2.0 * levels * hop;
         let t = self.time().max(aligned);
         self.elapse(t - self.time());
+        self.end_collective();
     }
 
     /// Element-wise all-reduce over `f64` vectors (same length on all ranks).
     pub fn all_reduce_f64(&mut self, data: Vec<f64>, op: ReduceOp) -> Vec<f64> {
-        let tag = self.next_coll_tag();
+        let tag = self.begin_collective(CollKind::AllReduceF64);
         let combine = move |acc: &mut Vec<f64>, got: Vec<f64>| {
             assert_eq!(acc.len(), got.len(), "all_reduce length mismatch");
             for (a, g) in acc.iter_mut().zip(got) {
@@ -108,13 +134,21 @@ impl Ctx {
                 }
             }
         };
-        let root = self.tree_reduce(tag, data, |v| Payload::F64(v.clone()), Payload::into_f64, combine);
-        self.tree_bcast(tag, root.map(Payload::F64)).into_f64()
+        let root = self.tree_reduce(
+            tag,
+            data,
+            |v| Payload::F64(v.clone()),
+            Payload::into_f64,
+            combine,
+        );
+        let out = self.tree_bcast(tag, root.map(Payload::F64)).into_f64();
+        self.end_collective();
+        out
     }
 
     /// Element-wise all-reduce over `u64` vectors.
     pub fn all_reduce_u64(&mut self, data: Vec<u64>, op: ReduceOp) -> Vec<u64> {
-        let tag = self.next_coll_tag();
+        let tag = self.begin_collective(CollKind::AllReduceU64);
         let combine = move |acc: &mut Vec<u64>, got: Vec<u64>| {
             assert_eq!(acc.len(), got.len(), "all_reduce length mismatch");
             for (a, g) in acc.iter_mut().zip(got) {
@@ -125,8 +159,16 @@ impl Ctx {
                 }
             }
         };
-        let root = self.tree_reduce(tag, data, |v| Payload::U64(v.clone()), Payload::into_u64, combine);
-        self.tree_bcast(tag, root.map(Payload::U64)).into_u64()
+        let root = self.tree_reduce(
+            tag,
+            data,
+            |v| Payload::U64(v.clone()),
+            Payload::into_u64,
+            combine,
+        );
+        let out = self.tree_bcast(tag, root.map(Payload::U64)).into_u64();
+        self.end_collective();
+        out
     }
 
     /// Scalar conveniences.
@@ -134,10 +176,12 @@ impl Ctx {
         self.all_reduce_f64(vec![x], ReduceOp::Sum)[0]
     }
 
+    /// Scalar max all-reduce.
     pub fn all_reduce_max(&mut self, x: f64) -> f64 {
         self.all_reduce_f64(vec![x], ReduceOp::Max)[0]
     }
 
+    /// Scalar sum all-reduce over `u64`.
     pub fn all_reduce_sum_u64(&mut self, x: u64) -> u64 {
         self.all_reduce_u64(vec![x], ReduceOp::Sum)[0]
     }
@@ -145,7 +189,7 @@ impl Ctx {
     /// Gathers each rank's (variable-length) `u64` vector; every rank
     /// receives all of them, indexed by rank.
     pub fn all_gather_u64(&mut self, local: &[u64]) -> Vec<Vec<u64>> {
-        let tag = self.next_coll_tag();
+        let tag = self.begin_collective(CollKind::AllGatherU64);
         // Encoding: repeated [rank, len, data...]. The tree reduce simply
         // concatenates encodings.
         let mut enc = Vec::with_capacity(local.len() + 2);
@@ -160,12 +204,13 @@ impl Ctx {
             |acc, mut got| acc.append(&mut got),
         );
         let all = self.tree_bcast(tag, root.map(Payload::U64)).into_u64();
+        self.end_collective();
         decode_u64_blocks(&all, self.nprocs())
     }
 
     /// Gathers each rank's (variable-length) `f64` vector.
     pub fn all_gather_f64(&mut self, local: &[f64]) -> Vec<Vec<f64>> {
-        let tag = self.next_coll_tag();
+        let tag = self.begin_collective(CollKind::AllGatherF64);
         let enc = (vec![self.rank() as u64, local.len() as u64], local.to_vec());
         let root = self.tree_reduce(
             tag,
@@ -177,7 +222,10 @@ impl Ctx {
                 acc.1.append(&mut got.1);
             },
         );
-        let (heads, data) = self.tree_bcast(tag, root.map(|(h, d)| Payload::Mixed(h, d))).into_mixed();
+        let (heads, data) = self
+            .tree_bcast(tag, root.map(|(h, d)| Payload::Mixed(h, d)))
+            .into_mixed();
+        self.end_collective();
         let mut out = vec![Vec::new(); self.nprocs()];
         let mut cursor = 0usize;
         let mut i = 0usize;
@@ -207,7 +255,7 @@ impl Ctx {
         // After the sum-reduce, slot `me` holds how many messages I receive.
         let totals = self.all_reduce_u64(counts, ReduceOp::Sum);
         let incoming = totals[self.rank()] as usize;
-        let tag = self.next_coll_tag();
+        let tag = self.begin_collective(CollKind::Exchange);
         for (dest, payload) in sends {
             self.send_internal(dest, tag, payload);
         }
@@ -215,6 +263,7 @@ impl Ctx {
         for _ in 0..incoming {
             out.push(self.recv_any_internal(tag));
         }
+        self.end_collective();
         // Deterministic order regardless of arrival interleaving: sort by
         // source; per-source FIFO is preserved by the stable sort.
         out.sort_by_key(|&(src, _)| src);
@@ -246,14 +295,17 @@ mod tests {
     #[test]
     fn barrier_aligns_clocks() {
         for p in [1, 2, 3, 5, 8] {
-            let out = Machine::run(p, model(), |ctx| {
+            let out = Machine::run_checked(p, model(), |ctx| {
                 ctx.work(1e6 * (ctx.rank() as f64 + 1.0));
                 ctx.barrier();
                 ctx.time()
             });
             let t0 = out.results[0];
             for (r, &t) in out.results.iter().enumerate() {
-                assert!((t - t0).abs() < 1e-12, "rank {r} clock {t} != {t0} at p={p}");
+                assert!(
+                    (t - t0).abs() < 1e-12,
+                    "rank {r} clock {t} != {t0} at p={p}"
+                );
             }
             // The barrier cannot finish before the slowest rank's work.
             assert!(t0 >= 1e6 * p as f64 * model().flop_time);
@@ -263,7 +315,7 @@ mod tests {
     #[test]
     fn all_reduce_sum_and_max() {
         for p in [1, 2, 4, 7] {
-            let out = Machine::run(p, model(), |ctx| {
+            let out = Machine::run_checked(p, model(), |ctx| {
                 let s = ctx.all_reduce_sum(ctx.rank() as f64 + 1.0);
                 let m = ctx.all_reduce_max(ctx.rank() as f64);
                 (s, m)
@@ -278,7 +330,7 @@ mod tests {
 
     #[test]
     fn all_reduce_vectors_u64() {
-        let out = Machine::run(5, model(), |ctx| {
+        let out = Machine::run_checked(5, model(), |ctx| {
             let v = vec![ctx.rank() as u64, 10 + ctx.rank() as u64];
             ctx.all_reduce_u64(v, ReduceOp::Min)
         });
@@ -289,7 +341,7 @@ mod tests {
 
     #[test]
     fn all_gather_variable_lengths() {
-        let out = Machine::run(4, model(), |ctx| {
+        let out = Machine::run_checked(4, model(), |ctx| {
             let local: Vec<u64> = (0..ctx.rank() as u64).collect();
             ctx.all_gather_u64(&local)
         });
@@ -304,7 +356,7 @@ mod tests {
 
     #[test]
     fn all_gather_f64_roundtrip() {
-        let out = Machine::run(3, model(), |ctx| {
+        let out = Machine::run_checked(3, model(), |ctx| {
             let local = vec![ctx.rank() as f64 * 1.5; ctx.rank() + 1];
             ctx.all_gather_f64(&local)
         });
@@ -317,7 +369,7 @@ mod tests {
     #[test]
     fn exchange_routes_messages() {
         // Ring: each rank sends its rank to the next, two copies to rank 0.
-        let out = Machine::run(4, model(), |ctx| {
+        let out = Machine::run_checked(4, model(), |ctx| {
             let me = ctx.rank();
             let mut sends = vec![((me + 1) % 4, Payload::U64(vec![me as u64]))];
             if me == 2 {
@@ -336,7 +388,7 @@ mod tests {
 
     #[test]
     fn exchange_preserves_per_source_order() {
-        let out = Machine::run(2, model(), |ctx| {
+        let out = Machine::run_checked(2, model(), |ctx| {
             if ctx.rank() == 0 {
                 ctx.exchange(vec![
                     (1, Payload::U64(vec![1])),
@@ -347,13 +399,16 @@ mod tests {
                 ctx.exchange(vec![])
             }
         });
-        let got: Vec<u64> = out.results[1].iter().map(|(_, p)| p.clone().into_u64()[0]).collect();
+        let got: Vec<u64> = out.results[1]
+            .iter()
+            .map(|(_, p)| p.clone().into_u64()[0])
+            .collect();
         assert_eq!(got, vec![1, 2, 3]);
     }
 
     #[test]
     fn collectives_compose_in_sequence() {
-        let out = Machine::run(6, model(), |ctx| {
+        let out = Machine::run_checked(6, model(), |ctx| {
             let a = ctx.all_reduce_sum(1.0);
             ctx.barrier();
             let b = ctx.all_reduce_sum_u64(2);

@@ -1,29 +1,59 @@
 //! Per-rank execution context: point-to-point messaging and the logical
 //! clock.
 
+use crate::check::{CheckState, CollKind, LeakRecord, RankStatus};
 use crate::machine::MachineModel;
 use crate::payload::Payload;
-use crossbeam::channel::{Receiver, Sender};
 use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often a blocked rank in checked mode wakes to run the watchdog
+/// predicate. Pure overhead tuning: correctness does not depend on it.
+const CHECK_POLL: Duration = Duration::from_millis(1);
 
 /// One message in flight.
 #[derive(Debug)]
 pub struct Envelope {
+    /// Sending rank.
     pub from: usize,
+    /// Destination rank.
+    pub to: usize,
+    /// Message tag (reserved range carries collectives).
     pub tag: u64,
     /// Sender's logical clock at send time.
     pub time: f64,
+    /// Collective op piggybacked on reserved-tag traffic (order checking).
+    pub coll_kind: Option<CollKind>,
+    /// The data.
     pub payload: Payload,
 }
 
 /// Per-rank cost counters, aggregated by the machine after the run.
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
+    /// Messages sent.
     pub messages: u64,
+    /// Bytes sent (simulated wire size).
     pub bytes: u64,
+    /// Floating-point operations charged via [`Ctx::work`].
     pub flops: f64,
+    /// Words moved via [`Ctx::copy_words`].
     pub words_copied: f64,
+    /// Collective operations entered.
     pub collectives: u64,
+}
+
+/// What a rank hands back to the machine when it finishes: its counters,
+/// plus everything needed for the commcheck leak sweep.
+pub(crate) struct RankExit {
+    pub counters: Counters,
+    pub time: f64,
+    /// The rank's channel, kept alive so the machine can sweep late
+    /// arrivals after every rank has finished. Buffered-but-unmatched
+    /// envelopes were already reported to the board by `into_exit`.
+    pub receiver: Receiver<Envelope>,
 }
 
 /// A rank's handle onto the virtual machine.
@@ -33,7 +63,7 @@ pub struct Counters {
 /// use tags above it, namespaced by an internal sequence number, so user
 /// traffic can never be confused with collective traffic as long as every
 /// rank calls the collectives in the same program order (the usual SPMD
-/// contract).
+/// contract). [`crate::Machine::run_checked`] verifies that contract.
 pub struct Ctx {
     rank: usize,
     nprocs: usize,
@@ -46,6 +76,13 @@ pub struct Ctx {
     pub(crate) counters: Counters,
     /// Collective sequence number (same on every rank by SPMD order).
     pub(crate) coll_seq: u64,
+    /// The collective currently executing on this rank, if any.
+    pub(crate) current_coll: Option<CollKind>,
+    /// Source rank of the most recently accepted envelope; the checked
+    /// any-source receive learns the source only at accept time.
+    last_accepted_from: usize,
+    /// Commcheck board; `None` on the zero-overhead production path.
+    check: Option<Arc<CheckState>>,
 }
 
 impl Ctx {
@@ -58,6 +95,7 @@ impl Ctx {
         model: MachineModel,
         senders: Vec<Sender<Envelope>>,
         receiver: Receiver<Envelope>,
+        check: Option<Arc<CheckState>>,
     ) -> Self {
         Ctx {
             rank,
@@ -69,17 +107,23 @@ impl Ctx {
             time: 0.0,
             counters: Counters::default(),
             coll_seq: 0,
+            current_coll: None,
+            last_accepted_from: usize::MAX,
+            check,
         }
     }
 
+    /// This rank's id, in `0..nprocs`.
     pub fn rank(&self) -> usize {
         self.rank
     }
 
+    /// Number of ranks in the run.
     pub fn nprocs(&self) -> usize {
         self.nprocs
     }
 
+    /// The machine's cost-model constants.
     pub fn model(&self) -> &MachineModel {
         &self.model
     }
@@ -89,8 +133,40 @@ impl Ctx {
         self.time
     }
 
-    pub(crate) fn into_counters(self) -> Counters {
-        self.counters
+    pub(crate) fn check(&self) -> Option<&Arc<CheckState>> {
+        self.check.as_ref()
+    }
+
+    /// Tears the context down at rank exit, reporting any leftover
+    /// envelopes to the commcheck board. `panicked` records whether the
+    /// rank closure unwound instead of returning.
+    pub(crate) fn into_exit(mut self, panicked: bool) -> RankExit {
+        // Drain the channel so late-but-already-sent envelopes are visible.
+        while let Ok(env) = self.receiver.try_recv() {
+            if let Some(check) = &self.check {
+                check.note_drain(self.rank);
+            }
+            self.pending.push_back(env);
+        }
+        if let Some(check) = &self.check {
+            check.record_leaks(self.pending.iter().map(|e| LeakRecord {
+                from: e.from,
+                to: e.to,
+                tag: e.tag,
+                bytes: e.payload.bytes(),
+            }));
+            let exit_status = if panicked {
+                RankStatus::Panicked
+            } else {
+                RankStatus::Finished
+            };
+            check.set_status(self.rank, exit_status);
+        }
+        RankExit {
+            counters: self.counters,
+            time: self.time,
+            receiver: self.receiver,
+        }
     }
 
     /// Charges `flops` floating-point operations to the clock.
@@ -117,7 +193,10 @@ impl Ctx {
     /// Sends `payload` to rank `to` with a user `tag`
     /// (`tag < RESERVED_TAG_BASE`).
     pub fn send(&mut self, to: usize, tag: u64, payload: Payload) {
-        assert!(tag < Self::RESERVED_TAG_BASE, "tag {tag} is reserved for collectives");
+        assert!(
+            tag < Self::RESERVED_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
         self.send_internal(to, tag, payload);
     }
 
@@ -125,30 +204,67 @@ impl Ctx {
         assert!(to < self.nprocs, "rank {to} out of range");
         self.counters.messages += 1;
         self.counters.bytes += payload.bytes() as u64;
-        let env = Envelope { from: self.rank, tag, time: self.time, payload };
+        let coll_kind = if tag >= Self::RESERVED_TAG_BASE {
+            self.current_coll
+        } else {
+            None
+        };
+        let env = Envelope {
+            from: self.rank,
+            to,
+            tag,
+            time: self.time,
+            coll_kind,
+            payload,
+        };
         if to == self.rank {
             // Self-sends are local queue operations: no wire cost.
             self.pending.push_back(env);
         } else {
+            if let Some(check) = &self.check {
+                // Count the envelope as in flight *before* it enters the
+                // channel so the watchdog can never undercount.
+                check.note_send(to);
+            }
+            // lint: allow(unwrap): the machine keeps every receiver alive until all ranks join
             self.senders[to].send(env).expect("receiver hung up");
         }
     }
 
     /// Receives the message with the given `(from, tag)`, blocking until it
     /// arrives, and advances the clock by the modelled transfer time.
+    ///
+    /// Under [`crate::Machine::run_checked`] a receive that can never be
+    /// satisfied aborts the run with a deadlock report instead of blocking
+    /// forever.
     pub fn recv(&mut self, from: usize, tag: u64) -> Payload {
-        assert!(tag < Self::RESERVED_TAG_BASE, "tag {tag} is reserved for collectives");
+        assert!(
+            tag < Self::RESERVED_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
         self.recv_internal(from, tag)
     }
 
     pub(crate) fn recv_internal(&mut self, from: usize, tag: u64) -> Payload {
         // Check the pending queue first.
-        if let Some(pos) = self.pending.iter().position(|e| e.from == from && e.tag == tag) {
-            let env = self.pending.remove(pos).unwrap();
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+        {
+            // lint: allow(unwrap): the position came from a search of the same deque
+            let env = self.pending.remove(pos).expect("position came from iter");
             return self.accept(env);
         }
+        if self.check.is_some() {
+            return self.recv_checked(Some(from), tag);
+        }
         loop {
-            let env = self.receiver.recv().expect("all senders hung up while waiting");
+            let env = self
+                .receiver
+                .recv()
+                // lint: allow(unwrap): every live rank holds a sender to this channel
+                .expect("all senders hung up while waiting");
             if env.from == from && env.tag == tag {
                 return self.accept(env);
             }
@@ -161,12 +277,22 @@ impl Ctx {
     /// receiver knows how many messages to expect but not their order.
     pub(crate) fn recv_any_internal(&mut self, tag: u64) -> (usize, Payload) {
         if let Some(pos) = self.pending.iter().position(|e| e.tag == tag) {
-            let env = self.pending.remove(pos).unwrap();
+            // lint: allow(unwrap): the position came from a search of the same deque
+            let env = self.pending.remove(pos).expect("position came from iter");
             let from = env.from;
             return (from, self.accept(env));
         }
+        if self.check.is_some() {
+            let payload = self.recv_checked(None, tag);
+            let from = self.last_accepted_from;
+            return (from, payload);
+        }
         loop {
-            let env = self.receiver.recv().expect("all senders hung up while waiting");
+            let env = self
+                .receiver
+                .recv()
+                // lint: allow(unwrap): every live rank holds a sender to this channel
+                .expect("all senders hung up while waiting");
             if env.tag == tag {
                 let from = env.from;
                 return (from, self.accept(env));
@@ -175,14 +301,79 @@ impl Ctx {
         }
     }
 
+    /// The checked receive loop: publish the blocked state, poll the
+    /// channel with a timeout, and run the watchdog predicate on every
+    /// timeout. Panics with the commcheck report when the run is stuck.
+    fn recv_checked(&mut self, from: Option<usize>, tag: u64) -> Payload {
+        // lint: allow(unwrap): recv_checked is only entered in checked mode
+        let check = Arc::clone(self.check.as_ref().expect("checked mode"));
+        check.set_status(self.rank, RankStatus::BlockedRecv { from, tag });
+        loop {
+            match self.receiver.recv_timeout(CHECK_POLL) {
+                Ok(env) => {
+                    check.note_drain(self.rank);
+                    let matches = env.tag == tag && from.is_none_or(|f| env.from == f);
+                    if matches {
+                        check.set_status(self.rank, RankStatus::Running);
+                        return self.accept(env);
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(report) = check.check_stuck(self.rank) {
+                        check.set_status(self.rank, RankStatus::Panicked);
+                        panic!("{report}");
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable in practice: every live rank holds senders
+                    // to every channel, including its own.
+                    panic!("all senders hung up while waiting");
+                }
+            }
+        }
+    }
+
     fn accept(&mut self, env: Envelope) -> Payload {
+        if env.tag >= Self::RESERVED_TAG_BASE {
+            self.verify_collective_kind(&env);
+        }
         let wire = if env.from == self.rank {
             0.0
         } else {
             self.model.latency + env.payload.bytes() as f64 * self.model.inv_bandwidth
         };
         self.time = self.time.max(env.time + wire);
+        self.last_accepted_from = env.from;
         env.payload
+    }
+
+    /// Collective-order check: the kind piggybacked by the sender must
+    /// match the collective this rank is currently executing.
+    fn verify_collective_kind(&mut self, env: &Envelope) {
+        let Some(check) = &self.check else { return };
+        if env.coll_kind == self.current_coll {
+            return;
+        }
+        let logs = check.coll_logs();
+        let divergence = crate::check::collective_divergence(&logs)
+            .unwrap_or_else(|| "  (call logs still agree — the mismatch is in flight)\n".into());
+        let name = |k: &Option<crate::check::CollKind>| match k {
+            Some(k) => format!("{k:?}"),
+            None => "no collective".to_string(),
+        };
+        let report = format!(
+            "commcheck: collective order mismatch — rank {} is executing {} but received {} traffic from rank {} (tag {:#x})\n{}",
+            self.rank,
+            name(&self.current_coll),
+            name(&env.coll_kind),
+            env.from,
+            env.tag,
+            divergence
+        );
+        let msg = check.fail(report);
+        check.set_status(self.rank, RankStatus::Panicked);
+        panic!("{msg}");
     }
 }
 
@@ -193,7 +384,7 @@ mod tests {
 
     #[test]
     fn out_of_order_tags_are_buffered() {
-        let out = Machine::run(2, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, 1, Payload::U64(vec![1]));
                 ctx.send(1, 2, Payload::U64(vec![2]));
@@ -210,8 +401,13 @@ mod tests {
 
     #[test]
     fn clock_takes_max_of_sender_and_receiver() {
-        let model = MachineModel { flop_time: 1.0, latency: 0.1, inv_bandwidth: 0.0, word_copy_time: 0.0 };
-        let out = Machine::run(2, model, |ctx| {
+        let model = MachineModel {
+            flop_time: 1.0,
+            latency: 0.1,
+            inv_bandwidth: 0.0,
+            word_copy_time: 0.0,
+        };
+        let out = Machine::run_checked(2, model, |ctx| {
             if ctx.rank() == 0 {
                 ctx.work(5.0); // clock = 5
                 ctx.send(1, 0, Payload::Empty);
@@ -227,7 +423,7 @@ mod tests {
 
     #[test]
     fn self_send_is_free_and_works() {
-        let out = Machine::run(1, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(1, MachineModel::cray_t3d(), |ctx| {
             ctx.send(0, 3, Payload::F64(vec![2.5]));
             let v = ctx.recv(0, 3).into_f64();
             (v[0], ctx.time())
@@ -238,8 +434,13 @@ mod tests {
 
     #[test]
     fn copy_words_charges_time() {
-        let model = MachineModel { flop_time: 0.0, latency: 0.0, inv_bandwidth: 0.0, word_copy_time: 2.0 };
-        let out = Machine::run(1, model, |ctx| {
+        let model = MachineModel {
+            flop_time: 0.0,
+            latency: 0.0,
+            inv_bandwidth: 0.0,
+            word_copy_time: 2.0,
+        };
+        let out = Machine::run_checked(1, model, |ctx| {
             ctx.copy_words(3.0);
             ctx.time()
         });

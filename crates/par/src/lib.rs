@@ -22,12 +22,24 @@
 //! synchronisation depth — exactly the three quantities the model tracks.
 //! Real wall-clock time can of course also be measured around `Machine::run`
 //! for small `p`; the Criterion benches do that.
+//!
+//! # Checked mode (`commcheck`)
+//!
+//! [`Machine::run_checked`] runs the same program under the verification
+//! layer in [`check`]: deadlocks abort with a wait-for graph instead of
+//! hanging, leaked messages fail the run with `(from, to, tag, bytes)`
+//! records, and collectives called in different orders on different ranks
+//! are caught at the first mismatched envelope. All in-repo tests use the
+//! checked entry point; [`Machine::run`] stays the zero-overhead
+//! production path.
 
+pub mod check;
 pub mod collectives;
 pub mod ctx;
 pub mod machine;
 pub mod payload;
 
+pub use check::{CollKind, LeakRecord, RankStatus};
 pub use ctx::Ctx;
 pub use machine::{Machine, MachineModel, MachineStats, RunOutput};
 pub use payload::Payload;

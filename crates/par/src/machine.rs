@@ -1,7 +1,10 @@
 //! The virtual machine: model constants, thread launch, and run statistics.
 
-use crate::ctx::{Counters, Ctx, Envelope};
-use crossbeam::channel;
+use crate::check::{collective_divergence, CheckState, LeakRecord, SECONDARY_ABORT};
+use crate::ctx::{Ctx, Envelope, RankExit};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::Arc;
 
 /// Cost-model constants of the simulated machine.
 ///
@@ -40,7 +43,11 @@ impl MachineModel {
     /// A machine with free communication — useful to isolate load balance
     /// from communication overhead in ablation benches.
     pub fn zero_comm() -> Self {
-        MachineModel { latency: 0.0, inv_bandwidth: 0.0, ..Self::cray_t3d() }
+        MachineModel {
+            latency: 0.0,
+            inv_bandwidth: 0.0,
+            ..Self::cray_t3d()
+        }
     }
 
     /// A slow-network machine ("workstation cluster" in the paper's
@@ -66,8 +73,9 @@ pub struct MachineStats {
     pub flops: f64,
     /// Total words moved by `copy_words`.
     pub words_copied: f64,
-    /// Collective operations entered (each rank's participation counted once
-    /// per rank, divided by `p` on aggregation).
+    /// Collective operations entered (each rank's participation counted
+    /// once per rank, divided by `p` on aggregation; aggregation asserts
+    /// the ranks agree on the count).
     pub collectives: u64,
     /// Per-rank final logical clocks.
     pub rank_times: Vec<f64>,
@@ -94,9 +102,56 @@ impl Machine {
     /// the `Ctx`, so `f` must be `Sync` (it is shared) and the per-rank
     /// return values are collected in rank order.
     ///
+    /// This is the zero-overhead production path: no verification state is
+    /// shared and receives block indefinitely. Use [`Machine::run_checked`]
+    /// in tests and protocol bring-up.
+    ///
     /// # Panics
-    /// Panics if `p == 0` or if any rank panics (the panic is propagated).
+    /// Panics if `p == 0` or if any rank panics (the panic of the
+    /// lowest-numbered panicking rank is propagated).
     pub fn run<R, F>(p: usize, model: MachineModel, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Sync,
+    {
+        Self::run_impl(p, model, None, f)
+    }
+
+    /// Runs `f` on `p` ranks under the commcheck verification layer
+    /// (see [`crate::check`]).
+    ///
+    /// Functionally identical to [`Machine::run`] for correct programs, with
+    /// three extra guarantees for incorrect ones:
+    ///
+    /// * a deadlocked run **aborts with a wait-for graph and the deadlock
+    ///   cycle** instead of hanging forever;
+    /// * any envelope left unconsumed at rank exit is reported as a
+    ///   **message leak** `(from, to, tag, bytes)` and fails the run;
+    /// * collectives called in different orders on different ranks are
+    ///   caught (**collective-order check**) and reported with both ranks'
+    ///   call sequences.
+    ///
+    /// All tests run through this entry point; production callers keep the
+    /// unchecked path.
+    ///
+    /// # Panics
+    /// Panics on any detected protocol error, with the commcheck report as
+    /// the panic message; rank panics propagate as in [`Machine::run`].
+    pub fn run_checked<R, F>(p: usize, model: MachineModel, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Sync,
+    {
+        assert!(p > 0, "need at least one rank");
+        Self::run_impl(p, model, Some(Arc::new(CheckState::new(p))), f)
+    }
+
+    fn run_impl<R, F>(
+        p: usize,
+        model: MachineModel,
+        check: Option<Arc<CheckState>>,
+        f: F,
+    ) -> RunOutput<R>
     where
         R: Send,
         F: Fn(&mut Ctx) -> R + Sync,
@@ -105,44 +160,146 @@ impl Machine {
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (s, r) = channel::unbounded::<Envelope>();
+            let (s, r) = mpsc::channel::<Envelope>();
             senders.push(s);
             receivers.push(r);
         }
-        let mut slots: Vec<Option<(R, f64, Counters)>> = (0..p).map(|_| None).collect();
+        let mut result_slots: Vec<Option<R>> = (0..p).map(|_| None).collect();
+        let mut exit_slots: Vec<Option<RankExit>> = (0..p).map(|_| None).collect();
+        let mut panic_slots: Vec<Option<Box<dyn std::any::Any + Send>>> =
+            (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for (rank, (rx, slot)) in receivers.into_iter().zip(slots.iter_mut()).enumerate() {
+            let zipped = receivers
+                .into_iter()
+                .zip(result_slots.iter_mut())
+                .zip(exit_slots.iter_mut())
+                .zip(panic_slots.iter_mut());
+            for (rank, (((rx, rslot), eslot), pslot)) in zipped.enumerate() {
                 let senders = senders.clone();
                 let fref = &f;
-                handles.push(scope.spawn(move || {
-                    let mut ctx = Ctx::new(rank, p, model, senders, rx);
-                    let r = fref(&mut ctx);
-                    *slot = Some((r, ctx.time(), ctx.into_counters()));
-                }));
+                let check = check.clone();
+                scope.spawn(move || {
+                    let mut ctx = Ctx::new(rank, p, model, senders, rx, check);
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| fref(&mut ctx))) {
+                        Ok(r) => {
+                            *rslot = Some(r);
+                            *eslot = Some(ctx.into_exit(false));
+                        }
+                        Err(payload) => {
+                            // Publish the panic on the board (and drain the
+                            // channel) so blocked peers can diagnose the
+                            // run instead of waiting forever.
+                            *eslot = Some(ctx.into_exit(true));
+                            *pslot = Some(payload);
+                        }
+                    }
+                });
             }
-            for h in handles {
-                if let Err(e) = h.join() {
-                    std::panic::resume_unwind(e);
-                }
-            }
+            // The scope joins every rank before returning, so all slots are
+            // filled — no join-order dependence survives this point.
         });
+        if let Some(check) = &check {
+            Self::verdict(check, &mut panic_slots, &exit_slots);
+        }
+        // Deterministic propagation: the lowest-numbered panicking rank
+        // wins, regardless of the order the threads actually died in.
+        if let Some(payload) = panic_slots.iter_mut().find_map(Option::take) {
+            std::panic::resume_unwind(payload);
+        }
         let mut results = Vec::with_capacity(p);
         let mut stats = MachineStats::default();
-        let mut collective_calls = 0u64;
-        for slot in slots {
-            let (r, time, c) = slot.expect("rank did not finish");
+        let mut per_rank_collectives = Vec::with_capacity(p);
+        for (rslot, eslot) in result_slots.into_iter().zip(exit_slots) {
+            // lint: allow(unwrap): the thread scope joined every rank
+            let r = rslot.expect("rank did not finish");
+            // lint: allow(unwrap): the thread scope joined every rank
+            let exit = eslot.expect("rank exit not recorded");
             results.push(r);
-            stats.messages += c.messages;
-            stats.bytes += c.bytes;
-            stats.flops += c.flops;
-            stats.words_copied += c.words_copied;
-            collective_calls += c.collectives;
-            stats.rank_times.push(time);
+            stats.messages += exit.counters.messages;
+            stats.bytes += exit.counters.bytes;
+            stats.flops += exit.counters.flops;
+            stats.words_copied += exit.counters.words_copied;
+            per_rank_collectives.push(exit.counters.collectives);
+            stats.rank_times.push(exit.time);
         }
-        stats.collectives = collective_calls / p as u64;
+        let total_collectives: u64 = per_rank_collectives.iter().sum();
+        assert!(
+            total_collectives % p as u64 == 0,
+            "ranks disagree on collective participation (per-rank counts: \
+             {per_rank_collectives:?}) — rerun under Machine::run_checked for a diagnosis"
+        );
+        stats.collectives = total_collectives / p as u64;
         let sim_time = stats.rank_times.iter().copied().fold(0.0, f64::max);
-        RunOutput { results, sim_time, stats }
+        RunOutput {
+            results,
+            sim_time,
+            stats,
+        }
+    }
+
+    /// Post-join commcheck verdict: sweep the channels for leaks, surface
+    /// the primary diagnosis, and suppress secondary aborts.
+    fn verdict(
+        check: &Arc<CheckState>,
+        panic_slots: &mut [Option<Box<dyn std::any::Any + Send>>],
+        exit_slots: &[Option<RankExit>],
+    ) {
+        // Late leak sweep: envelopes that arrived after a rank's own exit
+        // drain are still sitting in its (kept-alive) channel.
+        let mut leaks: Vec<LeakRecord> = check.take_leaks();
+        for exit in exit_slots.iter().flatten() {
+            while let Ok(env) = exit.receiver.try_recv() {
+                leaks.push(LeakRecord {
+                    from: env.from,
+                    to: env.to,
+                    tag: env.tag,
+                    bytes: env.payload.bytes(),
+                });
+            }
+        }
+        let failure = check.take_failure();
+        // Drop secondary aborts and the primary's own unwind payload: the
+        // stored report carries the diagnosis. User panics stay.
+        let is_commcheck_panic = |payload: &Box<dyn std::any::Any + Send>| {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied());
+            msg.is_some_and(|m| m.starts_with(SECONDARY_ABORT) || m.starts_with("commcheck:"))
+        };
+        for slot in panic_slots.iter_mut() {
+            if slot.as_ref().is_some_and(is_commcheck_panic) {
+                *slot = None;
+            }
+        }
+        let user_panicked = panic_slots.iter().any(Option::is_some);
+        if user_panicked {
+            // A genuine rank panic outranks the derived diagnosis (the
+            // deadlock/abort was collateral damage of the panic).
+            return;
+        }
+        if let Some(report) = failure {
+            panic!("{report}");
+        }
+        if !leaks.is_empty() {
+            let mut msg = String::from("commcheck: message leak — envelopes never received:\n");
+            for l in &leaks {
+                use std::fmt::Write;
+                let _ = writeln!(
+                    msg,
+                    "  from rank {} to rank {} tag {:#x} ({} bytes)",
+                    l.from, l.to, l.tag, l.bytes
+                );
+            }
+            panic!("{msg}");
+        }
+        // Backstop: collective sequences must agree even when traffic
+        // happened to pair up (e.g. trailing collectives that never
+        // exchanged a message at p == 1 cannot occur, but truncated
+        // sequences at matching kinds can).
+        if let Some(divergence) = collective_divergence(&check.coll_logs()) {
+            panic!("commcheck: {divergence}");
+        }
     }
 }
 
@@ -153,26 +310,35 @@ mod tests {
 
     #[test]
     fn ranks_get_distinct_ids_and_results_in_order() {
-        let out = Machine::run(4, MachineModel::cray_t3d(), |ctx| ctx.rank() * 10);
+        let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| ctx.rank() * 10);
         assert_eq!(out.results, vec![0, 10, 20, 30]);
     }
 
     #[test]
     fn work_advances_the_clock() {
         let model = MachineModel::cray_t3d();
-        let out = Machine::run(2, model, |ctx| {
+        let out = Machine::run_checked(2, model, |ctx| {
             if ctx.rank() == 0 {
                 ctx.work(6.7e6); // one simulated second of flops
             }
         });
-        assert!((out.sim_time - 1.0).abs() < 1e-9, "sim_time = {}", out.sim_time);
+        assert!(
+            (out.sim_time - 1.0).abs() < 1e-9,
+            "sim_time = {}",
+            out.sim_time
+        );
         assert_eq!(out.stats.flops, 6.7e6);
     }
 
     #[test]
     fn message_time_includes_latency_and_bandwidth() {
-        let model = MachineModel { flop_time: 0.0, latency: 1.0, inv_bandwidth: 0.5, word_copy_time: 0.0 };
-        let out = Machine::run(2, model, |ctx| {
+        let model = MachineModel {
+            flop_time: 0.0,
+            latency: 1.0,
+            inv_bandwidth: 0.5,
+            word_copy_time: 0.0,
+        };
+        let out = Machine::run_checked(2, model, |ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, 7, Payload::F64(vec![0.0; 2])); // 16 bytes
                 0.0
@@ -182,7 +348,11 @@ mod tests {
             }
         });
         // 1.0 latency + 16 * 0.5 bandwidth = 9.0
-        assert!((out.results[1] - 9.0).abs() < 1e-12, "got {}", out.results[1]);
+        assert!(
+            (out.results[1] - 9.0).abs() < 1e-12,
+            "got {}",
+            out.results[1]
+        );
         assert_eq!(out.stats.messages, 1);
         assert_eq!(out.stats.bytes, 16);
     }
@@ -190,7 +360,7 @@ mod tests {
     #[test]
     fn sim_time_is_deterministic() {
         let run = || {
-            Machine::run(8, MachineModel::cray_t3d(), |ctx| {
+            Machine::run_checked(8, MachineModel::cray_t3d(), |ctx| {
                 ctx.work(1000.0 * (ctx.rank() + 1) as f64);
                 ctx.barrier();
                 ctx.work(500.0);
@@ -207,5 +377,11 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         Machine::run(0, MachineModel::cray_t3d(), |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected_checked() {
+        Machine::run_checked(0, MachineModel::cray_t3d(), |_| ());
     }
 }

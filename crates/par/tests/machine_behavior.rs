@@ -6,7 +6,7 @@ use pilut_par::{Machine, MachineModel, Payload};
 #[test]
 fn rank_panic_propagates_to_the_caller() {
     let result = std::panic::catch_unwind(|| {
-        Machine::run(3, MachineModel::cray_t3d(), |ctx| {
+        Machine::run_checked(3, MachineModel::cray_t3d(), |ctx| {
             if ctx.rank() == 1 {
                 panic!("deliberate failure on rank 1");
             }
@@ -18,7 +18,7 @@ fn rank_panic_propagates_to_the_caller() {
 
 #[test]
 fn counters_add_up() {
-    let out = Machine::run(4, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
         let me = ctx.rank();
         // Ring: everyone sends 16 bytes to the right.
         ctx.send((me + 1) % 4, 1, Payload::F64(vec![1.0, 2.0]));
@@ -36,7 +36,7 @@ fn counters_add_up() {
 #[test]
 fn zero_comm_machine_makes_messages_free() {
     let time_with = |model: MachineModel| {
-        Machine::run(2, model, |ctx| {
+        Machine::run_checked(2, model, |ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, 0, Payload::F64(vec![0.0; 1000]));
             } else {
@@ -59,7 +59,7 @@ fn sim_time_scales_with_modelled_work_not_wall_time() {
     // Two runs doing identical modelled work must report identical simulated
     // time even though wall time fluctuates.
     let run = || {
-        Machine::run(5, MachineModel::cray_t3d(), |ctx| {
+        Machine::run_checked(5, MachineModel::cray_t3d(), |ctx| {
             ctx.work(12345.0 * (ctx.rank() as f64 + 1.0));
             let s = ctx.all_reduce_sum(1.0);
             assert_eq!(s, 5.0);
@@ -71,7 +71,9 @@ fn sim_time_scales_with_modelled_work_not_wall_time() {
 
 #[test]
 fn exchange_with_nobody_sending_is_fine() {
-    let out = Machine::run(3, MachineModel::cray_t3d(), |ctx| ctx.exchange(vec![]).len());
+    let out = Machine::run_checked(3, MachineModel::cray_t3d(), |ctx| {
+        ctx.exchange(vec![]).len()
+    });
     assert_eq!(out.results, vec![0, 0, 0]);
 }
 
@@ -79,7 +81,7 @@ fn exchange_with_nobody_sending_is_fine() {
 fn large_fanout_exchange_delivers_everything() {
     // Every rank sends one message to every other rank.
     let p = 6;
-    let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
         let me = ctx.rank();
         let sends: Vec<(usize, Payload)> = (0..p)
             .filter(|&d| d != me)

@@ -21,7 +21,10 @@ pub struct CgOptions {
 
 impl Default for CgOptions {
     fn default() -> Self {
-        CgOptions { rtol: 1e-7, max_iters: 10_000 }
+        CgOptions {
+            rtol: 1e-7,
+            max_iters: 10_000,
+        }
     }
 }
 
@@ -40,8 +43,14 @@ pub fn cg(a: &CsrMatrix, b: &[f64], precond: &dyn Preconditioner, opts: &CgOptio
     let n = a.n_rows();
     assert_eq!(b.len(), n);
     let b_norm = norm2(b);
+    // lint: allow(float-eq): exact zero-RHS short-circuit
     if b_norm == 0.0 {
-        return CgResult { x: vec![0.0; n], converged: true, iterations: 0, rel_residual: 0.0 };
+        return CgResult {
+            x: vec![0.0; n],
+            converged: true,
+            iterations: 0,
+            rel_residual: 0.0,
+        };
     }
     let target = opts.rtol * b_norm;
     let mut x = vec![0.0; n];
@@ -53,7 +62,12 @@ pub fn cg(a: &CsrMatrix, b: &[f64], precond: &dyn Preconditioner, opts: &CgOptio
     while iterations < opts.max_iters {
         let r_norm = norm2(&r);
         if r_norm <= target {
-            return CgResult { x, converged: true, iterations, rel_residual: r_norm / b_norm };
+            return CgResult {
+                x,
+                converged: true,
+                iterations,
+                rel_residual: r_norm / b_norm,
+            };
         }
         let ap = a.spmv_owned(&p);
         let alpha = rz / dot(&p, &ap);
@@ -69,7 +83,12 @@ pub fn cg(a: &CsrMatrix, b: &[f64], precond: &dyn Preconditioner, opts: &CgOptio
         iterations += 1;
     }
     let rel = norm2(&r) / b_norm;
-    CgResult { x, converged: rel <= opts.rtol, iterations, rel_residual: rel }
+    CgResult {
+        x,
+        converged: rel <= opts.rtol,
+        iterations,
+        rel_residual: rel,
+    }
 }
 
 /// An [`Preconditioner`] adapter over IC(0) factors.
@@ -78,6 +97,7 @@ pub struct IcPreconditioner {
 }
 
 impl IcPreconditioner {
+    /// Wraps IC(0) factors as a CG preconditioner.
     pub fn new(factors: pilut_core::serial::ic0::IcFactors) -> Self {
         IcPreconditioner { factors }
     }
@@ -112,7 +132,11 @@ mod tests {
         let (a, b, x_true) = spd_problem(12);
         let r = cg(&a, &b, &IdentityPreconditioner, &CgOptions::default());
         assert!(r.converged, "relres {}", r.rel_residual);
-        let err: f64 = r.x.iter().zip(&x_true).map(|(x, t)| (x - t).abs()).fold(0.0, f64::max);
+        let err: f64 =
+            r.x.iter()
+                .zip(&x_true)
+                .map(|(x, t)| (x - t).abs())
+                .fold(0.0, f64::max);
         assert!(err < 1e-5);
     }
 
@@ -120,7 +144,12 @@ mod tests {
     fn iccg_beats_diagonal_and_plain() {
         let (a, b, _) = spd_problem(24);
         let plain = cg(&a, &b, &IdentityPreconditioner, &CgOptions::default());
-        let diag = cg(&a, &b, &DiagonalPreconditioner::new(&a), &CgOptions::default());
+        let diag = cg(
+            &a,
+            &b,
+            &DiagonalPreconditioner::new(&a),
+            &CgOptions::default(),
+        );
         let ic = ic0(&a).unwrap();
         let iccg = cg(&a, &b, &IcPreconditioner::new(ic), &CgOptions::default());
         assert!(plain.converged && diag.converged && iccg.converged);
@@ -136,7 +165,12 @@ mod tests {
     #[test]
     fn zero_rhs_short_circuits() {
         let (a, _, _) = spd_problem(5);
-        let r = cg(&a, &vec![0.0; a.n_rows()], &IdentityPreconditioner, &CgOptions::default());
+        let r = cg(
+            &a,
+            &vec![0.0; a.n_rows()],
+            &IdentityPreconditioner,
+            &CgOptions::default(),
+        );
         assert!(r.converged);
         assert_eq!(r.iterations, 0);
     }
@@ -148,7 +182,10 @@ mod tests {
             &a,
             &b,
             &IdentityPreconditioner,
-            &CgOptions { max_iters: 3, rtol: 1e-14 },
+            &CgOptions {
+                max_iters: 3,
+                rtol: 1e-14,
+            },
         );
         assert!(!r.converged);
         assert_eq!(r.iterations, 3);

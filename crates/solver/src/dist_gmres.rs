@@ -42,12 +42,14 @@ pub struct DistDiagonal {
 }
 
 impl DistDiagonal {
+    /// Extracts the locally owned diagonal for Jacobi preconditioning.
     pub fn new(dm: &DistMatrix, local: &LocalView) -> Self {
         let inv_diag = local
             .nodes
             .iter()
             .map(|&g| {
                 let d = dm.matrix().get(g, g).unwrap_or(0.0);
+                // lint: allow(float-eq): exact zero-diagonal guard
                 assert!(d != 0.0, "zero diagonal at row {g}");
                 1.0 / d
             })
@@ -79,9 +81,14 @@ impl DistIlu {
     /// Builds the triangular-solve plan (collective).
     pub fn new(ctx: &mut Ctx, dm: &DistMatrix, local: &LocalView, rf: RankFactors) -> Self {
         let plan = TrisolvePlan::build(ctx, dm, local, &rf);
-        DistIlu { rf, plan, label: "ILU".into() }
+        DistIlu {
+            rf,
+            plan,
+            label: "ILU".into(),
+        }
     }
 
+    /// Sets the label used in convergence reports.
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
         self
@@ -135,8 +142,14 @@ pub fn dist_gmres(
     assert_eq!(b.len(), nl);
     let mut x = vec![0.0; nl];
     let b_norm = dnorm(ctx, b);
+    // lint: allow(float-eq): exact zero-RHS short-circuit
     if b_norm == 0.0 {
-        return DistGmresResult { x_local: x, converged: true, matvecs: 0, rel_residual: 0.0 };
+        return DistGmresResult {
+            x_local: x,
+            converged: true,
+            matvecs: 0,
+            rel_residual: 0.0,
+        };
     }
     let target = opts.rtol * b_norm;
     let m = opts.restart.max(1);
@@ -187,6 +200,7 @@ pub fn dist_gmres(
                 h[i][j] = t;
             }
             let denom = (h[j][j] * h[j][j] + wn * wn).sqrt();
+            // lint: allow(float-eq): exact-zero guard before division
             if denom == 0.0 {
                 inner = j;
                 break;
@@ -197,6 +211,7 @@ pub fn dist_gmres(
             g[j + 1] = -sn[j] * g[j];
             g[j] *= cs[j];
             inner = j + 1;
+            // lint: allow(float-eq): exact (lucky) breakdown test
             let lucky = wn == 0.0;
             if !lucky {
                 for wi in &mut w {
@@ -262,7 +277,7 @@ mod tests {
         let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
         let b_global = a.spmv_owned(&x_true);
         let dm = DistMatrix::from_matrix(a, p, 23);
-        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             let mut plan = SpmvPlan::build(ctx, &dm, &local);
             let b: Vec<f64> = local.nodes.iter().map(|&g| b_global[g]).collect();
@@ -286,7 +301,11 @@ mod tests {
             mv = r.matvecs;
             conv = r.converged;
         }
-        let err = x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(!conv || err < 1e-4, "converged but wrong: err={err}");
         (x, mv, conv)
     }
@@ -302,8 +321,12 @@ mod tests {
     fn parallel_ilut_preconditioner_beats_diagonal() {
         let a = gen::convection_diffusion_2d(14, 14, 8.0, 4.0);
         let (_, mv_diag, c1) = solve(a.clone(), 4, None, GmresOptions::default());
-        let (_, mv_ilut, c2) =
-            solve(a, 4, Some(IlutOptions::new(10, 1e-4)), GmresOptions::default());
+        let (_, mv_ilut, c2) = solve(
+            a,
+            4,
+            Some(IlutOptions::new(10, 1e-4)),
+            GmresOptions::default(),
+        );
         assert!(c1 && c2);
         assert!(
             mv_ilut * 2 < mv_diag,
@@ -314,10 +337,18 @@ mod tests {
     #[test]
     fn ilut_star_preconditioner_converges_comparably() {
         let a = gen::laplace_3d(6, 6, 6);
-        let (_, mv_ilut, c1) =
-            solve(a.clone(), 3, Some(IlutOptions::new(10, 1e-4)), GmresOptions::default());
-        let (_, mv_star, c2) =
-            solve(a, 3, Some(IlutOptions::star(10, 1e-4, 2)), GmresOptions::default());
+        let (_, mv_ilut, c1) = solve(
+            a.clone(),
+            3,
+            Some(IlutOptions::new(10, 1e-4)),
+            GmresOptions::default(),
+        );
+        let (_, mv_star, c2) = solve(
+            a,
+            3,
+            Some(IlutOptions::star(10, 1e-4, 2)),
+            GmresOptions::default(),
+        );
         assert!(c1 && c2);
         // The paper finds the two comparable in quality; allow generous slack.
         assert!(
@@ -333,7 +364,10 @@ mod tests {
             a,
             2,
             Some(IlutOptions::new(5, 1e-2)),
-            GmresOptions { restart: 10, ..Default::default() },
+            GmresOptions {
+                restart: 10,
+                ..Default::default()
+            },
         );
         assert!(conv);
     }
@@ -345,7 +379,11 @@ mod tests {
             a,
             2,
             None,
-            GmresOptions { max_matvecs: 5, rtol: 1e-12, ..Default::default() },
+            GmresOptions {
+                max_matvecs: 5,
+                rtol: 1e-12,
+                ..Default::default()
+            },
         );
         assert!(!conv);
         assert!(mv <= 6);

@@ -17,7 +17,11 @@ pub struct GmresOptions {
 
 impl Default for GmresOptions {
     fn default() -> Self {
-        GmresOptions { restart: 30, rtol: 1e-7, max_matvecs: 10_000 }
+        GmresOptions {
+            restart: 30,
+            rtol: 1e-7,
+            max_matvecs: 10_000,
+        }
     }
 }
 
@@ -46,8 +50,15 @@ pub fn gmres(
     assert_eq!(b.len(), n);
     let mut x = vec![0.0; n];
     let b_norm = norm2(b);
+    // lint: allow(float-eq): exact zero-RHS short-circuit
     if b_norm == 0.0 {
-        return GmresResult { x, converged: true, matvecs: 0, rel_residual: 0.0, history: vec![] };
+        return GmresResult {
+            x,
+            converged: true,
+            matvecs: 0,
+            rel_residual: 0.0,
+            history: vec![],
+        };
     }
     let target = opts.rtol * b_norm;
     let m = opts.restart.max(1);
@@ -63,7 +74,13 @@ pub fn gmres(
         history.push(beta);
         if beta <= target || matvecs >= opts.max_matvecs {
             let converged = beta <= target;
-            return GmresResult { x, converged, matvecs, rel_residual: beta / b_norm, history };
+            return GmresResult {
+                x,
+                converged,
+                matvecs,
+                rel_residual: beta / b_norm,
+                history,
+            };
         }
         for ri in &mut r {
             *ri /= beta;
@@ -97,6 +114,7 @@ pub fn gmres(
             }
             // New rotation annihilating h[j+1][j].
             let denom = (h[j][j] * h[j][j] + wn * wn).sqrt();
+            // lint: allow(float-eq): exact-zero guard before division
             if denom == 0.0 {
                 // Exact breakdown: the solution lies in the current space.
                 inner = j;
@@ -109,6 +127,7 @@ pub fn gmres(
             g[j] *= cs[j];
             inner = j + 1;
             history.push(g[j + 1].abs());
+            // lint: allow(float-eq): exact (lucky) breakdown test
             let lucky = wn == 0.0;
             if !lucky {
                 for wi in &mut w {
@@ -144,7 +163,13 @@ pub fn gmres(
     let ax = a.spmv_owned(&x);
     let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
     let rel = norm2(&r) / b_norm;
-    GmresResult { x, converged: rel <= opts.rtol, matvecs, rel_residual: rel, history }
+    GmresResult {
+        x,
+        converged: rel <= opts.rtol,
+        matvecs,
+        rel_residual: rel,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -166,19 +191,32 @@ mod tests {
         let (a, b, x_true) = problem(8, 0.0);
         let r = gmres(&a, &b, &IdentityPreconditioner, &GmresOptions::default());
         assert!(r.converged, "relres {}", r.rel_residual);
-        let err: f64 = r.x.iter().zip(&x_true).map(|(x, t)| (x - t).abs()).fold(0.0, f64::max);
+        let err: f64 =
+            r.x.iter()
+                .zip(&x_true)
+                .map(|(x, t)| (x - t).abs())
+                .fold(0.0, f64::max);
         assert!(err < 1e-5, "err {err}");
     }
 
     #[test]
     fn ilut_preconditioning_cuts_matvec_count() {
         let (a, b, _) = problem(16, 12.0);
-        let plain = gmres(&a, &b, &DiagonalPreconditioner::new(&a), &GmresOptions::default());
+        let plain = gmres(
+            &a,
+            &b,
+            &DiagonalPreconditioner::new(&a),
+            &GmresOptions::default(),
+        );
         let f = ilut(&a, &IlutOptions::new(10, 1e-4)).unwrap();
         let pre = gmres(&a, &b, &IluPreconditioner::new(f), &GmresOptions::default());
         assert!(pre.converged);
-        assert!(plain.matvecs > 2 * pre.matvecs,
-            "ILUT should slash iterations: diag {} vs ilut {}", plain.matvecs, pre.matvecs);
+        assert!(
+            plain.matvecs > 2 * pre.matvecs,
+            "ILUT should slash iterations: diag {} vs ilut {}",
+            plain.matvecs,
+            pre.matvecs
+        );
     }
 
     #[test]
@@ -189,7 +227,10 @@ mod tests {
             &a,
             &b,
             &IluPreconditioner::new(f),
-            &GmresOptions { restart: 5, ..Default::default() },
+            &GmresOptions {
+                restart: 5,
+                ..Default::default()
+            },
         );
         assert!(r.converged, "relres {}", r.rel_residual);
     }
@@ -201,7 +242,11 @@ mod tests {
             &a,
             &b,
             &IdentityPreconditioner,
-            &GmresOptions { max_matvecs: 7, rtol: 1e-14, ..Default::default() },
+            &GmresOptions {
+                max_matvecs: 7,
+                rtol: 1e-14,
+                ..Default::default()
+            },
         );
         assert!(!r.converged);
         assert!(r.matvecs <= 7);
@@ -210,7 +255,12 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero() {
         let (a, _, _) = problem(5, 0.0);
-        let r = gmres(&a, &vec![0.0; a.n_rows()], &IdentityPreconditioner, &GmresOptions::default());
+        let r = gmres(
+            &a,
+            &vec![0.0; a.n_rows()],
+            &IdentityPreconditioner,
+            &GmresOptions::default(),
+        );
         assert!(r.converged);
         assert!(r.x.iter().all(|&v| v == 0.0));
         assert_eq!(r.matvecs, 0);

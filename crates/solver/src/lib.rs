@@ -15,5 +15,5 @@ pub mod dist_gmres;
 pub mod gmres;
 
 pub use cg::{cg, CgOptions, CgResult, IcPreconditioner};
-pub use dist_gmres::{dist_gmres, DistDiagonal, DistIlu, DistIdentity, DistPrecond};
+pub use dist_gmres::{dist_gmres, DistDiagonal, DistIdentity, DistIlu, DistPrecond};
 pub use gmres::{gmres, GmresOptions, GmresResult};

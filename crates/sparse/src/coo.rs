@@ -15,10 +15,18 @@ pub struct CooMatrix {
 }
 
 impl CooMatrix {
+    /// An empty `n_rows x n_cols` triplet matrix.
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        CooMatrix { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        CooMatrix {
+            n_rows,
+            n_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
+    /// Like `new`, reserving space for `cap` triplets.
     pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
         CooMatrix {
             n_rows,
@@ -29,10 +37,12 @@ impl CooMatrix {
         }
     }
 
+    /// Number of rows.
     pub fn n_rows(&self) -> usize {
         self.n_rows
     }
 
+    /// Number of columns.
     pub fn n_cols(&self) -> usize {
         self.n_cols
     }
@@ -47,8 +57,16 @@ impl CooMatrix {
     /// # Panics
     /// Panics if the position is out of range.
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n_rows, "row {row} out of range ({})", self.n_rows);
-        assert!(col < self.n_cols, "col {col} out of range ({})", self.n_cols);
+        assert!(
+            row < self.n_rows,
+            "row {row} out of range ({})",
+            self.n_rows
+        );
+        assert!(
+            col < self.n_cols,
+            "col {col} out of range ({})",
+            self.n_cols
+        );
         self.rows.push(row);
         self.cols.push(col);
         self.vals.push(value);

@@ -32,8 +32,17 @@ impl CsrMatrix {
         values: Vec<f64>,
     ) -> Self {
         assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr length mismatch");
-        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end mismatch");
+        assert_eq!(
+            col_idx.len(),
+            values.len(),
+            "col_idx/values length mismatch"
+        );
+        assert_eq!(
+            // lint: allow(unwrap): row_ptr has n_rows + 1 entries, asserted above
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr end mismatch"
+        );
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
         for i in 0..n_rows {
             assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be monotone");
@@ -45,7 +54,13 @@ impl CsrMatrix {
                 assert!(last < n_cols, "column index out of range in row {i}");
             }
         }
-        CsrMatrix { n_rows, n_cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// An `n_rows × n_cols` matrix with no stored entries.
@@ -75,10 +90,12 @@ impl CsrMatrix {
         coo.to_csr()
     }
 
+    /// Number of rows.
     pub fn n_rows(&self) -> usize {
         self.n_rows
     }
 
+    /// Number of columns.
     pub fn n_cols(&self) -> usize {
         self.n_cols
     }
@@ -88,18 +105,22 @@ impl CsrMatrix {
         self.col_idx.len()
     }
 
+    /// Row pointer array (`n_rows + 1` entries).
     pub fn row_ptr(&self) -> &[usize] {
         &self.row_ptr
     }
 
+    /// Column indices, concatenated row-major.
     pub fn col_idx(&self) -> &[usize] {
         &self.col_idx
     }
 
+    /// Stored values, parallel to `col_idx`.
     pub fn values(&self) -> &[f64] {
         &self.values
     }
 
+    /// Mutable access to the stored values (pattern stays fixed).
     pub fn values_mut(&mut self) -> &mut [f64] {
         &mut self.values
     }
@@ -202,7 +223,10 @@ impl CsrMatrix {
     /// The union of the pattern with its transpose, keeping this matrix's
     /// values and storing explicit zeros for the added positions.
     pub fn symmetrized_pattern(&self) -> CsrMatrix {
-        assert_eq!(self.n_rows, self.n_cols, "pattern symmetrisation needs a square matrix");
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "pattern symmetrisation needs a square matrix"
+        );
         let t = self.transpose();
         let n = self.n_rows;
         let mut row_ptr = Vec::with_capacity(n + 1);
@@ -233,7 +257,13 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        CsrMatrix { n_rows: n, n_cols: n, row_ptr, col_idx, values }
+        CsrMatrix {
+            n_rows: n,
+            n_cols: n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// The 2-norm of row `i`.
@@ -291,6 +321,7 @@ impl CsrMatrix {
     pub fn scale_rows_by_diagonal(&mut self) -> Vec<f64> {
         let d = self.diagonal();
         for (i, &di) in d.iter().enumerate() {
+            // lint: allow(float-eq): rows with exactly zero diagonal are skipped
             if di != 0.0 {
                 let (s, e) = (self.row_ptr[i], self.row_ptr[i + 1]);
                 for v in &mut self.values[s..e] {
@@ -353,13 +384,7 @@ mod tests {
 
     #[test]
     fn transpose_involution() {
-        let a = CsrMatrix::from_raw(
-            2,
-            3,
-            vec![0, 2, 3],
-            vec![0, 2, 1],
-            vec![1.0, 2.0, 3.0],
-        );
+        let a = CsrMatrix::from_raw(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]);
         let t = a.transpose();
         assert_eq!(t.n_rows(), 3);
         assert_eq!(t.get(2, 0), Some(2.0));

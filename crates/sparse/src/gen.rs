@@ -13,9 +13,7 @@
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// 5-point Laplacian on an `nx × ny` grid (Dirichlet boundary folded in).
 ///
@@ -147,23 +145,29 @@ pub fn fem_torso(dim: usize, seed: u64) -> CsrMatrix {
     let n = nodes.len();
     assert!(n > 0, "torso domain is empty at dim={dim}");
     // Random renumbering (unstructured-mesh surrogate).
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut order: Vec<usize> = (0..n).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let mut renum = vec![0usize; n];
     for (new, &old) in order.iter().enumerate() {
         renum[old] = new;
     }
     let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
-    let neighbours: [(isize, isize, isize); 6] =
-        [(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)];
+    let neighbours: [(isize, isize, isize); 6] = [
+        (-1, 0, 0),
+        (1, 0, 0),
+        (0, -1, 0),
+        (0, 1, 0),
+        (0, 0, -1),
+        (0, 0, 1),
+    ];
     for (old, &(i, j, k)) in nodes.iter().enumerate() {
         let r = renum[old];
+        // lint: allow(unwrap): (i, j, k) ranges over the grid interior
         let si = sigma(i, j, k).unwrap();
         let mut diag = 0.0;
         for &(di, dj, dk) in &neighbours {
-            let (ni, nj, nk) =
-                (i as isize + di, j as isize + dj, k as isize + dk);
+            let (ni, nj, nk) = (i as isize + di, j as isize + dj, k as isize + dk);
             if ni < 0 || nj < 0 || nk < 0 {
                 // Dirichlet wall of the bounding box: contributes own sigma.
                 diag += si;
@@ -197,20 +201,20 @@ pub fn fem_torso(dim: usize, seed: u64) -> CsrMatrix {
 /// off-diagonal entries per row; handy for property tests (ILUT never breaks
 /// down on these).
 pub fn random_diag_dominant(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut coo = CooMatrix::with_capacity(n, n, n * (nnz_per_row + 1));
     for i in 0..n {
         let mut row_sum = 0.0;
         for _ in 0..nnz_per_row {
-            let j = rng.gen_range(0..n);
+            let j = rng.next_usize(n);
             if j == i {
                 continue;
             }
-            let v: f64 = rng.gen_range(-1.0..1.0);
+            let v = rng.range_f64(-1.0, 1.0);
             row_sum += v.abs();
             coo.push(i, j, v);
         }
-        coo.push(i, i, row_sum + 1.0 + rng.gen_range(0.0..1.0));
+        coo.push(i, i, row_sum + 1.0 + rng.next_f64());
     }
     coo.to_csr()
 }
@@ -269,7 +273,10 @@ mod tests {
         assert!(a.is_structurally_symmetric());
         let up = a.get(0, 1).unwrap();
         let down = a.get(1, 0).unwrap();
-        assert!((up - down).abs() > 1e-10, "convection should split couplings");
+        assert!(
+            (up - down).abs() > 1e-10,
+            "convection should split couplings"
+        );
     }
 
     #[test]

@@ -41,10 +41,11 @@ fn parse_err(msg: impl Into<String>) -> MmError {
 /// Reads a matrix from a Matrix Market stream.
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, MmError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
-    let h: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|s| s.to_ascii_lowercase())
+        .collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
         return Err(parse_err(format!("bad header line: {header:?}")));
     }
@@ -102,7 +103,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, MmError> {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| parse_err(format!("bad entry line: {t:?}")))?;
         let v: f64 = match it.next() {
-            Some(s) => s.parse().map_err(|_| parse_err(format!("bad value in {t:?}")))?,
+            Some(s) => s
+                .parse()
+                .map_err(|_| parse_err(format!("bad value in {t:?}")))?,
             None => 1.0, // pattern-style line
         };
         if i == 0 || j == 0 || i > n_rows || j > n_cols {
@@ -123,7 +126,13 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, MmError> {
 /// Writes a matrix in `matrix coordinate real general` form.
 pub fn write_matrix_market<W: Write>(matrix: &CsrMatrix, mut writer: W) -> std::io::Result<()> {
     writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
-    writeln!(writer, "{} {} {}", matrix.n_rows(), matrix.n_cols(), matrix.nnz())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.n_rows(),
+        matrix.n_cols(),
+        matrix.nnz()
+    )?;
     for i in 0..matrix.n_rows() {
         let (cols, vals) = matrix.row(i);
         for (&j, &v) in cols.iter().zip(vals) {
@@ -139,10 +148,7 @@ pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<CsrMatrix, MmEr
 }
 
 /// Convenience: write to a file path.
-pub fn write_matrix_market_file(
-    matrix: &CsrMatrix,
-    path: impl AsRef<Path>,
-) -> std::io::Result<()> {
+pub fn write_matrix_market_file(matrix: &CsrMatrix, path: impl AsRef<Path>) -> std::io::Result<()> {
     write_matrix_market(matrix, std::fs::File::create(path)?)
 }
 

@@ -12,13 +12,16 @@
 //! * [`gen`] — synthetic problem generators standing in for the paper's
 //!   G40 and TORSO matrices (see DESIGN.md §4),
 //! * [`io`] — Matrix Market coordinate-format reader/writer,
-//! * [`Permutation`] — row/column reorderings and their inverses.
+//! * [`Permutation`] — row/column reorderings and their inverses,
+//! * [`rng`] — a seeded SplitMix64 generator so the workspace carries no
+//!   external `rand` dependency and builds fully offline.
 
 pub mod coo;
 pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod permute;
+pub mod rng;
 pub mod stats;
 pub mod vec_ops;
 pub mod workrow;
@@ -26,5 +29,6 @@ pub mod workrow;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use permute::Permutation;
+pub use rng::SplitMix64;
 pub use stats::MatrixStats;
 pub use workrow::WorkRow;

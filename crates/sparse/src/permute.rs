@@ -14,7 +14,10 @@ impl Permutation {
     /// Identity permutation on `0..n`.
     pub fn identity(n: usize) -> Self {
         let v: Vec<usize> = (0..n).collect();
-        Permutation { new_of: v.clone(), old_of: v }
+        Permutation {
+            new_of: v.clone(),
+            old_of: v,
+        }
     }
 
     /// Builds from a `new_of` map (`new_of[old] = new`).
@@ -29,35 +32,48 @@ impl Permutation {
             assert!(old_of[new] == usize::MAX, "duplicate target index {new}");
             old_of[new] = old;
         }
-        Permutation { new_of: new_of.to_vec(), old_of }
+        Permutation {
+            new_of: new_of.to_vec(),
+            old_of,
+        }
     }
 
     /// Builds from an `old_of` map (`old_of[new] = old`), i.e. the order in
     /// which old indices should be listed.
     pub fn from_old_order(old_of: &[usize]) -> Self {
         let p = Self::from_new_order(old_of);
-        Permutation { new_of: p.old_of, old_of: p.new_of }
+        Permutation {
+            new_of: p.old_of,
+            old_of: p.new_of,
+        }
     }
 
+    /// Number of elements permuted.
     pub fn len(&self) -> usize {
         self.new_of.len()
     }
 
+    /// True for the empty permutation.
     pub fn is_empty(&self) -> bool {
         self.new_of.is_empty()
     }
 
+    /// New position of old index `old`.
     pub fn new_of(&self, old: usize) -> usize {
         self.new_of[old]
     }
 
+    /// Old index at new position `new`.
     pub fn old_of(&self, new: usize) -> usize {
         self.old_of[new]
     }
 
     /// The inverse permutation.
     pub fn inverse(&self) -> Permutation {
-        Permutation { new_of: self.old_of.clone(), old_of: self.new_of.clone() }
+        Permutation {
+            new_of: self.old_of.clone(),
+            old_of: self.new_of.clone(),
+        }
     }
 
     /// Applies to a dense vector: `out[new_of(i)] = x[i]`.

@@ -23,7 +23,11 @@ pub struct MatrixStats {
 impl MatrixStats {
     /// Computes the summary. `O(nnz)` plus one transpose.
     pub fn of(a: &CsrMatrix) -> MatrixStats {
-        assert_eq!(a.n_rows(), a.n_cols(), "stats are defined for square matrices");
+        assert_eq!(
+            a.n_rows(),
+            a.n_cols(),
+            "stats are defined for square matrices"
+        );
         let n = a.n_rows();
         let t = a.transpose();
         let structurally_symmetric = a.is_structurally_symmetric();
@@ -50,6 +54,7 @@ impl MatrixStats {
                     }
                 }
             }
+            // lint: allow(float-eq): counts exactly-zero or missing diagonals
             if diag == 0.0 && a.get(i, i).is_none() {
                 zero_diagonals += 1;
             }
@@ -72,12 +77,24 @@ impl MatrixStats {
 
 impl std::fmt::Display for MatrixStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "n = {}, nnz = {} ({:.2}/row, max {})", self.n, self.nnz, self.avg_nnz_per_row, self.max_nnz_per_row)?;
+        writeln!(
+            f,
+            "n = {}, nnz = {} ({:.2}/row, max {})",
+            self.n, self.nnz, self.avg_nnz_per_row, self.max_nnz_per_row
+        )?;
         writeln!(
             f,
             "symmetry: pattern {}, values {}",
-            if self.structurally_symmetric { "yes" } else { "no" },
-            if self.numerically_symmetric { "yes" } else { "no" }
+            if self.structurally_symmetric {
+                "yes"
+            } else {
+                "no"
+            },
+            if self.numerically_symmetric {
+                "yes"
+            } else {
+                "no"
+            }
         )?;
         write!(
             f,

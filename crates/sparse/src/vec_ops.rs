@@ -32,7 +32,10 @@ pub fn scale(alpha: f64, x: &mut [f64]) {
 /// Max-norm of the difference between two vectors.
 pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]

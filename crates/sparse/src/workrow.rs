@@ -19,13 +19,19 @@ pub struct WorkRow {
 impl WorkRow {
     /// A working row of logical length `n`, initially empty.
     pub fn new(n: usize) -> Self {
-        WorkRow { values: vec![0.0; n], occupied: vec![false; n], nz_list: Vec::new() }
+        WorkRow {
+            values: vec![0.0; n],
+            occupied: vec![false; n],
+            nz_list: Vec::new(),
+        }
     }
 
+    /// Number of occupied entries.
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
+    /// True when no entry is occupied.
     pub fn is_empty(&self) -> bool {
         self.nz_list.is_empty()
     }
@@ -86,7 +92,10 @@ impl WorkRow {
     /// stale entries for dropped positions — callers should use
     /// [`WorkRow::drain_sorted`] or filter with [`WorkRow::contains`]).
     pub fn positions(&self) -> impl Iterator<Item = usize> + '_ {
-        self.nz_list.iter().copied().filter(move |&j| self.occupied[j])
+        self.nz_list
+            .iter()
+            .copied()
+            .filter(move |&j| self.occupied[j])
     }
 
     /// Extracts all occupied `(col, value)` pairs sorted by column and resets

@@ -1,0 +1,540 @@
+//! `xtask` — in-repo workspace automation, run as `cargo run -p xtask -- lint`.
+//!
+//! The `lint` task enforces repo-local rules that `rustc` and `clippy`
+//! (which is not guaranteed to exist in the offline toolchain) do not:
+//!
+//! * **no-unwrap** — `.unwrap()` / `.expect(` are forbidden in library
+//!   code. Recoverable paths must return `Result`; genuinely impossible
+//!   cases carry `// lint: allow(unwrap): <why>` on the same or the
+//!   previous line. Test code (`tests/`, `benches/`, `examples/`, and
+//!   everything after `#[cfg(test)]` in a source file) is exempt.
+//! * **no-float-eq** — comparing against a float literal with `==`/`!=`
+//!   is forbidden in library code; use a tolerance or
+//!   `// lint: allow(float-eq): <why>` for exact-representation cases
+//!   (comparisons against zero where the value was assigned, not computed).
+//! * **par-confinement** — `std::thread` and channel types are allowed
+//!   only inside `crates/par`; every other crate must go through the
+//!   `Machine`/`Ctx` abstraction so the cost model sees all parallelism.
+//! * **dep-allowlist** — every `Cargo.toml` may depend only on in-repo
+//!   `pilut-*` path crates (plus `criterion`, only in the excluded
+//!   `crates/bench`). This is what keeps the tier-1 gate offline-safe.
+//! * **doc-pub-fn** — every `pub fn` in `crates/*/src` carries a doc
+//!   comment (`///` or `#[doc = ...]`).
+//!
+//! A `#[test]` at the bottom runs the lint over the live workspace, so
+//! plain `cargo test` fails if a violation lands.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = workspace_root();
+            let violations = run_lint(&root);
+            if violations.is_empty() {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                }
+                println!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The repo root, resolved from this crate's manifest directory so the
+/// task works from any working directory.
+fn workspace_root() -> PathBuf {
+    // lint: allow(unwrap): CARGO_MANIFEST_DIR is compile-time and two levels deep
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+/// One finding: file, 1-based line, rule id, and the offending text.
+#[derive(Debug)]
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    text: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule,
+            self.text.trim()
+        )
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+fn run_lint(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    // Library source rules: the five algorithm crates plus the root facade.
+    // xtask itself (tooling, and it spells the patterns it greps for) and
+    // bench code are not library code.
+    let lib_src: &[&str] = &[
+        "crates/sparse/src",
+        "crates/graph/src",
+        "crates/par/src",
+        "crates/core/src",
+        "crates/solver/src",
+        "src",
+    ];
+    for dir in lib_src {
+        let in_par = *dir == "crates/par/src";
+        for file in rust_files(&root.join(dir)) {
+            let label = rel_label(root, &file);
+            match std::fs::read_to_string(&file) {
+                Ok(content) => {
+                    violations.extend(lint_source(&label, &content, in_par));
+                }
+                Err(e) => violations.push(Violation {
+                    file: label,
+                    line: 0,
+                    rule: "io",
+                    text: format!("unreadable: {e}"),
+                }),
+            }
+        }
+    }
+    // Manifest allowlist: every Cargo.toml in the repo, including the
+    // workspace-excluded bench crate.
+    for file in manifest_files(root) {
+        let label = rel_label(root, &file);
+        let is_bench = label.starts_with("crates/bench");
+        match std::fs::read_to_string(&file) {
+            Ok(content) => violations.extend(lint_manifest(&label, &content, is_bench)),
+            Err(e) => violations.push(Violation {
+                file: label,
+                line: 0,
+                rule: "io",
+                text: format!("unreadable: {e}"),
+            }),
+        }
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    violations
+}
+
+/// All `.rs` files under `dir`, recursively.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(dir, &mut |p| {
+        if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p.to_path_buf());
+        }
+    });
+    out.sort();
+    out
+}
+
+/// All `Cargo.toml` files in the repo, skipping `target/` and `.git/`.
+fn manifest_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(root, &mut |p| {
+        if p.file_name().is_some_and(|n| n == "Cargo.toml") {
+            out.push(p.to_path_buf());
+        }
+    });
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, visit: &mut dyn FnMut(&Path)) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&path, visit);
+        } else {
+            visit(&path);
+        }
+    }
+}
+
+fn rel_label(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .display()
+        .to_string()
+        .replace('\\', "/")
+}
+
+/// True when line `i` (0-based) of `lines` carries the given allow marker
+/// on itself or on the previous line.
+fn allowed(lines: &[&str], i: usize, marker: &str) -> bool {
+    let tag = format!("lint: allow({marker})");
+    lines[i].contains(&tag) || (i > 0 && lines[i - 1].contains(&tag))
+}
+
+/// Source-code rules over one file. `in_par` exempts the file from the
+/// thread-confinement rule.
+fn lint_source(label: &str, content: &str, in_par: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    let mut in_tests = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let line = strip_comment_and_strings(raw);
+        let code = line.as_str();
+        if raw.contains("#[cfg(test)]") {
+            // Convention in this repo: the test module is the tail of the
+            // file, so everything after the marker is test code.
+            in_tests = true;
+        }
+        if in_tests {
+            continue;
+        }
+        if (code.contains(".unwrap()") || code.contains(".expect("))
+            && !allowed(&lines, i, "unwrap")
+        {
+            out.push(Violation {
+                file: label.to_string(),
+                line: i + 1,
+                rule: "no-unwrap",
+                text: raw.to_string(),
+            });
+        }
+        if float_literal_cmp(code) && !allowed(&lines, i, "float-eq") {
+            out.push(Violation {
+                file: label.to_string(),
+                line: i + 1,
+                rule: "no-float-eq",
+                text: raw.to_string(),
+            });
+        }
+        if !in_par
+            && (code.contains("std::thread")
+                || code.contains("mpsc")
+                || code.contains("thread::spawn"))
+            && !allowed(&lines, i, "thread")
+        {
+            out.push(Violation {
+                file: label.to_string(),
+                line: i + 1,
+                rule: "par-confinement",
+                text: raw.to_string(),
+            });
+        }
+        if label.starts_with("crates/") {
+            if let Some(v) = missing_doc_violation(label, &lines, i) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Blanks out `//` comments and the contents of string literals so the
+/// pattern rules do not fire on prose. Char-literal and raw-string edge
+/// cases are handled well enough for this codebase's style.
+fn strip_comment_and_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut prev = '\0';
+    while let Some(c) = chars.next() {
+        if in_str {
+            if c == '"' && prev != '\\' {
+                in_str = false;
+                out.push('"');
+            } else {
+                out.push(' ');
+            }
+            // A backslash escaping a backslash must not escape the quote after.
+            prev = if c == '\\' && prev == '\\' { '\0' } else { c };
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => break,
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            _ => out.push(c),
+        }
+        prev = c;
+    }
+    out
+}
+
+/// Detects `== <float literal>` / `!= <float literal>` (either side).
+fn float_literal_cmp(code: &str) -> bool {
+    for op in ["==", "!="] {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(op) {
+            let at = start + pos;
+            // Skip `<=`, `>=`, `!=` matched inside `==` scans and pattern
+            // guards like `=>`.
+            let before = &code[..at];
+            let after = &code[at + 2..];
+            if op == "==" && before.ends_with(['<', '>', '!', '=']) {
+                start = at + 2;
+                continue;
+            }
+            if is_float_token(last_token(before)) || is_float_token(first_token(after)) {
+                return true;
+            }
+            start = at + 2;
+        }
+    }
+    false
+}
+
+fn last_token(s: &str) -> &str {
+    let trimmed = s.trim_end();
+    let cut = trimmed
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-'))
+        .map_or(0, |p| p + 1);
+    &trimmed[cut..]
+}
+
+fn first_token(s: &str) -> &str {
+    let trimmed = s.trim_start();
+    let cut = trimmed
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-'))
+        .unwrap_or(trimmed.len());
+    &trimmed[..cut]
+}
+
+/// A token "looks like a float literal" when it parses as one and is not
+/// an integer literal or an identifier/path segment.
+fn is_float_token(tok: &str) -> bool {
+    let tok = tok.strip_prefix('-').unwrap_or(tok);
+    if tok.is_empty() || !tok.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let tok = tok
+        .strip_suffix("f64")
+        .or_else(|| tok.strip_suffix("f32"))
+        .unwrap_or(tok);
+    let tok = tok.strip_suffix('_').unwrap_or(tok);
+    (tok.contains('.') || tok.contains(['e', 'E'])) && tok.parse::<f64>().is_ok()
+}
+
+/// Flags a `pub fn` with no doc comment or doc attribute above it.
+fn missing_doc_violation(label: &str, lines: &[&str], i: usize) -> Option<Violation> {
+    let trimmed = lines[i].trim_start();
+    let is_pub_fn = trimmed.starts_with("pub fn ")
+        || trimmed.starts_with("pub const fn ")
+        || trimmed.starts_with("pub unsafe fn ");
+    if !is_pub_fn {
+        return None;
+    }
+    // Walk upward over attributes and blank lines looking for docs.
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let above = lines[j].trim_start();
+        if above.starts_with("///") || above.starts_with("#[doc") || above.starts_with("#![doc") {
+            return None;
+        }
+        if above.starts_with("#[") || above.starts_with("#![") || above.is_empty() {
+            continue;
+        }
+        break;
+    }
+    Some(Violation {
+        file: label.to_string(),
+        line: i + 1,
+        rule: "doc-pub-fn",
+        text: lines[i].to_string(),
+    })
+}
+
+/// Dependency names allowed anywhere in the workspace.
+const DEP_ALLOWLIST: &[&str] = &[
+    "pilut-sparse",
+    "pilut-graph",
+    "pilut-par",
+    "pilut-core",
+    "pilut-solver",
+];
+
+/// Manifest rule: every dependency name in any `[…dependencies…]` table
+/// must be on the allowlist (`criterion` additionally allowed in the
+/// workspace-excluded bench crate).
+fn lint_manifest(label: &str, content: &str, is_bench: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut in_dep_table = false;
+    for (i, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            // `[dependencies]`, `[dev-dependencies]`, `[workspace.dependencies]`,
+            // `[target.'…'.dependencies]`, … — anything ending in `dependencies]`.
+            in_dep_table = line.trim_end_matches(']').ends_with("dependencies");
+            continue;
+        }
+        if !in_dep_table || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name = line
+            .split(['=', '.', ' ', '\t'])
+            .next()
+            .unwrap_or("")
+            .trim_matches('"');
+        if name.is_empty() {
+            continue;
+        }
+        let allowed = DEP_ALLOWLIST.contains(&name) || (is_bench && name == "criterion");
+        if !allowed {
+            out.push(Violation {
+                file: label.to_string(),
+                line: i + 1,
+                rule: "dep-allowlist",
+                text: raw.to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(vs: &[Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        let violations = run_lint(&workspace_root());
+        assert!(
+            violations.is_empty(),
+            "xtask lint found {} violation(s):\n{}",
+            violations.len(),
+            violations
+                .iter()
+                .map(|v| format!("  {v}\n"))
+                .collect::<String>()
+        );
+    }
+
+    #[test]
+    fn planted_unwrap_is_caught() {
+        let src = "fn f() {\n    let x = g().unwrap();\n    let y = h().expect(\"h\");\n}\n";
+        assert_eq!(
+            rules(&lint_source("crates/fake/src/a.rs", src, false)),
+            vec!["no-unwrap"; 2]
+        );
+    }
+
+    #[test]
+    fn allow_marker_suppresses_unwrap() {
+        let same = "fn f() { g().unwrap(); } // lint: allow(unwrap): infallible\n";
+        assert!(lint_source("crates/fake/src/a.rs", same, false).is_empty());
+        let above = "// lint: allow(unwrap): infallible\nfn f() { g().unwrap(); }\n";
+        assert!(lint_source("crates/fake/src/a.rs", above, false).is_empty());
+    }
+
+    #[test]
+    fn test_module_tail_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { h().unwrap(); }\n}\n";
+        assert!(lint_source("crates/fake/src/a.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn planted_float_eq_is_caught() {
+        let bad = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        assert_eq!(
+            rules(&lint_source("crates/fake/src/a.rs", bad, false)),
+            vec!["no-float-eq"]
+        );
+        let bad2 = "fn f(x: f64) -> bool { 1e-6 != x }\n";
+        assert_eq!(
+            rules(&lint_source("crates/fake/src/a.rs", bad2, false)),
+            vec!["no-float-eq"]
+        );
+    }
+
+    #[test]
+    fn integer_and_ge_comparisons_are_fine() {
+        for ok in [
+            "fn f(x: usize) -> bool { x == 0 }\n",
+            "fn f(x: f64) -> bool { x <= 0.5 }\n",
+            "fn f(x: f64) -> bool { x >= 0.5 }\n",
+        ] {
+            assert!(
+                lint_source("crates/fake/src/a.rs", ok, false).is_empty(),
+                "{ok}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_use_confined_to_par() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/fake/src/a.rs", src, false)),
+            vec!["par-confinement"]
+        );
+        assert!(lint_source("crates/par/src/a.rs", src, true).is_empty());
+    }
+
+    #[test]
+    fn string_and_comment_content_does_not_fire() {
+        let src = "fn f() { let s = \".unwrap() == 0.0 mpsc\"; } // .unwrap() std::thread\n";
+        assert!(lint_source("crates/fake/src/a.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn undocumented_pub_fn_is_caught() {
+        let bad = "impl A {\n    pub fn f() {}\n}\n";
+        assert_eq!(
+            rules(&lint_source("crates/fake/src/a.rs", bad, false)),
+            vec!["doc-pub-fn"]
+        );
+        let good = "impl A {\n    /// Does f.\n    #[inline]\n    pub fn f() {}\n}\n";
+        assert!(lint_source("crates/fake/src/a.rs", good, false).is_empty());
+        // The doc rule is scoped to crates/*/src.
+        assert!(lint_source("src/lib.rs", bad, false).is_empty());
+    }
+
+    #[test]
+    fn rogue_dependency_is_caught() {
+        let bad = "[package]\nname = \"x\"\n[dependencies]\nserde = \"1\"\n";
+        assert_eq!(
+            rules(&lint_manifest("crates/fake/Cargo.toml", bad, false)),
+            vec!["dep-allowlist"]
+        );
+    }
+
+    #[test]
+    fn path_deps_and_bench_criterion_are_fine() {
+        let ok =
+            "[dependencies]\npilut-sparse = { workspace = true }\npilut-par.workspace = true\n";
+        assert!(lint_manifest("crates/fake/Cargo.toml", ok, false).is_empty());
+        let bench = "[dev-dependencies]\ncriterion = \"0.5\"\n";
+        assert!(lint_manifest("crates/bench/Cargo.toml", bench, true).is_empty());
+        assert_eq!(
+            rules(&lint_manifest("crates/fake/Cargo.toml", bench, false)),
+            vec!["dep-allowlist"]
+        );
+    }
+}

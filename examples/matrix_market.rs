@@ -24,11 +24,20 @@ fn main() {
             io::read_matrix_market_file(&path).expect("round-trip failed")
         }
     };
-    println!("matrix: {} x {}, {} nonzeros", a.n_rows(), a.n_cols(), a.nnz());
+    println!(
+        "matrix: {} x {}, {} nonzeros",
+        a.n_rows(),
+        a.n_cols(),
+        a.nnz()
+    );
     println!("{}\n", pilut::sparse::MatrixStats::of(&a));
 
     let b = a.spmv_owned(&vec![1.0; a.n_rows()]);
-    let opts = GmresOptions { restart: 30, rtol: 1e-7, max_matvecs: 4000 };
+    let opts = GmresOptions {
+        restart: 30,
+        rtol: 1e-7,
+        max_matvecs: 4000,
+    };
     let report = |label: &str, factors: pilut::core::LuFactors| {
         let fill = factors.nnz();
         let pre = IluPreconditioner::with_label(factors, label);
@@ -44,8 +53,14 @@ fn main() {
     };
     report("ILU(0)", ilu0(&a).expect("ILU(0) failed"));
     report("ILU(2)", iluk(&a, 2).expect("ILU(2) failed"));
-    report("ILUT(5,1e-2)", ilut(&a, &IlutOptions::new(5, 1e-2)).expect("ILUT failed"));
-    report("ILUT(10,1e-4)", ilut(&a, &IlutOptions::new(10, 1e-4)).expect("ILUT failed"));
+    report(
+        "ILUT(5,1e-2)",
+        ilut(&a, &IlutOptions::new(5, 1e-2)).expect("ILUT failed"),
+    );
+    report(
+        "ILUT(10,1e-4)",
+        ilut(&a, &IlutOptions::new(10, 1e-4)).expect("ILUT failed"),
+    );
     // Orderings matter to incomplete factorizations: compare the bandwidth
     // under the natural and the reverse Cuthill-McKee orderings.
     let g = pilut::graph::Graph::from_csr_pattern(&a);

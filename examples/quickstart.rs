@@ -15,7 +15,11 @@ fn main() {
 
     // Manufactured solution x = 1, right-hand side b = A·1.
     let b = a.spmv_owned(&vec![1.0; a.n_rows()]);
-    let opts = GmresOptions { restart: 10, rtol: 1e-7, max_matvecs: 5000 };
+    let opts = GmresOptions {
+        restart: 10,
+        rtol: 1e-7,
+        max_matvecs: 5000,
+    };
 
     // Baseline: diagonal (Jacobi) preconditioning.
     let diag = DiagonalPreconditioner::new(&a);
@@ -37,7 +41,8 @@ fn main() {
     println!(
         "GMRES(10) + {} : {} matvecs, converged = {}",
         pre.name(),
-        r1.matvecs, r1.converged
+        r1.matvecs,
+        r1.converged
     );
     println!(
         "speedup in iterations: {:.1}x",

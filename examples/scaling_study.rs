@@ -35,10 +35,17 @@ fn measure(a: &pilut::sparse::CsrMatrix, p: usize, opts: &IlutOptions) -> (f64, 
 
 fn main() {
     let a = gen::laplace_3d(20, 20, 20);
-    println!("20^3 Laplacian: {} unknowns, {} nonzeros\n", a.n_rows(), a.nnz());
+    println!(
+        "20^3 Laplacian: {} unknowns, {} nonzeros\n",
+        a.n_rows(),
+        a.nnz()
+    );
     for opts in [IlutOptions::new(10, 1e-6), IlutOptions::star(10, 1e-6, 2)] {
         println!("{}:", opts.name());
-        println!("  {:>4} | {:>12} | {:>9} | {:>12} | {:>9} | {:>4}", "p", "factor (s)", "speedup", "solve (s)", "speedup", "q");
+        println!(
+            "  {:>4} | {:>12} | {:>9} | {:>12} | {:>9} | {:>4}",
+            "p", "factor (s)", "speedup", "solve (s)", "speedup", "q"
+        );
         let mut base: Option<(f64, f64)> = None;
         for p in [2usize, 4, 8, 16, 32] {
             let (tf, ts, q) = measure(&a, p, &opts);

@@ -21,7 +21,11 @@ use pilut::sparse::gen;
 fn main() {
     let p = 8;
     let a = gen::fem_torso(28, 0x70_72_73_6f);
-    println!("TORSO surrogate: {} unknowns, {} nonzeros", a.n_rows(), a.nnz());
+    println!(
+        "TORSO surrogate: {} unknowns, {} nonzeros",
+        a.n_rows(),
+        a.nnz()
+    );
 
     let dm = DistMatrix::from_matrix(a, p, 17);
     println!(
@@ -45,7 +49,11 @@ fn main() {
             let ones = vec![1.0; local.len()];
             let b = dist_spmv(ctx, &dm, &local, &mut splan, &ones);
             let mut pre = DistIlu::new(ctx, &dm, &local, rf);
-            let gopts = GmresOptions { restart: 50, rtol: 1e-7, max_matvecs: 2000 };
+            let gopts = GmresOptions {
+                restart: 50,
+                rtol: 1e-7,
+                max_matvecs: 2000,
+            };
             ctx.barrier();
             let t1 = ctx.time();
             let r = dist_gmres(ctx, &dm, &local, &mut splan, &mut pre, &b, &gopts);

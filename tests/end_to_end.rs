@@ -22,7 +22,11 @@ fn distributed_solution_matches_serial() {
     let n = a.n_rows();
     let x_true: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
     let b = a.spmv_owned(&x_true);
-    let gopts = GmresOptions { restart: 20, rtol: 1e-9, max_matvecs: 2000 };
+    let gopts = GmresOptions {
+        restart: 20,
+        rtol: 1e-9,
+        max_matvecs: 2000,
+    };
 
     // Serial reference.
     let f = ilut(&a, &IlutOptions::new(8, 1e-3)).unwrap();
@@ -32,7 +36,7 @@ fn distributed_solution_matches_serial() {
     // Distributed run on 4 simulated processors.
     let dm = DistMatrix::from_matrix(a.clone(), 4, 29);
     let b2 = b.clone();
-    let out = Machine::run(4, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         let mut plan = SpmvPlan::build(ctx, &dm, &local);
         let rf = par_ilut(ctx, &dm, &local, &IlutOptions::new(8, 1e-3)).unwrap();
@@ -66,7 +70,7 @@ fn simulated_time_shrinks_with_processors() {
     for opts in [IlutOptions::new(5, 1e-2), IlutOptions::star(5, 1e-2, 2)] {
         let time = |p: usize| {
             let dm = DistMatrix::from_matrix(a.clone(), p, 17);
-            let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+            let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
                 let local = dm.local_view(ctx.rank());
                 par_ilut(ctx, &dm, &local, &opts).unwrap();
                 ctx.barrier();
@@ -92,7 +96,7 @@ fn ilut_star_dominates_at_small_threshold() {
     let p = 8;
     let run = |opts: IlutOptions| {
         let dm = DistMatrix::from_matrix(a.clone(), p, 17);
-        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
             ctx.barrier();
@@ -110,12 +114,12 @@ fn ilut_star_dominates_at_small_threshold() {
 /// not orders of magnitude more — because the level structure keeps the
 /// solves parallel.
 #[test]
-fn trisolve_cost_is_comparable_to_matvec()  {
+fn trisolve_cost_is_comparable_to_matvec() {
     let a = gen::laplace_3d(12, 12, 12);
     let p = 4;
     let dm = DistMatrix::from_matrix(a.clone(), p, 17);
     let opts = IlutOptions::star(5, 1e-4, 2);
-    let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
         let tplan = TrisolvePlan::build(ctx, &dm, &local, &rf);
@@ -133,7 +137,10 @@ fn trisolve_cost_is_comparable_to_matvec()  {
     let tri = out.results.iter().map(|r| r.0).fold(0.0, f64::max);
     let mv = out.results.iter().map(|r| r.1).fold(0.0, f64::max);
     assert!(tri > mv, "a two-sweep solve must cost more than one matvec");
-    assert!(tri < 25.0 * mv, "trisolve {tri} vs matvec {mv}: solves degenerated to serial");
+    assert!(
+        tri < 25.0 * mv,
+        "trisolve {tri} vs matvec {mv}: solves degenerated to serial"
+    );
 }
 
 /// The diagonal baseline loses to parallel ILUT end to end (paper Table 3).
@@ -142,9 +149,13 @@ fn parallel_ilut_preconditioning_beats_diagonal_end_to_end() {
     let a = gen::fem_torso(14, 9);
     let p = 4;
     let dm = DistMatrix::from_matrix(a.clone(), p, 17);
-    let gopts = GmresOptions { restart: 10, rtol: 1e-7, max_matvecs: 4000 };
+    let gopts = GmresOptions {
+        restart: 10,
+        rtol: 1e-7,
+        max_matvecs: 4000,
+    };
     let run = |use_ilut: bool| {
-        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+        let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             let mut plan = SpmvPlan::build(ctx, &dm, &local);
             let ones = vec![1.0; local.len()];

@@ -22,7 +22,7 @@ fn the_whole_pipeline_is_reachable_from_the_prelude() {
 
     // Distributed path.
     let dm = DistMatrix::from_matrix(a.clone(), 2, 1);
-    let out = Machine::run(2, MachineModel::cray_t3d(), |ctx| {
+    let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         let rf = par_ilut(ctx, &dm, &local, &IlutOptions::star(6, 1e-3, 2)).unwrap();
         let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
@@ -32,7 +32,7 @@ fn the_whole_pipeline_is_reachable_from_the_prelude() {
     assert_eq!(out.results.iter().sum::<usize>(), 100);
 
     // Assembly utility.
-    let out2 = Machine::run(2, MachineModel::cray_t3d(), |ctx| {
+    let out2 = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         par_ilut(ctx, &dm, &local, &IlutOptions::new(100, 0.0)).unwrap()
     });
