@@ -17,4 +17,8 @@ cargo build --workspace --release
 echo "==> tests"
 cargo test --workspace -q
 
+echo "==> bench smoke"
+cargo run -q -p xtask --release -- bench --quick --out target/bench_smoke.json
+cargo run -q -p xtask --release -- bench-verify target/bench_smoke.json
+
 echo "ci.sh: all green"

@@ -47,7 +47,7 @@ impl SpmvPlan {
             debug_assert_ne!(owner, me, "own columns are never remote");
             sends.push((
                 owner,
-                Payload::U64(list.iter().map(|&x| x as u64).collect()),
+                Payload::u64s(list.iter().map(|&x| x as u64).collect()),
             ));
             recv.push((owner, list.clone()));
         }
@@ -89,7 +89,7 @@ pub fn dist_spmv(
             .map(|&g| x[local.pos_of(g).expect("plan refers to non-local node")])
             .collect();
         ctx.copy_words(vals.len() as f64);
-        ctx.send(*peer, TAG_SPMV, Payload::F64(vals));
+        ctx.send(*peer, TAG_SPMV, Payload::f64s(vals));
     }
     // Receive and scatter.
     for (peer, nodes) in &plan.recv {

@@ -30,6 +30,19 @@ impl SparseRow {
         SparseRow { cols, vals }
     }
 
+    /// Builds from already column-sorted `(col, val)` pairs without taking
+    /// ownership of the buffer — the hot-loop companion of
+    /// [`SparseRow::from_pairs`].
+    pub fn from_sorted_pairs(pairs: &[(usize, f64)]) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "columns must strictly ascend"
+        );
+        let cols = pairs.iter().map(|&(c, _)| c).collect();
+        let vals = pairs.iter().map(|&(_, v)| v).collect();
+        SparseRow { cols, vals }
+    }
+
     /// Number of stored entries.
     pub fn len(&self) -> usize {
         self.cols.len()

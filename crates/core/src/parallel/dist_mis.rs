@@ -89,7 +89,7 @@ pub fn build_level_links(
         list.dedup();
         sends.push((
             owner,
-            Payload::U64(list.iter().map(|&x| x as u64).collect()),
+            Payload::u64s(list.iter().map(|&x| x as u64).collect()),
         ));
         needed_by_rank.push((owner, list.clone()));
     }
@@ -154,7 +154,7 @@ pub fn dist_mis(
                 // Referenced nodes no longer in our row set are decided.
                 buf.push(state.get(&v).copied().unwrap_or(OUT));
             }
-            ctx.send(*peer, TAG_MIS_KEYS, Payload::U64(buf));
+            ctx.send(*peer, TAG_MIS_KEYS, Payload::u64s(buf));
         }
         for (peer, _) in &links.needed_by_rank {
             let buf = ctx.recv(*peer, TAG_MIS_KEYS).into_u64();
@@ -204,7 +204,7 @@ pub fn dist_mis(
                 .filter(|v| tentative.contains_key(v))
                 .map(|&v| v as u64)
                 .collect();
-            ctx.send(*peer, TAG_MIS_TENT, Payload::U64(buf));
+            ctx.send(*peer, TAG_MIS_TENT, Payload::u64s(buf));
         }
         let mut remote_tentative: HashMap<usize, bool> = HashMap::new();
         for (peer, _) in &links.needed_by_rank {
@@ -276,7 +276,7 @@ pub fn dist_mis(
             buf.push(conf.len() as u64);
             buf.extend_from_slice(&conf);
             buf.extend_from_slice(&kills);
-            ctx.send(peer, TAG_MIS_CONF, Payload::U64(buf));
+            ctx.send(peer, TAG_MIS_CONF, Payload::u64s(buf));
         }
         for &peer in &peers {
             let buf = ctx.recv(peer, TAG_MIS_CONF).into_u64();

@@ -231,7 +231,7 @@ pub fn par_ilu0(
         }
         for (peer, _) in &links.refs_by_rank {
             let (bu, bf) = batch.remove(peer).unwrap_or_default();
-            ctx.send(*peer, TAG_U0, Payload::Mixed(bu, bf));
+            ctx.send(*peer, TAG_U0, Payload::mixed(bu, bf));
         }
         let mut remote_u: HashMap<usize, FactorRow> = HashMap::new();
         for (peer, _) in &links.needed_by_rank {

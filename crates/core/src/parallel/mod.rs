@@ -105,32 +105,45 @@ pub fn par_ilut(
     let mut stats = ParStats::default();
     let mut w = WorkRow::new(n);
     let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+    let mut in_heap = vec![false; n];
+    // Scratch buffer reused across rows by both phase-1 sweeps.
+    let mut entries: Vec<(usize, f64)> = Vec::new();
     let mut my_err: Option<usize> = None; // row of first zero pivot
 
     // ---- Phase 1: interior rows (ascending global id = elimination order).
     for &i in &local.interior {
         let tau_i = opts.tau * a.row_norm2(i);
         let (cols, vals) = a.row(i);
-        heap.clear();
+        debug_assert!(heap.is_empty(), "heap drained by the previous row");
         for (&j, &v) in cols.iter().zip(vals) {
             w.set(j, v);
-            if role[j] == 1 && j < i {
+            if role[j] == 1 && j < i && !in_heap[j] {
+                in_heap[j] = true;
                 heap.push(Reverse(j));
             }
         }
         eliminate(
-            ctx, &mut w, &mut heap, &rows, tau_i, i, &role, false, &mut stats,
+            ctx,
+            &mut w,
+            &mut heap,
+            &mut in_heap,
+            &rows,
+            tau_i,
+            i,
+            &role,
+            false,
+            &mut stats,
         );
         // Split: lower = my interiors with smaller id (the multipliers);
         // everything else is "later" (interface nodes factor after ALL
         // interiors regardless of their global id).
-        let entries = w.drain_sorted();
+        w.drain_sorted_into(&mut entries);
         stats.flops += selection_cost(entries.len());
         ctx.work(selection_cost(entries.len()));
         let mut lower = Vec::new();
         let mut upper = Vec::new();
         let mut diag = 0.0;
-        for (j, v) in entries {
+        for &(j, v) in &entries {
             if j == i {
                 diag = v;
             } else if role[j] == 1 && j < i {
@@ -159,22 +172,32 @@ pub fn par_ilut(
         let tau_i = opts.tau * a.row_norm2(i);
         tau_of.insert(i, tau_i);
         let (cols, vals) = a.row(i);
-        heap.clear();
+        debug_assert!(heap.is_empty(), "heap drained by the previous row");
         for (&j, &v) in cols.iter().zip(vals) {
             w.set(j, v);
-            if role[j] == 1 {
+            if role[j] == 1 && !in_heap[j] {
+                in_heap[j] = true;
                 heap.push(Reverse(j));
             }
         }
         eliminate(
-            ctx, &mut w, &mut heap, &rows, tau_i, i, &role, true, &mut stats,
+            ctx,
+            &mut w,
+            &mut heap,
+            &mut in_heap,
+            &rows,
+            tau_i,
+            i,
+            &role,
+            true,
+            &mut stats,
         );
-        let entries = w.drain_sorted();
+        w.drain_sorted_into(&mut entries);
         stats.flops += selection_cost(entries.len());
         ctx.work(selection_cost(entries.len()));
         let mut lower = Vec::new(); // my interior columns — factored earlier
         let mut rest = Vec::new(); // interface columns (mine or remote) + diag
-        for (j, v) in entries {
+        for &(j, v) in &entries {
             if role[j] == 1 {
                 lower.push((j, v));
             } else {
@@ -293,7 +316,7 @@ pub fn par_ilut(
         }
         for (peer, _) in &links.refs_by_rank {
             let (bu, bf) = batch.remove(peer).unwrap_or_default();
-            ctx.send(*peer, TAG_UROWS_BASE, Payload::Mixed(bu, bf));
+            ctx.send(*peer, TAG_UROWS_BASE, Payload::mixed(bu, bf));
         }
         let mut remote_u: HashMap<usize, FactorRow> = HashMap::new();
         for (peer, _) in &links.needed_by_rank {
@@ -420,6 +443,7 @@ fn eliminate(
     ctx: &mut Ctx,
     w: &mut WorkRow,
     heap: &mut BinaryHeap<Reverse<usize>>,
+    in_heap: &mut [bool],
     rows: &HashMap<usize, FactorRow>,
     tau_i: f64,
     i: usize,
@@ -428,9 +452,7 @@ fn eliminate(
     stats: &mut ParStats,
 ) {
     while let Some(Reverse(k)) = heap.pop() {
-        if matches!(heap.peek(), Some(&Reverse(kk)) if kk == k) {
-            continue; // duplicate heap entry
-        }
+        in_heap[k] = false;
         let wk = w.get(k);
         // lint: allow(float-eq): skips exactly cancelled multipliers
         if wk == 0.0 {
@@ -450,7 +472,8 @@ fn eliminate(
             w.add(j, -mult * uv);
             // New fill joins the elimination when it lands on an eligible
             // pivot column.
-            if newly && role[j] == 1 && (all_interiors || j < i) {
+            if newly && role[j] == 1 && (all_interiors || j < i) && !in_heap[j] {
+                in_heap[j] = true;
                 heap.push(Reverse(j));
             }
         }

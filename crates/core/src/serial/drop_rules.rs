@@ -10,10 +10,23 @@ pub fn threshold_and_cap(
     cap: usize,
     always_keep: Option<usize>,
 ) -> Vec<(usize, f64)> {
-    let mut kept_special: Vec<(usize, f64)> = Vec::new();
+    threshold_and_cap_in_place(&mut entries, tau_i, cap, always_keep);
+    entries
+}
+
+/// In-place variant of [`threshold_and_cap`] for hot loops that reuse one
+/// scratch buffer across rows: `entries` is filtered, capped, and left
+/// sorted by column, without giving up its allocation.
+pub fn threshold_and_cap_in_place(
+    entries: &mut Vec<(usize, f64)>,
+    tau_i: f64,
+    cap: usize,
+    always_keep: Option<usize>,
+) {
+    let mut kept_special: Option<(usize, f64)> = None;
     if let Some(d) = always_keep {
         if let Some(pos) = entries.iter().position(|&(c, _)| c == d) {
-            kept_special.push(entries.swap_remove(pos));
+            kept_special = Some(entries.swap_remove(pos));
         }
     }
     // lint: allow(float-eq): drops exactly-zero entries only
@@ -28,9 +41,8 @@ pub fn threshold_and_cap(
         });
         entries.truncate(cap);
     }
-    entries.append(&mut kept_special);
+    entries.extend(kept_special);
     entries.sort_unstable_by_key(|&(c, _)| c);
-    entries
 }
 
 /// Approximate flop cost of the selection (comparisons modelled as one op

@@ -2,7 +2,7 @@
 
 use crate::factors::{LuFactors, SparseRow};
 use crate::options::{FactorError, FactorStats, IlutOptions};
-use crate::serial::drop_rules::{selection_cost, threshold_and_cap};
+use crate::serial::drop_rules::{selection_cost, threshold_and_cap_in_place};
 use pilut_sparse::{CsrMatrix, WorkRow};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -29,25 +29,30 @@ pub fn ilut_with_stats(
     let mut u: Vec<SparseRow> = Vec::with_capacity(n);
     let mut w = WorkRow::new(n);
     let mut stats = FactorStats::default();
-    // Min-heap of candidate pivot columns still to eliminate in this row.
+    // Min-heap of candidate pivot columns still to eliminate in this row,
+    // with a membership marker so each position is pushed at most once
+    // (dedup-on-push instead of skip-duplicates-on-pop).
     let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+    let mut in_heap = vec![false; n];
+    // Scratch buffers reused across rows.
+    let mut entries: Vec<(usize, f64)> = Vec::new();
+    let mut lower: Vec<(usize, f64)> = Vec::new();
+    let mut upper: Vec<(usize, f64)> = Vec::new();
 
     for i in 0..n {
         let (cols, vals) = a.row(i);
         let tau_i = opts.tau * a.row_norm2(i);
-        heap.clear();
+        debug_assert!(heap.is_empty(), "heap drained by the previous row");
         for (&j, &v) in cols.iter().zip(vals) {
             w.set(j, v);
-            if j < i {
+            if j < i && !in_heap[j] {
+                in_heap[j] = true;
                 heap.push(Reverse(j));
             }
         }
         // Elimination sweep: ascending pivot order, fills pushed lazily.
         while let Some(Reverse(k)) = heap.pop() {
-            // Skip duplicates (a position may be pushed more than once).
-            if matches!(heap.peek(), Some(&Reverse(kk)) if kk == k) {
-                continue;
-            }
+            in_heap[k] = false;
             let wk = w.get(k);
             // lint: allow(float-eq): skips exactly cancelled multipliers
             if wk == 0.0 {
@@ -68,7 +73,8 @@ pub fn ilut_with_stats(
                 let j = urow.cols[t];
                 let newly = !w.contains(j);
                 w.add(j, -mult * urow.vals[t]);
-                if newly && j < i {
+                if newly && j < i && !in_heap[j] {
+                    in_heap[j] = true;
                     heap.push(Reverse(j));
                 }
             }
@@ -76,27 +82,27 @@ pub fn ilut_with_stats(
         }
         // Second dropping rule: split into L and U parts, keep m largest in
         // each; the diagonal is always kept.
-        let entries = w.drain_sorted();
+        w.drain_sorted_into(&mut entries);
         stats.flops += selection_cost(entries.len());
-        let mut lower: Vec<(usize, f64)> = Vec::new();
-        let mut upper: Vec<(usize, f64)> = Vec::new();
-        for (j, v) in entries {
+        lower.clear();
+        upper.clear();
+        for &(j, v) in &entries {
             if j < i {
                 lower.push((j, v));
             } else {
                 upper.push((j, v));
             }
         }
-        let lower = threshold_and_cap(lower, tau_i, opts.m, None);
-        let upper = threshold_and_cap(upper, tau_i, opts.m, Some(i));
+        threshold_and_cap_in_place(&mut lower, tau_i, opts.m, None);
+        threshold_and_cap_in_place(&mut upper, tau_i, opts.m, Some(i));
         // lint: allow(float-eq): exact zero-pivot test
         if upper.first().map(|&(c, _)| c) != Some(i) || upper[0].1 == 0.0 {
             return Err(FactorError::ZeroPivot { row: i });
         }
         stats.nnz_l += lower.len();
         stats.nnz_u += upper.len();
-        l.push(SparseRow::from_pairs(lower));
-        u.push(SparseRow::from_pairs(upper));
+        l.push(SparseRow::from_sorted_pairs(&lower));
+        u.push(SparseRow::from_sorted_pairs(&upper));
     }
     Ok((LuFactors { n, l, u }, stats))
 }

@@ -13,10 +13,66 @@
 use crate::dist::{DistMatrix, LocalView};
 use crate::parallel::RankFactors;
 use pilut_par::{Ctx, Payload};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 const TAG_FWD: u64 = 2 << 40;
 const TAG_BWD: u64 = 3 << 40;
+
+/// Drains batched `(node, value)` messages from `owner` until `node` is
+/// present in `remote_x`, then returns its value. Each batch is one level's
+/// worth of values from that owner; per-(sender, tag) FIFO delivery plus the
+/// global level order guarantee the needed node eventually arrives, and
+/// every batched value is eventually demanded (the plan only ships values
+/// the receiver declared a need for), so no batch is left unconsumed.
+fn demand_remote(
+    ctx: &mut Ctx,
+    remote_x: &mut HashMap<usize, f64>,
+    tag: u64,
+    owner: usize,
+    node: usize,
+) -> f64 {
+    while !remote_x.contains_key(&node) {
+        let (nodes, vals) = ctx.recv(owner, tag).into_mixed();
+        for (&g, &v) in nodes.iter().zip(&vals) {
+            remote_x.insert(g as usize, v);
+        }
+    }
+    remote_x[&node]
+}
+
+/// Accumulates one level's freshly computed values into per-peer batches
+/// (`scratch`, reused across levels) and sends one `Mixed` message per peer,
+/// in ascending peer order so the simulated clock is deterministic.
+fn push_level(
+    ctx: &mut Ctx,
+    local: &LocalView,
+    x: &[f64],
+    level: &[usize],
+    push: &HashMap<usize, Vec<usize>>,
+    tag: u64,
+    scratch: &mut BTreeMap<usize, (Vec<u64>, Vec<f64>)>,
+) {
+    for &i in level {
+        if let Some(peers) = push.get(&i) {
+            // lint: allow(unwrap): the schedule lists only locally owned rows
+            let v = x[local.pos_of(i).unwrap()];
+            for &peer in peers {
+                let (nodes, vals) = scratch.entry(peer).or_default();
+                nodes.push(i as u64);
+                vals.push(v);
+            }
+        }
+    }
+    for (&peer, (nodes, vals)) in scratch.iter_mut() {
+        if !nodes.is_empty() {
+            ctx.send(
+                peer,
+                tag,
+                Payload::mixed(std::mem::take(nodes), std::mem::take(vals)),
+            );
+        }
+    }
+}
 
 /// The communication plan for repeated triangular solves with one
 /// factorization.
@@ -62,7 +118,7 @@ impl TrisolvePlan {
             let mut buf = vec![fwd.len() as u64];
             buf.extend(fwd);
             buf.extend(bwd);
-            sends.push((owner, Payload::U64(buf)));
+            sends.push((owner, Payload::u64s(buf)));
         }
         let mut fwd_push: HashMap<usize, Vec<usize>> = HashMap::new();
         let mut bwd_push: HashMap<usize, Vec<usize>> = HashMap::new();
@@ -126,7 +182,9 @@ pub fn dist_forward(
         flops += 2.0 * row.l.len() as f64;
         x[p] = s;
     }
-    // Interface phase, level by level.
+    // Interface phase, level by level. Freshly computed values travel in
+    // one batched message per peer per level.
+    let mut batches: BTreeMap<usize, (Vec<u64>, Vec<f64>)> = BTreeMap::new();
     for level in &rf.levels {
         for &i in level {
             // lint: allow(unwrap): the schedule lists only locally owned rows
@@ -136,25 +194,14 @@ pub fn dist_forward(
             for &(j, v) in &row.l {
                 let xj = match local.pos_of(j) {
                     Some(q) => x[q],
-                    None => *remote_x.entry(j).or_insert_with(|| {
-                        ctx.recv(plan.fwd_owner[&j], TAG_FWD | j as u64).into_f64()[0]
-                    }),
+                    None => demand_remote(ctx, &mut remote_x, TAG_FWD, plan.fwd_owner[&j], j),
                 };
                 s -= v * xj;
             }
             flops += 2.0 * row.l.len() as f64;
             x[p] = s;
         }
-        // Push the freshly computed values to the ranks that need them.
-        for &i in level {
-            if let Some(peers) = plan.fwd_push.get(&i) {
-                // lint: allow(unwrap): the schedule lists only locally owned rows
-                let v = x[local.pos_of(i).unwrap()];
-                for &peer in peers {
-                    ctx.send(peer, TAG_FWD | i as u64, Payload::F64(vec![v]));
-                }
-            }
-        }
+        push_level(ctx, local, &x, level, &plan.fwd_push, TAG_FWD, &mut batches);
     }
     ctx.work(flops);
     x
@@ -172,7 +219,9 @@ pub fn dist_backward(
     let mut x = y.to_vec();
     let mut remote_x: HashMap<usize, f64> = HashMap::new();
     let mut flops = 0.0;
-    // Interface levels in reverse order.
+    // Interface levels in reverse order, with the same per-peer batching as
+    // the forward sweep.
+    let mut batches: BTreeMap<usize, (Vec<u64>, Vec<f64>)> = BTreeMap::new();
     for level in rf.levels.iter().rev() {
         for &i in level {
             // lint: allow(unwrap): the schedule lists only locally owned rows
@@ -182,24 +231,14 @@ pub fn dist_backward(
             for &(j, v) in &row.u {
                 let xj = match local.pos_of(j) {
                     Some(q) => x[q],
-                    None => *remote_x.entry(j).or_insert_with(|| {
-                        ctx.recv(plan.bwd_owner[&j], TAG_BWD | j as u64).into_f64()[0]
-                    }),
+                    None => demand_remote(ctx, &mut remote_x, TAG_BWD, plan.bwd_owner[&j], j),
                 };
                 s -= v * xj;
             }
             flops += 2.0 * row.u.len() as f64 + 1.0;
             x[p] = s / row.diag;
         }
-        for &i in level {
-            if let Some(peers) = plan.bwd_push.get(&i) {
-                // lint: allow(unwrap): the schedule lists only locally owned rows
-                let v = x[local.pos_of(i).unwrap()];
-                for &peer in peers {
-                    ctx.send(peer, TAG_BWD | i as u64, Payload::F64(vec![v]));
-                }
-            }
-        }
+        push_level(ctx, local, &x, level, &plan.bwd_push, TAG_BWD, &mut batches);
     }
     // Interior phase, descending elimination order; U columns of interior
     // rows are local (later interiors or own interfaces).

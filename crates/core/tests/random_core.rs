@@ -10,7 +10,7 @@ use pilut_core::parallel::par_ilut;
 use pilut_core::serial::{ilu0, iluk, ilut};
 use pilut_core::trisolve::{dist_solve, TrisolvePlan};
 use pilut_par::{Machine, MachineModel};
-use pilut_sparse::{CooMatrix, CsrMatrix, SplitMix64};
+use pilut_sparse::{CooMatrix, CsrMatrix, SplitMix64, WorkRow};
 
 /// Random strictly diagonally dominant matrix — ILUT never breaks down on
 /// these and the exact factorization is well conditioned.
@@ -133,6 +133,121 @@ fn trisolve_inverts_lu() {
             "case {case} err {}",
             max_err(&back, &x)
         );
+    }
+}
+
+/// Differential check of the working row against a dense mirror: after any
+/// interleaving of set/add/drop operations, `drain_sorted` emits each
+/// position at most once, sorted, with the value the dense mirror holds.
+/// (Guards the sparse-set bookkeeping — a stale companion-list entry for a
+/// re-scattered position would emit a duplicate.)
+#[test]
+fn workrow_drain_matches_dense_mirror() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(1000 + case);
+        let n = 4 + rng.next_usize(60);
+        let mut w = WorkRow::new(n);
+        let mut dense: Vec<Option<f64>> = vec![None; n];
+        for _ in 0..rng.next_usize(200) + 20 {
+            let j = rng.next_usize(n);
+            match rng.next_usize(4) {
+                0 => {
+                    let v = rng.range_f64(-2.0, 2.0);
+                    w.set(j, v);
+                    dense[j] = Some(v);
+                }
+                1 => {
+                    let v = rng.range_f64(-2.0, 2.0);
+                    w.add(j, v);
+                    dense[j] = Some(dense[j].unwrap_or(0.0) + v);
+                }
+                2 => {
+                    w.drop_pos(j);
+                    dense[j] = None;
+                }
+                _ => {
+                    assert_eq!(w.contains(j), dense[j].is_some(), "case {case}");
+                }
+            }
+        }
+        let expected: Vec<(usize, f64)> = dense
+            .iter()
+            .enumerate()
+            .filter_map(|(j, v)| v.map(|v| (j, v)))
+            .collect();
+        assert_eq!(w.nnz(), expected.len(), "case {case}: nnz over-count");
+        let drained = w.drain_sorted();
+        let cols: Vec<usize> = drained.iter().map(|&(j, _)| j).collect();
+        let mut uniq = cols.clone();
+        uniq.dedup();
+        assert_eq!(cols, uniq, "case {case}: duplicate positions emitted");
+        assert_eq!(drained.len(), expected.len(), "case {case}");
+        for ((ja, va), (jb, vb)) in drained.iter().zip(&expected) {
+            assert_eq!(ja, jb, "case {case}");
+            assert!((va - vb).abs() < 1e-12, "case {case}");
+        }
+        assert!(w.is_empty());
+    }
+}
+
+/// Differential check against a dense reference LU: with `tau = 0` and
+/// `m = n` nothing is dropped, so serial ILUT must agree entry-for-entry
+/// with textbook Gaussian elimination (no pivoting) on the dense copy.
+#[test]
+fn unbounded_ilut_matches_dense_lu() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(2000 + case);
+        let a = diag_dominant(&mut rng, 18, 60);
+        let n = a.n_rows();
+        // Dense reference: in-place LU, L strictly below, U on and above.
+        let mut d = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                d[i][j] += v;
+            }
+        }
+        for k in 0..n - 1 {
+            assert!(d[k][k] != 0.0, "case {case}: dense pivot vanished");
+            for i in k + 1..n {
+                let mult = d[i][k] / d[k][k];
+                d[i][k] = mult;
+                if mult != 0.0 {
+                    for j in k + 1..n {
+                        d[i][j] -= mult * d[k][j];
+                    }
+                }
+            }
+        }
+        let f = ilut(&a, &IlutOptions::new(n, 0.0)).expect("no breakdown");
+        for i in 0..n {
+            for (j, v) in f.l[i].iter() {
+                assert!(
+                    (v - d[i][j]).abs() < 1e-9,
+                    "case {case}: L[{i}][{j}] = {v} vs dense {}",
+                    d[i][j]
+                );
+            }
+            for (j, v) in f.u[i].iter() {
+                assert!(
+                    (v - d[i][j]).abs() < 1e-9,
+                    "case {case}: U[{i}][{j}] = {v} vs dense {}",
+                    d[i][j]
+                );
+            }
+            // Every structurally nonzero dense entry above the drop
+            // threshold must be present in the sparse factors too.
+            for j in 0..n {
+                if d[i][j].abs() > 1e-9 {
+                    let stored = if j < i { f.l[i].get(j) } else { f.u[i].get(j) };
+                    assert!(
+                        stored.is_some(),
+                        "case {case}: dense LU has ({i},{j}) = {} but factors dropped it",
+                        d[i][j]
+                    );
+                }
+            }
+        }
     }
 }
 

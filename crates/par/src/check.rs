@@ -139,6 +139,21 @@ impl CheckState {
         b.in_flight_to[rank] = b.in_flight_to[rank].saturating_sub(1);
     }
 
+    /// Called when a drained envelope matched the blocked receive: the
+    /// in-flight decrement and the return to `Running` must be one board
+    /// transition. Done as two separate locks there is a window in which
+    /// the board shows the rank still blocked with nothing in flight, and
+    /// a concurrently polling watchdog declares a spurious deadlock.
+    pub(crate) fn note_drain_matched(&self, rank: usize) {
+        let mut b = self.lock();
+        debug_assert!(
+            b.in_flight_to[rank] > 0,
+            "drained more envelopes than were sent"
+        );
+        b.in_flight_to[rank] = b.in_flight_to[rank].saturating_sub(1);
+        b.status[rank] = RankStatus::Running;
+    }
+
     pub(crate) fn set_status(&self, rank: usize, status: RankStatus) {
         self.lock().status[rank] = status;
     }

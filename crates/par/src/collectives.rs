@@ -43,11 +43,13 @@ impl Ctx {
     }
 
     /// Reduce-to-root along the binomial tree, combining with `combine`.
+    /// `to_payload` consumes the accumulator (a rank sends exactly once,
+    /// right before leaving the reduction), so no copy is taken.
     fn tree_reduce<T, C>(
         &mut self,
         tag: u64,
         mut acc: T,
-        to_payload: fn(&T) -> Payload,
+        to_payload: fn(T) -> Payload,
         from_payload: fn(Payload) -> T,
         combine: C,
     ) -> Option<T>
@@ -58,7 +60,8 @@ impl Ctx {
         let mut bit = 1usize;
         while bit < p {
             if r & bit != 0 {
-                self.send_internal(r - bit, tag, to_payload(&acc));
+                let payload = to_payload(acc);
+                self.send_internal(r - bit, tag, payload);
                 return None;
             }
             if r + bit < p {
@@ -107,11 +110,11 @@ impl Ctx {
         let root = self.tree_reduce(
             tag,
             vec![entry],
-            |v| Payload::F64(v.clone()),
+            Payload::f64s,
             Payload::into_f64,
             |acc, got| acc[0] = acc[0].max(got[0]),
         );
-        let max_entry = self.tree_bcast(tag, root.map(Payload::F64)).into_f64()[0];
+        let max_entry = self.tree_bcast(tag, root.map(Payload::f64s)).into_f64()[0];
         let levels = self.nprocs().next_power_of_two().trailing_zeros() as f64;
         // Each sweep hop moves one 8-byte clock stamp.
         let hop = self.model().latency + 8.0 * self.model().inv_bandwidth;
@@ -134,14 +137,8 @@ impl Ctx {
                 }
             }
         };
-        let root = self.tree_reduce(
-            tag,
-            data,
-            |v| Payload::F64(v.clone()),
-            Payload::into_f64,
-            combine,
-        );
-        let out = self.tree_bcast(tag, root.map(Payload::F64)).into_f64();
+        let root = self.tree_reduce(tag, data, Payload::f64s, Payload::into_f64, combine);
+        let out = self.tree_bcast(tag, root.map(Payload::f64s)).into_f64();
         self.end_collective();
         out
     }
@@ -159,14 +156,8 @@ impl Ctx {
                 }
             }
         };
-        let root = self.tree_reduce(
-            tag,
-            data,
-            |v| Payload::U64(v.clone()),
-            Payload::into_u64,
-            combine,
-        );
-        let out = self.tree_bcast(tag, root.map(Payload::U64)).into_u64();
+        let root = self.tree_reduce(tag, data, Payload::u64s, Payload::into_u64, combine);
+        let out = self.tree_bcast(tag, root.map(Payload::u64s)).into_u64();
         self.end_collective();
         out
     }
@@ -199,11 +190,11 @@ impl Ctx {
         let root = self.tree_reduce(
             tag,
             enc,
-            |v| Payload::U64(v.clone()),
+            Payload::u64s,
             Payload::into_u64,
             |acc, mut got| acc.append(&mut got),
         );
-        let all = self.tree_bcast(tag, root.map(Payload::U64)).into_u64();
+        let all = self.tree_bcast(tag, root.map(Payload::u64s)).into_u64();
         self.end_collective();
         decode_u64_blocks(&all, self.nprocs())
     }
@@ -215,7 +206,7 @@ impl Ctx {
         let root = self.tree_reduce(
             tag,
             enc,
-            |(h, d)| Payload::Mixed(h.clone(), d.clone()),
+            |(h, d)| Payload::mixed(h, d),
             Payload::into_mixed,
             |acc, mut got| {
                 acc.0.append(&mut got.0);
@@ -223,7 +214,7 @@ impl Ctx {
             },
         );
         let (heads, data) = self
-            .tree_bcast(tag, root.map(|(h, d)| Payload::Mixed(h, d)))
+            .tree_bcast(tag, root.map(|(h, d)| Payload::mixed(h, d)))
             .into_mixed();
         self.end_collective();
         let mut out = vec![Vec::new(); self.nprocs()];
@@ -371,18 +362,18 @@ mod tests {
         // Ring: each rank sends its rank to the next, two copies to rank 0.
         let out = Machine::run_checked(4, model(), |ctx| {
             let me = ctx.rank();
-            let mut sends = vec![((me + 1) % 4, Payload::U64(vec![me as u64]))];
+            let mut sends = vec![((me + 1) % 4, Payload::u64s(vec![me as u64]))];
             if me == 2 {
-                sends.push((0, Payload::U64(vec![100])));
+                sends.push((0, Payload::u64s(vec![100])));
             }
             ctx.exchange(sends)
         });
         // Rank 1 receives exactly one message, from 0.
-        assert_eq!(out.results[1], vec![(0, Payload::U64(vec![0]))]);
+        assert_eq!(out.results[1], vec![(0, Payload::u64s(vec![0]))]);
         // Rank 0 receives from 2 (the extra) and 3 (the ring), ordered by src.
         assert_eq!(
             out.results[0],
-            vec![(2, Payload::U64(vec![100])), (3, Payload::U64(vec![3]))]
+            vec![(2, Payload::u64s(vec![100])), (3, Payload::u64s(vec![3]))]
         );
     }
 
@@ -391,9 +382,9 @@ mod tests {
         let out = Machine::run_checked(2, model(), |ctx| {
             if ctx.rank() == 0 {
                 ctx.exchange(vec![
-                    (1, Payload::U64(vec![1])),
-                    (1, Payload::U64(vec![2])),
-                    (1, Payload::U64(vec![3])),
+                    (1, Payload::u64s(vec![1])),
+                    (1, Payload::u64s(vec![2])),
+                    (1, Payload::u64s(vec![3])),
                 ])
             } else {
                 ctx.exchange(vec![])

@@ -311,12 +311,16 @@ impl Ctx {
         loop {
             match self.receiver.recv_timeout(CHECK_POLL) {
                 Ok(env) => {
-                    check.note_drain(self.rank);
                     let matches = env.tag == tag && from.is_none_or(|f| env.from == f);
                     if matches {
-                        check.set_status(self.rank, RankStatus::Running);
+                        // One board transition: decrement in-flight and go
+                        // back to Running atomically, or a watchdog polling
+                        // between the two steps sees "blocked, nothing in
+                        // flight" and reports a spurious deadlock.
+                        check.note_drain_matched(self.rank);
                         return self.accept(env);
                     }
+                    check.note_drain(self.rank);
                     self.pending.push_back(env);
                 }
                 Err(RecvTimeoutError::Timeout) => {
@@ -386,8 +390,8 @@ mod tests {
     fn out_of_order_tags_are_buffered() {
         let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, 1, Payload::U64(vec![1]));
-                ctx.send(1, 2, Payload::U64(vec![2]));
+                ctx.send(1, 1, Payload::u64s(vec![1]));
+                ctx.send(1, 2, Payload::u64s(vec![2]));
                 vec![]
             } else {
                 // Receive in reverse order.
@@ -424,7 +428,7 @@ mod tests {
     #[test]
     fn self_send_is_free_and_works() {
         let out = Machine::run_checked(1, MachineModel::cray_t3d(), |ctx| {
-            ctx.send(0, 3, Payload::F64(vec![2.5]));
+            ctx.send(0, 3, Payload::f64s(vec![2.5]));
             let v = ctx.recv(0, 3).into_f64();
             (v[0], ctx.time())
         });

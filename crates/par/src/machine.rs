@@ -340,7 +340,7 @@ mod tests {
         };
         let out = Machine::run_checked(2, model, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, 7, Payload::F64(vec![0.0; 2])); // 16 bytes
+                ctx.send(1, 7, Payload::f64s(vec![0.0; 2])); // 16 bytes
                 0.0
             } else {
                 ctx.recv(0, 7);

@@ -1,18 +1,42 @@
 //! Message payloads.
 
+use std::sync::Arc;
+
 /// The data carried by one message. Index data travels as `u64`, numeric
 /// data as `f64`; the mixed variant covers the common "sparse row" shape
 /// (column indices + values) without any serialisation layer.
+///
+/// The buffers are `Arc`-backed so that fan-out (a broadcast interior node
+/// forwarding the same data to several children) clones a pointer, not the
+/// data. `Clone` is therefore always cheap; the deep copy, if one is needed
+/// at all, happens at most once per rank inside the `into_*` unwrappers
+/// (which hand the buffer over zero-copy when the receiver is the sole
+/// owner — the common point-to-point case).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Payload {
     Empty,
-    U64(Vec<u64>),
-    F64(Vec<f64>),
+    U64(Arc<Vec<u64>>),
+    F64(Arc<Vec<f64>>),
     /// Paired index/value arrays (not necessarily of equal length).
-    Mixed(Vec<u64>, Vec<f64>),
+    Mixed(Arc<Vec<u64>>, Arc<Vec<f64>>),
 }
 
 impl Payload {
+    /// Wraps an index buffer.
+    pub fn u64s(v: Vec<u64>) -> Self {
+        Payload::U64(Arc::new(v))
+    }
+
+    /// Wraps a numeric buffer.
+    pub fn f64s(v: Vec<f64>) -> Self {
+        Payload::F64(Arc::new(v))
+    }
+
+    /// Wraps paired index/value buffers.
+    pub fn mixed(a: Vec<u64>, b: Vec<f64>) -> Self {
+        Payload::Mixed(Arc::new(a), Arc::new(b))
+    }
+
     /// Size on the (simulated) wire, in bytes.
     pub fn bytes(&self) -> usize {
         match self {
@@ -23,32 +47,38 @@ impl Payload {
         }
     }
 
-    /// Unwraps a `U64` payload.
+    /// Unwraps a `U64` payload (zero-copy when this is the last reference).
     ///
     /// # Panics
     /// Panics if the variant differs — a protocol error in the caller.
     pub fn into_u64(self) -> Vec<u64> {
         match self {
-            Payload::U64(v) => v,
+            Payload::U64(v) => unwrap_arc(v),
             other => panic!("expected U64 payload, got {other:?}"),
         }
     }
 
-    /// Unwraps an `F64` payload.
+    /// Unwraps an `F64` payload (zero-copy when this is the last reference).
     pub fn into_f64(self) -> Vec<f64> {
         match self {
-            Payload::F64(v) => v,
+            Payload::F64(v) => unwrap_arc(v),
             other => panic!("expected F64 payload, got {other:?}"),
         }
     }
 
-    /// Unwraps a `Mixed` payload.
+    /// Unwraps a `Mixed` payload (zero-copy when this is the last reference).
     pub fn into_mixed(self) -> (Vec<u64>, Vec<f64>) {
         match self {
-            Payload::Mixed(a, b) => (a, b),
+            Payload::Mixed(a, b) => (unwrap_arc(a), unwrap_arc(b)),
             other => panic!("expected Mixed payload, got {other:?}"),
         }
     }
+}
+
+/// Takes the buffer out of the `Arc` without copying when the caller holds
+/// the only reference; falls back to one clone otherwise (shared fan-out).
+fn unwrap_arc<T: Clone>(v: Arc<Vec<T>>) -> Vec<T> {
+    Arc::try_unwrap(v).unwrap_or_else(|shared| (*shared).clone())
 }
 
 #[cfg(test)]
@@ -58,14 +88,14 @@ mod tests {
     #[test]
     fn byte_counts() {
         assert_eq!(Payload::Empty.bytes(), 0);
-        assert_eq!(Payload::U64(vec![1, 2, 3]).bytes(), 24);
-        assert_eq!(Payload::Mixed(vec![1], vec![2.0, 3.0]).bytes(), 24);
+        assert_eq!(Payload::u64s(vec![1, 2, 3]).bytes(), 24);
+        assert_eq!(Payload::mixed(vec![1], vec![2.0, 3.0]).bytes(), 24);
     }
 
     #[test]
     fn unwrap_right_variant() {
-        assert_eq!(Payload::F64(vec![1.5]).into_f64(), vec![1.5]);
-        let (a, b) = Payload::Mixed(vec![7], vec![0.5]).into_mixed();
+        assert_eq!(Payload::f64s(vec![1.5]).into_f64(), vec![1.5]);
+        let (a, b) = Payload::mixed(vec![7], vec![0.5]).into_mixed();
         assert_eq!(a, vec![7]);
         assert_eq!(b, vec![0.5]);
     }
@@ -73,6 +103,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "expected U64")]
     fn unwrap_wrong_variant_panics() {
-        Payload::F64(vec![]).into_u64();
+        Payload::f64s(vec![]).into_u64();
+    }
+
+    #[test]
+    fn clone_is_shallow_and_unwrap_still_works() {
+        let p = Payload::u64s(vec![1, 2]);
+        let q = p.clone();
+        if let (Payload::U64(a), Payload::U64(b)) = (&p, &q) {
+            assert!(Arc::ptr_eq(a, b));
+        } else {
+            unreachable!();
+        }
+        drop(p);
+        // q is now the sole owner: zero-copy handover.
+        assert_eq!(q.into_u64(), vec![1, 2]);
     }
 }

@@ -2,6 +2,7 @@
 //! message-passing bug must *terminate* with a precise diagnostic instead
 //! of hanging the suite.
 
+use pilut_par::collectives::ReduceOp;
 use pilut_par::{Machine, MachineModel, Payload};
 use std::panic::AssertUnwindSafe;
 
@@ -62,7 +63,7 @@ fn leaked_message_is_reported() {
     // completes, but the leak must fail it.
     let msg = panic_message(2, |ctx| {
         if ctx.rank() == 0 {
-            ctx.send(1, 7, Payload::U64(vec![1, 2, 3]));
+            ctx.send(1, 7, Payload::u64s(vec![1, 2, 3]));
         }
     });
     assert!(msg.contains("message leak"), "{msg}");
@@ -139,7 +140,7 @@ fn clean_runs_pass_all_checks() {
     let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
         let r = ctx.rank();
         let p = ctx.nprocs();
-        ctx.send((r + 1) % p, 1, Payload::U64(vec![r as u64]));
+        ctx.send((r + 1) % p, 1, Payload::u64s(vec![r as u64]));
         let got = ctx.recv((r + p - 1) % p, 1).into_u64();
         ctx.barrier();
         let s = ctx.all_reduce_sum(got[0] as f64);
@@ -149,5 +150,27 @@ fn clean_runs_pass_all_checks() {
     assert_eq!(out.stats.collectives, 3);
     for s in out.results {
         assert_eq!(s, 6.0); // 0 + 1 + 2 + 3
+    }
+}
+
+#[test]
+fn dense_collective_traffic_never_trips_the_watchdog() {
+    // Regression: the watchdog once read "blocked, nothing in flight" in
+    // the window between an envelope being drained and the receiver's
+    // status flipping back to Running, declaring a spurious deadlock on
+    // perfectly correct runs. Many short collectives back to back keep
+    // every rank cycling through that window; under checked mode this
+    // must always complete cleanly.
+    for round in 0..40 {
+        let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
+            let mut acc = ctx.rank() as u64;
+            for _ in 0..25 {
+                acc = ctx.all_reduce_u64(vec![acc], ReduceOp::Max)[0] + 1;
+            }
+            acc
+        });
+        for r in out.results {
+            assert_eq!(r, 28, "round {round}");
+        }
     }
 }

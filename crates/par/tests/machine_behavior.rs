@@ -21,7 +21,7 @@ fn counters_add_up() {
     let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
         let me = ctx.rank();
         // Ring: everyone sends 16 bytes to the right.
-        ctx.send((me + 1) % 4, 1, Payload::F64(vec![1.0, 2.0]));
+        ctx.send((me + 1) % 4, 1, Payload::f64s(vec![1.0, 2.0]));
         ctx.recv((me + 3) % 4, 1);
         ctx.work(100.0);
         ctx.copy_words(5.0);
@@ -38,7 +38,7 @@ fn zero_comm_machine_makes_messages_free() {
     let time_with = |model: MachineModel| {
         Machine::run_checked(2, model, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, 0, Payload::F64(vec![0.0; 1000]));
+                ctx.send(1, 0, Payload::f64s(vec![0.0; 1000]));
             } else {
                 ctx.recv(0, 0);
             }
@@ -85,7 +85,7 @@ fn large_fanout_exchange_delivers_everything() {
         let me = ctx.rank();
         let sends: Vec<(usize, Payload)> = (0..p)
             .filter(|&d| d != me)
-            .map(|d| (d, Payload::U64(vec![me as u64 * 100 + d as u64])))
+            .map(|d| (d, Payload::u64s(vec![me as u64 * 100 + d as u64])))
             .collect();
         let got = ctx.exchange(sends);
         got.into_iter()

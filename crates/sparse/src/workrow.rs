@@ -3,16 +3,22 @@
 //! The paper (§2.1) implements `w` as "a full vector … and a companion
 //! pointer which points to the positions of its non-zero elements", so that
 //! scatter, linear combination, and reset are all sparse operations. This is
-//! exactly that data structure.
+//! exactly that data structure, realised as a *sparse set*: alongside the
+//! dense value array, `slot[j]` holds `1 +` the index of `j` inside the
+//! companion `nz_list` (0 = unoccupied). That makes membership, scatter,
+//! *and removal* all `O(1)` and keeps `nz_list` exactly equal to the set of
+//! occupied positions at all times — a drop followed by a re-scatter of the
+//! same position can never leave a duplicate behind.
 
 /// A full-length working row with a companion list of occupied positions.
 ///
-/// `O(1)` scatter/lookup, `O(nnz)` iteration and reset regardless of the
-/// logical length.
+/// `O(1)` scatter/lookup/removal, `O(nnz)` iteration and reset regardless
+/// of the logical length.
 #[derive(Clone, Debug)]
 pub struct WorkRow {
     values: Vec<f64>,
-    occupied: Vec<bool>,
+    /// `slot[j]` = index of `j` in `nz_list`, plus one; 0 when unoccupied.
+    slot: Vec<usize>,
     nz_list: Vec<usize>,
 }
 
@@ -21,13 +27,14 @@ impl WorkRow {
     pub fn new(n: usize) -> Self {
         WorkRow {
             values: vec![0.0; n],
-            occupied: vec![false; n],
+            slot: vec![0; n],
             nz_list: Vec::new(),
         }
     }
 
-    /// Number of occupied entries.
-    pub fn len(&self) -> usize {
+    /// Logical length of the row (the `n` it was created with), independent
+    /// of how many positions are occupied — see [`WorkRow::nnz`] for that.
+    pub fn logical_len(&self) -> usize {
         self.values.len()
     }
 
@@ -39,12 +46,12 @@ impl WorkRow {
     /// Number of occupied positions (including ones holding exact zeros,
     /// excluding positions removed with [`WorkRow::drop_pos`]).
     pub fn nnz(&self) -> usize {
-        self.nz_list.iter().filter(|&&j| self.occupied[j]).count()
+        self.nz_list.len()
     }
 
     /// True if position `j` is occupied.
     pub fn contains(&self, j: usize) -> bool {
-        self.occupied[j]
+        self.slot[j] != 0
     }
 
     /// The value at `j` (zero if unoccupied).
@@ -54,31 +61,38 @@ impl WorkRow {
 
     /// Sets position `j` to `v`, marking it occupied.
     pub fn set(&mut self, j: usize, v: f64) {
-        if !self.occupied[j] {
-            self.occupied[j] = true;
+        if self.slot[j] == 0 {
             self.nz_list.push(j);
+            self.slot[j] = self.nz_list.len();
         }
         self.values[j] = v;
     }
 
     /// Adds `v` into position `j`, marking it occupied.
     pub fn add(&mut self, j: usize, v: f64) {
-        if !self.occupied[j] {
-            self.occupied[j] = true;
+        if self.slot[j] == 0 {
             self.nz_list.push(j);
+            self.slot[j] = self.nz_list.len();
             self.values[j] = v;
         } else {
             self.values[j] += v;
         }
     }
 
-    /// Removes position `j` from the occupied set (lazily: the slot value is
-    /// zeroed, the companion list is compacted on the next `clear`/`drain`).
+    /// Removes position `j` from the occupied set in `O(1)` (swap-remove
+    /// from the companion list; the slot value is zeroed immediately).
     pub fn drop_pos(&mut self, j: usize) {
-        if self.occupied[j] {
-            self.occupied[j] = false;
-            self.values[j] = 0.0;
+        let s = self.slot[j];
+        if s == 0 {
+            return;
         }
+        let idx = s - 1;
+        self.nz_list.swap_remove(idx);
+        if let Some(&moved) = self.nz_list.get(idx) {
+            self.slot[moved] = idx + 1;
+        }
+        self.slot[j] = 0;
+        self.values[j] = 0.0;
     }
 
     /// Scatters a sparse row `w[cols[k]] += scale * vals[k]`.
@@ -88,36 +102,38 @@ impl WorkRow {
         }
     }
 
-    /// The occupied positions, unsorted (insertion order, possibly holding
-    /// stale entries for dropped positions — callers should use
-    /// [`WorkRow::drain_sorted`] or filter with [`WorkRow::contains`]).
+    /// The occupied positions, unsorted (insertion order, except that a
+    /// [`WorkRow::drop_pos`] moves the most recent position into the hole).
     pub fn positions(&self) -> impl Iterator<Item = usize> + '_ {
-        self.nz_list
-            .iter()
-            .copied()
-            .filter(move |&j| self.occupied[j])
+        self.nz_list.iter().copied()
     }
 
     /// Extracts all occupied `(col, value)` pairs sorted by column and resets
     /// the row to empty, in `O(nnz log nnz)`.
     pub fn drain_sorted(&mut self) -> Vec<(usize, f64)> {
         let mut out: Vec<(usize, f64)> = Vec::with_capacity(self.nz_list.len());
+        self.drain_sorted_into(&mut out);
+        out
+    }
+
+    /// Like [`WorkRow::drain_sorted`] but appends into a caller-provided
+    /// buffer (cleared first), so a hot loop can reuse one allocation
+    /// across rows.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<(usize, f64)>) {
+        out.clear();
         for &j in &self.nz_list {
-            if self.occupied[j] {
-                out.push((j, self.values[j]));
-                self.occupied[j] = false;
-                self.values[j] = 0.0;
-            }
+            out.push((j, self.values[j]));
+            self.slot[j] = 0;
+            self.values[j] = 0.0;
         }
         self.nz_list.clear();
         out.sort_unstable_by_key(|&(j, _)| j);
-        out
     }
 
     /// Resets to empty in `O(nnz)`.
     pub fn clear(&mut self) {
         for &j in &self.nz_list {
-            self.occupied[j] = false;
+            self.slot[j] = 0;
             self.values[j] = 0.0;
         }
         self.nz_list.clear();
@@ -184,5 +200,71 @@ mod tests {
         w.drop_pos(4);
         let pos: Vec<usize> = w.positions().collect();
         assert_eq!(pos, vec![1]);
+    }
+
+    /// Regression: `drop_pos(j)` followed by a re-scatter of the same `j`
+    /// (the ILUT first-dropping-rule path) used to leave a duplicate entry
+    /// in the companion list, making `nnz()` over-count and `positions()`
+    /// yield `j` twice.
+    #[test]
+    fn drop_then_rescatter_does_not_duplicate() {
+        let mut w = WorkRow::new(6);
+        w.set(3, 1.0);
+        w.set(1, 2.0);
+        w.drop_pos(3);
+        w.add(3, 0.25); // re-occupy the dropped position
+        assert_eq!(w.nnz(), 2);
+        let mut pos: Vec<usize> = w.positions().collect();
+        pos.sort_unstable();
+        assert_eq!(pos, vec![1, 3]);
+        assert_eq!(w.drain_sorted(), vec![(1, 2.0), (3, 0.25)]);
+        // And again through `set` instead of `add`.
+        w.set(2, 1.0);
+        w.drop_pos(2);
+        w.set(2, 9.0);
+        assert_eq!(w.nnz(), 1);
+        assert_eq!(w.drain_sorted(), vec![(2, 9.0)]);
+    }
+
+    /// Pins the length contract: `logical_len` is the construction-time
+    /// `n`, regardless of occupancy; occupancy is `nnz` / `is_empty`.
+    #[test]
+    fn logical_len_is_construction_length() {
+        let mut w = WorkRow::new(8);
+        assert_eq!(w.logical_len(), 8);
+        assert!(w.is_empty());
+        assert_eq!(w.nnz(), 0);
+        w.set(2, 1.0);
+        assert_eq!(w.logical_len(), 8);
+        assert_eq!(w.nnz(), 1);
+        w.clear();
+        assert_eq!(w.logical_len(), 8);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn drop_middle_keeps_slots_consistent() {
+        let mut w = WorkRow::new(10);
+        for j in [7, 2, 9, 4] {
+            w.set(j, j as f64);
+        }
+        w.drop_pos(2); // middle of nz_list: exercises the swap-remove fixup
+        assert_eq!(w.nnz(), 3);
+        for j in [7, 9, 4] {
+            assert!(w.contains(j), "lost position {j}");
+            w.drop_pos(j);
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn drain_sorted_into_reuses_buffer() {
+        let mut w = WorkRow::new(6);
+        let mut buf = vec![(0usize, 0.0f64); 4]; // stale content must be cleared
+        w.set(5, 1.0);
+        w.set(0, 2.0);
+        w.drain_sorted_into(&mut buf);
+        assert_eq!(buf, vec![(0, 2.0), (5, 1.0)]);
+        assert!(w.is_empty());
     }
 }

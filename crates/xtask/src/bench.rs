@@ -1,0 +1,538 @@
+//! `xtask bench` — the in-tree, zero-registry-dependency benchmark harness.
+//!
+//! Times the wall-clock hot paths of the reproduction over fixed-seed
+//! generated problems and writes a machine-readable JSON report so every PR
+//! has a performance trajectory to compare against (`BENCH_<label>.json` at
+//! the repo root by convention). Everything here is plain `std::time`
+//! timing — no criterion, no registry crates — so the harness runs in the
+//! same offline environment as the tier-1 gate.
+//!
+//! Scenarios (full mode):
+//!
+//! * `serial_ilut` — serial ILUT(10, 1e-4) factorization, 64×64
+//!   convection–diffusion (n = 4096).
+//! * `serial_ilut_unbounded` — serial ILUT(n, 0) on a 24×24 Laplacian: the
+//!   exact-LU configuration, which stresses fill handling and the working
+//!   row hardest per unknown.
+//! * `trisolve_serial` — repeated `LuFactors::solve` on the `serial_ilut`
+//!   factors (forward + backward substitution).
+//! * `spmv` — serial CSR SpMV on a 200×200 Laplacian (n = 40 000).
+//! * `gmres_ilut` — full right-preconditioned GMRES(30) solve, ILUT
+//!   preconditioner, 48×48 convection–diffusion.
+//! * `par_ilut_p4` / `par_ilut_p8` — the parallel ILUT factorization on the
+//!   simulated machine at p ∈ {4, 8} (48×48 Laplacian), timed inside the
+//!   ranks (max over ranks, barrier-aligned start).
+//! * `par_ilut_star_p4` / `par_ilut_star_p8` — same with ILUT\*(10, 1e-4, 2).
+//! * `dist_trisolve_p4` — the distributed forward/backward solves (paper
+//!   §5) with a prebuilt communication plan, p = 4.
+//!
+//! Every scenario reports the median and minimum wall time per operation
+//! over `reps` samples (each sample averages `inner` back-to-back
+//! operations) plus an nnz-throughput figure where the operation has a
+//! natural "entries processed" count (0 where it does not, e.g. the full
+//! GMRES solve).
+//!
+//! `--quick` shrinks the problem sizes and runs the two cheapest scenarios
+//! only — this is the CI smoke configuration, meant to prove the harness
+//! and its JSON writer work, not to produce quotable numbers.
+
+use std::path::Path;
+use std::time::Instant;
+
+use pilut_core::dist::DistMatrix;
+use pilut_core::options::IlutOptions;
+use pilut_core::parallel::par_ilut;
+use pilut_core::precond::IluPreconditioner;
+use pilut_core::serial::ilut;
+use pilut_core::trisolve::{dist_solve, TrisolvePlan};
+use pilut_par::{Machine, MachineModel};
+use pilut_solver::{gmres, GmresOptions};
+use pilut_sparse::gen;
+
+/// One scenario's measurement.
+struct Measurement {
+    name: &'static str,
+    /// Problem dimension (unknowns).
+    n: usize,
+    /// Entries processed per operation (0 when no natural count exists).
+    nnz: usize,
+    reps: usize,
+    inner: usize,
+    median_ns: u64,
+    min_ns: u64,
+}
+
+impl Measurement {
+    fn mnnz_per_s(&self) -> f64 {
+        if self.nnz == 0 || self.median_ns == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / (self.median_ns as f64 / 1e9) / 1e6
+        }
+    }
+}
+
+/// Harness configuration, derived from the CLI flags.
+struct Cfg {
+    quick: bool,
+    reps: usize,
+}
+
+/// Entry point for `xtask bench`. Returns `Err(message)` on bad usage.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH.json");
+    let mut label = String::from("local");
+    let mut only: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = it
+                    .next()
+                    .ok_or_else(|| "--out needs a path".to_string())?
+                    .clone();
+            }
+            "--label" => {
+                label = it
+                    .next()
+                    .ok_or_else(|| "--label needs a value".to_string())?
+                    .clone();
+            }
+            "--scenario" => {
+                only.push(
+                    it.next()
+                        .ok_or_else(|| "--scenario needs a name".to_string())?
+                        .clone(),
+                );
+            }
+            other => return Err(format!("unknown bench flag {other}")),
+        }
+    }
+    let cfg = Cfg {
+        quick,
+        reps: if quick { 3 } else { 9 },
+    };
+    let all: Vec<(&'static str, fn(&Cfg) -> Measurement)> = if quick {
+        vec![
+            ("spmv", bench_spmv as fn(&Cfg) -> Measurement),
+            ("serial_ilut", bench_serial_ilut),
+        ]
+    } else {
+        vec![
+            ("serial_ilut", bench_serial_ilut as fn(&Cfg) -> Measurement),
+            ("serial_ilut_unbounded", bench_serial_ilut_unbounded),
+            ("trisolve_serial", bench_trisolve_serial),
+            ("spmv", bench_spmv),
+            ("gmres_ilut", bench_gmres),
+            ("par_ilut_p4", bench_par_ilut_p4),
+            ("par_ilut_p8", bench_par_ilut_p8),
+            ("par_ilut_star_p4", bench_par_ilut_star_p4),
+            ("par_ilut_star_p8", bench_par_ilut_star_p8),
+            ("dist_trisolve_p4", bench_dist_trisolve_p4),
+        ]
+    };
+    let mut results = Vec::new();
+    for (name, f) in all {
+        if !only.is_empty() && !only.iter().any(|s| s == name) {
+            continue;
+        }
+        eprint!("bench {name} ... ");
+        let m = f(&cfg);
+        eprintln!(
+            "median {:.3} ms, min {:.3} ms{}",
+            m.median_ns as f64 / 1e6,
+            m.min_ns as f64 / 1e6,
+            if m.nnz > 0 {
+                format!(", {:.1} Mnnz/s", m.mnnz_per_s())
+            } else {
+                String::new()
+            }
+        );
+        results.push(m);
+    }
+    if results.is_empty() {
+        return Err("no scenario matched the --scenario filter".to_string());
+    }
+    let json = render_json(&label, quick, &results);
+    std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("bench: wrote {} scenario(s) to {out_path}", results.len());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Timing helpers.
+
+/// Times `op` (`reps` samples of `inner` back-to-back calls after one
+/// warmup) and returns (median, min) ns per call.
+fn sample<F: FnMut()>(reps: usize, inner: usize, mut op: F) -> (u64, u64) {
+    op(); // warmup
+    let mut ns: Vec<u64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..inner {
+            op();
+        }
+        ns.push((t.elapsed().as_nanos() / inner as u128) as u64);
+    }
+    ns.sort_unstable();
+    (ns[ns.len() / 2], ns[0])
+}
+
+/// Like [`sample`] but for operations that measure themselves (the
+/// machine-backed scenarios report the max per-rank wall time).
+fn sample_reported<F: FnMut() -> u64>(reps: usize, mut op: F) -> (u64, u64) {
+    op(); // warmup
+    let mut ns: Vec<u64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        ns.push(op());
+    }
+    ns.sort_unstable();
+    (ns[ns.len() / 2], ns[0])
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios.
+
+fn bench_serial_ilut(cfg: &Cfg) -> Measurement {
+    let dim = if cfg.quick { 24 } else { 64 };
+    let a = gen::convection_diffusion_2d(dim, dim, 4.0, -3.0);
+    let opts = IlutOptions::new(10, 1e-4);
+    let (median_ns, min_ns) = sample(cfg.reps, 1, || {
+        let f = ilut(&a, &opts).expect("factorization failed");
+        std::hint::black_box(&f);
+    });
+    Measurement {
+        name: "serial_ilut",
+        n: a.n_rows(),
+        nnz: a.nnz(),
+        reps: cfg.reps,
+        inner: 1,
+        median_ns,
+        min_ns,
+    }
+}
+
+fn bench_serial_ilut_unbounded(cfg: &Cfg) -> Measurement {
+    let dim = if cfg.quick { 12 } else { 24 };
+    let a = gen::laplace_2d(dim, dim);
+    let opts = IlutOptions::new(a.n_rows(), 0.0);
+    let (median_ns, min_ns) = sample(cfg.reps, 1, || {
+        let f = ilut(&a, &opts).expect("factorization failed");
+        std::hint::black_box(&f);
+    });
+    Measurement {
+        name: "serial_ilut_unbounded",
+        n: a.n_rows(),
+        nnz: a.nnz(),
+        reps: cfg.reps,
+        inner: 1,
+        median_ns,
+        min_ns,
+    }
+}
+
+fn bench_trisolve_serial(cfg: &Cfg) -> Measurement {
+    let dim = if cfg.quick { 24 } else { 64 };
+    let a = gen::convection_diffusion_2d(dim, dim, 4.0, -3.0);
+    let f = ilut(&a, &IlutOptions::new(10, 1e-4)).expect("factorization failed");
+    let fill = f.nnz();
+    let b: Vec<f64> = (0..a.n_rows()).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let inner = 50;
+    let (median_ns, min_ns) = sample(cfg.reps, inner, || {
+        let x = f.solve(&b);
+        std::hint::black_box(&x);
+    });
+    Measurement {
+        name: "trisolve_serial",
+        n: a.n_rows(),
+        nnz: fill,
+        reps: cfg.reps,
+        inner,
+        median_ns,
+        min_ns,
+    }
+}
+
+fn bench_spmv(cfg: &Cfg) -> Measurement {
+    let dim = if cfg.quick { 40 } else { 200 };
+    let a = gen::laplace_2d(dim, dim);
+    let x: Vec<f64> = (0..a.n_rows()).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut y = vec![0.0; a.n_rows()];
+    let inner = 50;
+    let (median_ns, min_ns) = sample(cfg.reps, inner, || {
+        a.spmv(&x, &mut y);
+        std::hint::black_box(&y);
+    });
+    Measurement {
+        name: "spmv",
+        n: a.n_rows(),
+        nnz: a.nnz(),
+        reps: cfg.reps,
+        inner,
+        median_ns,
+        min_ns,
+    }
+}
+
+fn bench_gmres(cfg: &Cfg) -> Measurement {
+    let dim = if cfg.quick { 16 } else { 48 };
+    let a = gen::convection_diffusion_2d(dim, dim, 8.0, 2.0);
+    let x_true = vec![1.0; a.n_rows()];
+    let b = a.spmv_owned(&x_true);
+    let f = ilut(&a, &IlutOptions::new(10, 1e-4)).expect("factorization failed");
+    let pre = IluPreconditioner::new(f);
+    let opts = GmresOptions {
+        rtol: 1e-8,
+        ..GmresOptions::default()
+    };
+    let (median_ns, min_ns) = sample(cfg.reps, 1, || {
+        let r = gmres(&a, &b, &pre, &opts);
+        assert!(r.converged, "gmres bench problem must converge");
+        std::hint::black_box(&r);
+    });
+    Measurement {
+        name: "gmres_ilut",
+        n: a.n_rows(),
+        nnz: 0,
+        reps: cfg.reps,
+        inner: 1,
+        median_ns,
+        min_ns,
+    }
+}
+
+/// Machine-backed factorization scenario: each rank times `inner`
+/// collective factorizations after a barrier; the scenario reports the max
+/// per-rank wall time, which is what a real machine would observe.
+fn bench_par_ilut(name: &'static str, cfg: &Cfg, p: usize, opts: IlutOptions) -> Measurement {
+    let dim = if cfg.quick { 16 } else { 48 };
+    let a = gen::laplace_2d(dim, dim);
+    let nnz = a.nnz();
+    let n = a.n_rows();
+    let dm = DistMatrix::from_matrix(a, p, 17);
+    let inner = 2;
+    let (median_ns, min_ns) = sample_reported(cfg.reps, || {
+        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            ctx.barrier();
+            let t = Instant::now();
+            for _ in 0..inner {
+                let rf = par_ilut(ctx, &dm, &local, &opts).expect("factorization failed");
+                std::hint::black_box(&rf);
+            }
+            (t.elapsed().as_nanos() / inner as u128) as u64
+        });
+        out.results.into_iter().max().unwrap_or(0)
+    });
+    Measurement {
+        name,
+        n,
+        nnz,
+        reps: cfg.reps,
+        inner,
+        median_ns,
+        min_ns,
+    }
+}
+
+fn bench_par_ilut_p4(cfg: &Cfg) -> Measurement {
+    bench_par_ilut("par_ilut_p4", cfg, 4, IlutOptions::new(10, 1e-4))
+}
+
+fn bench_par_ilut_p8(cfg: &Cfg) -> Measurement {
+    bench_par_ilut("par_ilut_p8", cfg, 8, IlutOptions::new(10, 1e-4))
+}
+
+fn bench_par_ilut_star_p4(cfg: &Cfg) -> Measurement {
+    bench_par_ilut("par_ilut_star_p4", cfg, 4, IlutOptions::star(10, 1e-4, 2))
+}
+
+fn bench_par_ilut_star_p8(cfg: &Cfg) -> Measurement {
+    bench_par_ilut("par_ilut_star_p8", cfg, 8, IlutOptions::star(10, 1e-4, 2))
+}
+
+fn bench_dist_trisolve_p4(cfg: &Cfg) -> Measurement {
+    let dim = if cfg.quick { 16 } else { 48 };
+    let p = 4;
+    let a = gen::laplace_2d(dim, dim);
+    let n = a.n_rows();
+    let dm = DistMatrix::from_matrix(a, p, 17);
+    let opts = IlutOptions::new(10, 1e-4);
+    let inner = 20;
+    let (median_ns, min_ns) = sample_reported(cfg.reps, || {
+        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let rf = par_ilut(ctx, &dm, &local, &opts).expect("factorization failed");
+            let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
+            let b: Vec<f64> = local.nodes.iter().map(|&g| (g as f64).sin()).collect();
+            ctx.barrier();
+            let t = Instant::now();
+            for _ in 0..inner {
+                let x = dist_solve(ctx, &local, &rf, &plan, &b);
+                std::hint::black_box(&x);
+            }
+            (t.elapsed().as_nanos() / inner as u128) as u64
+        });
+        out.results.into_iter().max().unwrap_or(0)
+    });
+    // Factor fill for the throughput figure: rebuild once outside timing.
+    let fill: usize = {
+        let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let rf = par_ilut(ctx, &dm, &local, &opts).expect("factorization failed");
+            rf.rows
+                .values()
+                .map(|r| r.l.len() + r.u.len() + 1)
+                .sum::<usize>()
+        });
+        out.results.into_iter().sum()
+    };
+    Measurement {
+        name: "dist_trisolve_p4",
+        n,
+        nnz: fill,
+        reps: cfg.reps,
+        inner,
+        median_ns,
+        min_ns,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON.
+
+fn render_json(label: &str, quick: bool, results: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"pilut-bench-v1\",\n");
+    out.push_str(&format!("  \"label\": \"{label}\",\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"nnz\": {}, \"reps\": {}, \"inner\": {}, \
+             \"median_ns\": {}, \"min_ns\": {}, \"mnnz_per_s\": {:.2}}}{}\n",
+            m.name,
+            m.n,
+            m.nnz,
+            m.reps,
+            m.inner,
+            m.median_ns,
+            m.min_ns,
+            m.mnnz_per_s(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Entry point for `xtask bench-verify <file>`: structural well-formedness
+/// check of a bench JSON report, used by the CI smoke run. Verifies the
+/// schema marker, that at least one scenario is present, and that every
+/// scenario line carries the required numeric fields with positive timings.
+pub fn verify(path: &str) -> Result<(), String> {
+    let content =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    if !content.contains("\"schema\": \"pilut-bench-v1\"") {
+        return Err(format!("{path}: missing pilut-bench-v1 schema marker"));
+    }
+    // Brace balance (the writer emits no braces inside strings).
+    let opens = content.matches('{').count();
+    let closes = content.matches('}').count();
+    if opens != closes || opens == 0 {
+        return Err(format!(
+            "{path}: unbalanced JSON braces ({opens} vs {closes})"
+        ));
+    }
+    let mut scenarios = 0usize;
+    for line in content.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"name\":") {
+            continue;
+        }
+        scenarios += 1;
+        for key in [
+            "\"n\":",
+            "\"nnz\":",
+            "\"reps\":",
+            "\"inner\":",
+            "\"mnnz_per_s\":",
+        ] {
+            if !line.contains(key) {
+                return Err(format!("{path}: scenario {scenarios} missing {key}"));
+            }
+        }
+        let median = field_u64(line, "\"median_ns\":")
+            .ok_or_else(|| format!("{path}: scenario {scenarios} missing median_ns"))?;
+        let min = field_u64(line, "\"min_ns\":")
+            .ok_or_else(|| format!("{path}: scenario {scenarios} missing min_ns"))?;
+        if median == 0 || min == 0 || min > median {
+            return Err(format!(
+                "{path}: scenario {scenarios} has implausible timings (median {median}, min {min})"
+            ));
+        }
+    }
+    if scenarios == 0 {
+        return Err(format!("{path}: no scenarios recorded"));
+    }
+    println!("bench-verify: {path} ok ({scenarios} scenario(s))");
+    Ok(())
+}
+
+/// Extracts the unsigned integer following `key` on `line`.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let at = line.find(key)? + key.len();
+    let rest = line[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake() -> Vec<Measurement> {
+        vec![Measurement {
+            name: "spmv",
+            n: 100,
+            nnz: 460,
+            reps: 3,
+            inner: 10,
+            median_ns: 1000,
+            min_ns: 900,
+        }]
+    }
+
+    #[test]
+    fn json_roundtrips_through_verify() {
+        let json = render_json("test", true, &fake());
+        let dir = std::env::temp_dir().join("pilut_bench_test.json");
+        std::fs::write(&dir, &json).unwrap();
+        verify(dir.to_str().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_garbage() {
+        let dir = std::env::temp_dir().join("pilut_bench_bad.json");
+        std::fs::write(&dir, "{\"schema\": \"other\"}").unwrap();
+        assert!(verify(dir.to_str().unwrap()).is_err());
+    }
+
+    #[test]
+    fn throughput_math() {
+        let m = &fake()[0];
+        // 460 entries in 1000 ns = 460 Mnnz/s.
+        assert!((m.mnnz_per_s() - 460.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn field_extraction() {
+        assert_eq!(field_u64("{\"median_ns\": 42,", "\"median_ns\":"), Some(42));
+        assert_eq!(field_u64("no field", "\"median_ns\":"), None);
+    }
+}

@@ -1,4 +1,11 @@
-//! `xtask` — in-repo workspace automation, run as `cargo run -p xtask -- lint`.
+//! `xtask` — in-repo workspace automation:
+//!
+//! * `cargo run -p xtask -- lint` — repo-local lint (below).
+//! * `cargo run -p xtask --release -- bench [--quick] [--out PATH]
+//!   [--label STR] [--scenario NAME]...` — the zero-dependency benchmark
+//!   harness (see [`bench`]).
+//! * `cargo run -p xtask -- bench-verify PATH` — structural check of a
+//!   bench JSON report (the CI smoke gate).
 //!
 //! The `lint` task enforces repo-local rules that `rustc` and `clippy`
 //! (which is not guaranteed to exist in the offline toolchain) do not:
@@ -28,9 +35,31 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod bench;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("bench") => match bench::run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("xtask bench: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("bench-verify") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: cargo run -p xtask -- bench-verify <file.json>");
+                return ExitCode::FAILURE;
+            };
+            match bench::verify(path) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("xtask bench-verify: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("lint") => {
             let root = workspace_root();
             let violations = run_lint(&root);
@@ -46,7 +75,7 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- lint | bench [flags] | bench-verify <file>");
             ExitCode::FAILURE
         }
     }
