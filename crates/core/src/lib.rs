@@ -17,8 +17,13 @@
 //!   virtual machine;
 //! * [`trisolve`] — the parallel forward/backward substitutions (§5) that
 //!   make the factorization usable as a preconditioner;
-//! * [`options`] — shared parameter types (`m`, `t`, the ILUT\* cap `k`).
+//! * [`options`] — shared parameter types (`m`, `t`, the ILUT\* cap `k`),
+//!   the [`options::BreakdownPolicy`] selecting what an unusable pivot does,
+//!   and the typed [`options::FactorError`];
+//! * [`breakdown`] — the [`breakdown::PivotDoctor`] that applies one
+//!   breakdown policy identically across every kernel.
 
+pub mod breakdown;
 pub mod dist;
 pub mod factors;
 pub mod options;
@@ -27,6 +32,7 @@ pub mod precond;
 pub mod serial;
 pub mod trisolve;
 
+pub use breakdown::PivotDoctor;
 pub use factors::{LuFactors, SparseRow};
-pub use options::{FactorError, IlutOptions};
+pub use options::{BreakdownPolicy, FactorError, IlutOptions};
 pub use serial::{ilu0, iluk, ilut};

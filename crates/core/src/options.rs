@@ -1,5 +1,68 @@
 //! Shared parameter and error types.
 
+/// What a factorization does when it meets an unusable pivot (exactly
+/// zero, structurally missing, or non-finite).
+///
+/// Robust ILU packages treat breakdown as a recoverable condition rather
+/// than a crash: BILU perturbs pivots based on inverse-norm bounds, and
+/// parGeMSLR falls back when a local factorization fails. The policies
+/// here are deliberately simpler but cover the same decision:
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BreakdownPolicy {
+    /// Return a [`FactorError`] at the first unusable pivot — the strict,
+    /// paper-faithful behaviour, and the default.
+    Abort,
+    /// Replace the unusable pivot with a diagonal boost scaled by the
+    /// row's magnitude, escalating geometrically on repeated breakdowns
+    /// within one factorization: the `k`-th repaired pivot becomes
+    /// `initial · growth^k · ‖a_i‖₂` (or `initial · growth^k` for an
+    /// all-zero row). Non-finite off-diagonal entries are discarded.
+    Shift {
+        /// First boost, relative to the row norm (e.g. `1e-8`).
+        initial: f64,
+        /// Geometric escalation factor per repair (e.g. `10.0`).
+        growth: f64,
+    },
+    /// Replace the whole offending row of the factor with a scaled
+    /// identity row: no `L` entries, no strict-`U` entries, diagonal
+    /// `‖a_i‖₂` (or 1 for an all-zero row). Cruder than a shift but
+    /// keeps the triangular solves exact no-ops for the bad row.
+    ReplaceRow,
+}
+
+impl BreakdownPolicy {
+    /// The shift policy with the default constants (`1e-8`, ×10).
+    pub fn shift() -> Self {
+        BreakdownPolicy::Shift {
+            initial: 1e-8,
+            growth: 10.0,
+        }
+    }
+
+    /// Validates the policy's own constants.
+    pub fn validate(&self) -> Result<(), FactorError> {
+        if let BreakdownPolicy::Shift { initial, growth } = self {
+            if !initial.is_finite() || *initial <= 0.0 {
+                return Err(FactorError::InvalidOptions {
+                    what: format!("shift initial boost must be positive and finite, got {initial}"),
+                });
+            }
+            if !growth.is_finite() || *growth < 1.0 {
+                return Err(FactorError::InvalidOptions {
+                    what: format!("shift growth must be finite and >= 1, got {growth}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for BreakdownPolicy {
+    fn default() -> Self {
+        BreakdownPolicy::Abort
+    }
+}
+
 /// Parameters of the ILUT(m, t) / ILUT\*(m, t, k) factorizations.
 #[derive(Clone, Debug)]
 pub struct IlutOptions {
@@ -18,6 +81,8 @@ pub struct IlutOptions {
     pub mis_rounds: usize,
     /// Seed for the randomised independent sets.
     pub seed: u64,
+    /// What to do when a pivot is unusable (see [`BreakdownPolicy`]).
+    pub breakdown: BreakdownPolicy,
 }
 
 impl IlutOptions {
@@ -29,7 +94,44 @@ impl IlutOptions {
             reduced_cap_factor: None,
             mis_rounds: 5,
             seed: 1,
+            breakdown: BreakdownPolicy::Abort,
         }
+    }
+
+    /// The same options with a different breakdown policy.
+    pub fn with_breakdown(mut self, policy: BreakdownPolicy) -> Self {
+        self.breakdown = policy;
+        self
+    }
+
+    /// Checks the options for values that cannot drive a factorization;
+    /// called by every kernel entry point so bad user input surfaces as a
+    /// typed error instead of a panic deep in the elimination.
+    pub fn validate(&self) -> Result<(), FactorError> {
+        if self.m == 0 {
+            return Err(FactorError::InvalidOptions {
+                what: "fill cap m must be at least 1".into(),
+            });
+        }
+        if !self.tau.is_finite() || self.tau < 0.0 {
+            return Err(FactorError::InvalidOptions {
+                what: format!(
+                    "drop tolerance tau must be finite and >= 0, got {}",
+                    self.tau
+                ),
+            });
+        }
+        if self.reduced_cap_factor == Some(0) {
+            return Err(FactorError::InvalidOptions {
+                what: "reduced cap factor k must be at least 1".into(),
+            });
+        }
+        if self.mis_rounds == 0 {
+            return Err(FactorError::InvalidOptions {
+                what: "mis_rounds must be at least 1".into(),
+            });
+        }
+        self.breakdown.validate()
     }
 
     /// ILUT\*(m, t, k).
@@ -54,18 +156,55 @@ impl IlutOptions {
     }
 }
 
-/// Failure modes of the factorizations.
+/// Failure modes of the factorizations (and of preconditioner setup built
+/// on them).
 #[derive(Clone, Debug, PartialEq)]
 pub enum FactorError {
-    /// A structurally or numerically zero pivot was met at the given row
-    /// (global index).
-    ZeroPivot { row: usize },
+    /// A numerically zero pivot was met at the given row (global index):
+    /// the diagonal position exists (or filled in) but carries exactly 0.
+    ZeroPivot {
+        /// Global row index of the unusable pivot.
+        row: usize,
+    },
+    /// A NaN or infinity appeared in the given row during elimination —
+    /// usually the downstream echo of an earlier near-breakdown.
+    NonFinite {
+        /// Global row index where the non-finite value was found.
+        row: usize,
+    },
+    /// The row has no diagonal entry and elimination created no fill on
+    /// it: the pattern itself cannot support an LU factor.
+    StructurallySingular {
+        /// Global row index with the structurally missing diagonal.
+        row: usize,
+    },
+    /// A distributed factorization failed on the given rank (the wrapped
+    /// per-row error is reported by that rank; peers see the rank id).
+    RankFailure {
+        /// Rank whose local factorization failed.
+        rank: usize,
+    },
+    /// The options themselves cannot drive a factorization.
+    InvalidOptions {
+        /// Human-readable description of the rejected value.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for FactorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FactorError::ZeroPivot { row } => write!(f, "zero pivot at row {row}"),
+            FactorError::NonFinite { row } => {
+                write!(f, "non-finite value in row {row} during elimination")
+            }
+            FactorError::StructurallySingular { row } => {
+                write!(f, "structurally singular: row {row} has no usable diagonal")
+            }
+            FactorError::RankFailure { rank } => {
+                write!(f, "local factorization failed on rank {rank}")
+            }
+            FactorError::InvalidOptions { what } => write!(f, "invalid options: {what}"),
         }
     }
 }
@@ -83,6 +222,9 @@ pub struct FactorStats {
     pub nnz_l: usize,
     /// Entries retained in `U` (including the diagonal).
     pub nnz_u: usize,
+    /// Rows whose pivot (or contents) the [`BreakdownPolicy`] repaired;
+    /// always 0 under [`BreakdownPolicy::Abort`].
+    pub breakdowns_repaired: usize,
 }
 
 #[cfg(test)]

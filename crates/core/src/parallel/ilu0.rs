@@ -15,22 +15,37 @@
 //! triangular solves and the distributed GMRES preconditioner wrapper work
 //! unchanged.
 
+use crate::breakdown::{PivotDoctor, PivotFault};
 use crate::dist::{DistMatrix, LocalView};
-use crate::options::FactorError;
+use crate::options::{BreakdownPolicy, FactorError};
 use crate::parallel::dist_mis::{build_level_links, dist_mis};
-use crate::parallel::{FactorRow, ParStats, RankFactors};
+use crate::parallel::{collective_fault_verdict, FactorRow, ParStats, RankFactors};
 use pilut_par::{Ctx, Payload};
 use pilut_sparse::WorkRow;
 use std::collections::{HashMap, HashSet};
 
 const TAG_U0: u64 = 7 << 40;
 
-/// Runs the parallel zero-fill factorization. Collective.
+/// Runs the parallel zero-fill factorization. Collective. Aborts on the
+/// first unusable pivot; use [`par_ilu0_with`] to recover instead.
 pub fn par_ilu0(
     ctx: &mut Ctx,
     dm: &DistMatrix,
     local: &LocalView,
 ) -> Result<RankFactors, FactorError> {
+    par_ilu0_with(ctx, dm, local, BreakdownPolicy::Abort)
+}
+
+/// [`par_ilu0`] with an explicit [`BreakdownPolicy`]. Collective; every
+/// rank must pass the same policy.
+pub fn par_ilu0_with(
+    ctx: &mut Ctx,
+    dm: &DistMatrix,
+    local: &LocalView,
+    policy: BreakdownPolicy,
+) -> Result<RankFactors, FactorError> {
+    policy.validate()?; // deterministic: every rank rejects the same way
+    let mut doctor = PivotDoctor::new(policy);
     let a = dm.matrix();
     let n = dm.n();
     let mut role = vec![0u8; n];
@@ -43,7 +58,7 @@ pub fn par_ilu0(
     let mut rows: HashMap<usize, FactorRow> = HashMap::with_capacity(local.len());
     let mut stats = ParStats::default();
     let mut w = WorkRow::new(n);
-    let mut my_err: Option<usize> = None;
+    let mut my_err: Option<(usize, PivotFault)> = None;
 
     // ---- Phase 1: interiors, ascending global id, pattern-restricted.
     for &i in &local.interior {
@@ -69,19 +84,26 @@ pub fn par_ilu0(
             ctx.work(2.0 * urow.u.len() as f64 + 1.0);
         }
         let mut diag = 0.0;
+        let mut has_diag = false;
         let mut upper: Vec<(usize, f64)> = Vec::new();
         for (j, v) in w.drain_sorted() {
             if j == i {
                 diag = v;
+                has_diag = true;
             } else {
                 upper.push((j, v));
             }
         }
-        // lint: allow(float-eq): exact zero-pivot test
-        if diag == 0.0 {
-            my_err.get_or_insert(i);
-            diag = 1.0;
-        }
+        doctor.repair_or_defer(
+            i,
+            a.row_norm2(i),
+            has_diag,
+            &mut diag,
+            &mut lower,
+            &mut upper,
+            &mut my_err,
+            1.0,
+        );
         stats.nnz_l += lower.len();
         stats.nnz_u += upper.len() + 1;
         rows.insert(
@@ -186,22 +208,31 @@ pub fn par_ilu0(
             // lint: allow(unwrap): scheduling inserts every reduced row before it is scheduled
             let rr = reduced.remove(&v).expect("scheduled row missing");
             let mut diag = 0.0;
+            let mut has_diag = false;
             let mut upper = Vec::with_capacity(rr.len());
             for (c, val) in rr {
                 if c == v {
                     diag = val;
+                    has_diag = true;
                 } else {
                     upper.push((c, val));
                 }
             }
-            // lint: allow(float-eq): exact zero-pivot test
-            if diag == 0.0 {
-                my_err.get_or_insert(v);
-                diag = 1.0;
-            }
-            stats.nnz_u += upper.len() + 1;
             // lint: allow(unwrap): interface rows are created for every boundary row up front
             let row = rows.get_mut(&v).expect("interface row missing");
+            let mut l = std::mem::take(&mut row.l);
+            doctor.repair_or_defer(
+                v,
+                a.row_norm2(v),
+                has_diag,
+                &mut diag,
+                &mut l,
+                &mut upper,
+                &mut my_err,
+                1.0,
+            );
+            stats.nnz_u += upper.len() + 1;
+            row.l = l;
             row.diag = diag;
             row.u = upper;
         }
@@ -312,14 +343,11 @@ pub fn par_ilu0(
     // synchronised every rank the same number of times).
     let err_flag = ctx.all_reduce_sum_u64(my_err.map_or(0, |_| 1));
     if err_flag > 0 {
-        let row = ctx.all_reduce_u64(
-            vec![my_err.map_or(u64::MAX, |r| r as u64)],
-            pilut_par::collectives::ReduceOp::Min,
-        )[0];
-        return Err(FactorError::ZeroPivot { row: row as usize });
+        return Err(collective_fault_verdict(ctx, &my_err));
     }
     stats.nnz_l = rows.values().map(|r| r.l.len()).sum();
     stats.levels = levels.len();
+    stats.breakdowns_repaired = doctor.repairs();
     Ok(RankFactors {
         rank: ctx.rank(),
         interior: local.interior.clone(),

@@ -21,8 +21,9 @@ pub mod dist_mis;
 pub mod ilu0;
 
 pub use assemble::assemble_factors;
-pub use ilu0::par_ilu0;
+pub use ilu0::{par_ilu0, par_ilu0_with};
 
+use crate::breakdown::{PivotDoctor, PivotFault};
 use crate::dist::{DistMatrix, LocalView};
 use crate::options::{FactorError, IlutOptions};
 use crate::serial::drop_rules::{selection_cost, threshold_and_cap};
@@ -56,6 +57,10 @@ pub struct ParStats {
     pub reduced_nnz_initial: usize,
     /// Largest reduced-matrix slice seen across levels.
     pub reduced_nnz_peak: usize,
+    /// Rows on this rank whose pivot the
+    /// [`BreakdownPolicy`](crate::options::BreakdownPolicy) repaired;
+    /// always 0 under `Abort`.
+    pub breakdowns_repaired: usize,
 }
 
 /// One rank's share of the distributed factorization.
@@ -80,6 +85,31 @@ pub struct RankFactors {
 
 const TAG_UROWS_BASE: u64 = 1 << 24;
 
+/// Agrees on a factorization error once at least one rank flagged a fault
+/// (collective). Every rank min-reduces its first deferred fault encoded as
+/// `row << 2 | kind`, then the id of the rank holding the winner. The
+/// owning rank reports the detailed per-row error; its peers report
+/// [`FactorError::RankFailure`] naming it.
+pub(crate) fn collective_fault_verdict(
+    ctx: &mut Ctx,
+    my_err: &Option<(usize, PivotFault)>,
+) -> FactorError {
+    let me = ctx.rank() as u64;
+    let mine = my_err.map_or(u64::MAX, |(row, fault)| ((row as u64) << 2) | fault.code());
+    let winner = ctx.all_reduce_u64(vec![mine], pilut_par::collectives::ReduceOp::Min)[0];
+    let owner = ctx.all_reduce_u64(
+        vec![if mine == winner { me } else { u64::MAX }],
+        pilut_par::collectives::ReduceOp::Min,
+    )[0];
+    if mine == winner {
+        PivotFault::from_code(winner & 3).error_at((winner >> 2) as usize)
+    } else {
+        FactorError::RankFailure {
+            rank: owner as usize,
+        }
+    }
+}
+
 /// Runs the parallel ILUT / ILUT\* factorization. Collective: every rank of
 /// the machine must call it with the same `dm` and `opts`.
 pub fn par_ilut(
@@ -88,6 +118,8 @@ pub fn par_ilut(
     local: &LocalView,
     opts: &IlutOptions,
 ) -> Result<RankFactors, FactorError> {
+    opts.validate()?; // deterministic: every rank rejects the same way
+    let mut doctor = PivotDoctor::new(opts.breakdown);
     let a = dm.matrix();
     let me = ctx.rank();
     let n = dm.n();
@@ -108,11 +140,14 @@ pub fn par_ilut(
     let mut in_heap = vec![false; n];
     // Scratch buffer reused across rows by both phase-1 sweeps.
     let mut entries: Vec<(usize, f64)> = Vec::new();
-    let mut my_err: Option<usize> = None; // row of first zero pivot
+    // First unusable pivot met on this rank, deferred to the collective
+    // error check (only set under `BreakdownPolicy::Abort`).
+    let mut my_err: Option<(usize, PivotFault)> = None;
 
     // ---- Phase 1: interior rows (ascending global id = elimination order).
     for &i in &local.interior {
-        let tau_i = opts.tau * a.row_norm2(i);
+        let norm_i = a.row_norm2(i);
+        let tau_i = opts.tau * norm_i;
         let (cols, vals) = a.row(i);
         debug_assert!(heap.is_empty(), "heap drained by the previous row");
         for (&j, &v) in cols.iter().zip(vals) {
@@ -143,20 +178,28 @@ pub fn par_ilut(
         let mut lower = Vec::new();
         let mut upper = Vec::new();
         let mut diag = 0.0;
+        let mut has_diag = false;
         for &(j, v) in &entries {
             if j == i {
                 diag = v;
+                has_diag = true;
             } else if role[j] == 1 && j < i {
                 lower.push((j, v));
             } else {
                 upper.push((j, v));
             }
         }
-        // lint: allow(float-eq): exact zero-pivot test
-        if diag == 0.0 {
-            my_err.get_or_insert(i);
-            diag = if tau_i > 0.0 { tau_i } else { 1.0 }; // keep going until the collective abort
-        }
+        let fallback = if tau_i > 0.0 { tau_i } else { 1.0 };
+        doctor.repair_or_defer(
+            i,
+            norm_i,
+            has_diag,
+            &mut diag,
+            &mut lower,
+            &mut upper,
+            &mut my_err,
+            fallback,
+        );
         let l = threshold_and_cap(lower, tau_i, opts.m, None);
         let u = threshold_and_cap(upper, tau_i, opts.m, None);
         stats.nnz_l += l.len();
@@ -237,11 +280,7 @@ pub fn par_ilut(
             pilut_par::collectives::ReduceOp::Sum,
         );
         if flags[1] > 0 {
-            let row = ctx.all_reduce_u64(
-                vec![my_err.map_or(u64::MAX, |r| r as u64)],
-                pilut_par::collectives::ReduceOp::Min,
-            )[0];
-            return Err(FactorError::ZeroPivot { row: row as usize });
+            return Err(collective_fault_verdict(ctx, &my_err));
         }
         if flags[0] == 0 {
             break;
@@ -272,25 +311,35 @@ pub fn par_ilut(
             let rr = reduced.remove(&v).expect("member without a reduced row");
             let tau_v = tau_of[&v];
             let mut diag = 0.0;
+            let mut has_diag = false;
             let mut off = Vec::with_capacity(rr.len());
             for (c, val) in rr {
                 if c == v {
                     diag = val;
+                    has_diag = true;
                 } else {
                     off.push((c, val));
                 }
             }
-            // lint: allow(float-eq): exact zero-pivot test
-            if diag == 0.0 {
-                my_err.get_or_insert(v);
-                diag = if tau_v > 0.0 { tau_v } else { 1.0 };
-            }
+            // lint: allow(unwrap): interface rows are created for every boundary row up front
+            let row = rows.get_mut(&v).expect("interface row missing");
+            let mut l = std::mem::take(&mut row.l);
+            let fallback = if tau_v > 0.0 { tau_v } else { 1.0 };
+            doctor.repair_or_defer(
+                v,
+                a.row_norm2(v),
+                has_diag,
+                &mut diag,
+                &mut l,
+                &mut off,
+                &mut my_err,
+                fallback,
+            );
             let u = threshold_and_cap(off, tau_v, opts.m, None);
             stats.flops += selection_cost(u.len());
             ctx.work(selection_cost(u.len()));
             stats.nnz_u += u.len() + 1;
-            // lint: allow(unwrap): interface rows are created for every boundary row up front
-            let row = rows.get_mut(&v).expect("interface row missing");
+            row.l = l;
             row.diag = diag;
             row.u = u;
         }
@@ -420,6 +469,7 @@ pub fn par_ilut(
     // approximate when rows shrink during merges).
     stats.nnz_l = rows.values().map(|r| r.l.len()).sum();
     stats.levels = levels.len();
+    stats.breakdowns_repaired = doctor.repairs();
     Ok(RankFactors {
         rank: me,
         interior: local.interior.clone(),

@@ -1,6 +1,7 @@
 //! Preconditioner interface and serial implementations.
 
 use crate::factors::LuFactors;
+use crate::options::FactorError;
 use pilut_sparse::CsrMatrix;
 
 /// A preconditioner `M`: given a residual-like vector `r`, produces
@@ -34,19 +35,29 @@ pub struct DiagonalPreconditioner {
 
 impl DiagonalPreconditioner {
     /// # Panics
-    /// Panics if the matrix has a zero diagonal entry.
+    /// Panics if the matrix has a zero or non-finite diagonal entry; use
+    /// [`DiagonalPreconditioner::try_new`] to get a typed error instead.
     pub fn new(a: &CsrMatrix) -> Self {
-        let inv_diag = a
-            .diagonal()
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| {
-                // lint: allow(float-eq): exact zero-diagonal guard
-                assert!(d != 0.0, "zero diagonal at row {i}");
-                1.0 / d
-            })
-            .collect();
-        DiagonalPreconditioner { inv_diag }
+        // lint: allow(unwrap): documented panic on unusable diagonals
+        Self::try_new(a).expect("unusable diagonal")
+    }
+
+    /// Builds Jacobi preconditioning, reporting an unusable diagonal entry
+    /// as a typed error — the fallible entry point the robust-solve ladder
+    /// uses to decide whether this rung is available at all.
+    pub fn try_new(a: &CsrMatrix) -> Result<Self, FactorError> {
+        let mut inv_diag = Vec::with_capacity(a.n_rows());
+        for (i, &d) in a.diagonal().iter().enumerate() {
+            if !d.is_finite() {
+                return Err(FactorError::NonFinite { row: i });
+            }
+            // lint: allow(float-eq): exact zero-diagonal guard
+            if d == 0.0 {
+                return Err(FactorError::ZeroPivot { row: i });
+            }
+            inv_diag.push(1.0 / d);
+        }
+        Ok(DiagonalPreconditioner { inv_diag })
     }
 }
 

@@ -7,7 +7,8 @@
 //! solver on SPD problems, where it is the symmetric counterpart of the
 //! ILU preconditioners.
 
-use crate::options::FactorError;
+use crate::breakdown::{PivotDoctor, PivotFault, PivotFix};
+use crate::options::{BreakdownPolicy, FactorError};
 use pilut_sparse::CsrMatrix;
 
 /// The lower-triangular incomplete Cholesky factor, row-major, diagonal
@@ -62,9 +63,19 @@ impl IcFactors {
 ///
 /// Returns [`FactorError::ZeroPivot`] when a pivot becomes non-positive —
 /// the classic IC breakdown on matrices that are not (close enough to)
-/// M-matrices.
+/// M-matrices. Use [`ic0_with`] to recover instead of aborting.
 pub fn ic0(a: &CsrMatrix) -> Result<IcFactors, FactorError> {
+    ic0_with(a, BreakdownPolicy::Abort)
+}
+
+/// [`ic0`] with an explicit [`BreakdownPolicy`]. For Cholesky the pivot is
+/// the *squared* diagonal, so a non-positive value is the breakdown
+/// condition: `Shift` replaces it with the escalating boost (always
+/// positive), `ReplaceRow` makes the row `√‖a_i‖₂ · eᵢ`.
+pub fn ic0_with(a: &CsrMatrix, policy: BreakdownPolicy) -> Result<IcFactors, FactorError> {
     assert_eq!(a.n_rows(), a.n_cols(), "IC(0) needs a square matrix");
+    policy.validate()?;
+    let mut doctor = PivotDoctor::new(policy);
     let n = a.n_rows();
     let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
     for i in 0..n {
@@ -105,13 +116,30 @@ pub fn ic0(a: &CsrMatrix) -> Result<IcFactors, FactorError> {
                 diag = s;
             }
         }
+        // Non-finite strict entries (downstream echoes of an earlier
+        // near-breakdown) are fatal under Abort, scrubbed under recovery.
+        doctor.scrub_row(i, &mut row)?;
         // Subtract the squares of the row's own strict entries from the
         // diagonal.
         for &(_, v) in &row {
             diag -= v * v;
         }
-        if diag <= 0.0 {
-            return Err(FactorError::ZeroPivot { row: i });
+        let fault = if !diag.is_finite() {
+            Some(PivotFault::NonFinite)
+        } else if diag <= 0.0 {
+            Some(PivotFault::Zero)
+        } else {
+            None
+        };
+        if let Some(fault) = fault {
+            let scale = PivotDoctor::usable_scale(a.row_norm2(i));
+            match doctor.resolve(i, fault, scale)? {
+                PivotFix::Shift(boost) => diag = boost,
+                PivotFix::ReplaceRow(d) => {
+                    row.clear();
+                    diag = d;
+                }
+            }
         }
         row.push((i, diag.sqrt()));
         rows.push(row);
@@ -178,5 +206,21 @@ mod tests {
             ic0(&coo.to_csr()),
             Err(FactorError::ZeroPivot { row: 1 })
         ));
+    }
+
+    #[test]
+    fn recovery_policies_survive_the_indefinite_matrix() {
+        use pilut_sparse::CooMatrix;
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 2.0);
+        coo.push(1, 1, 1.0);
+        let a = coo.to_csr();
+        for policy in [BreakdownPolicy::shift(), BreakdownPolicy::ReplaceRow] {
+            let f = ic0_with(&a, policy).unwrap();
+            let z = f.solve(&[1.0, 1.0]);
+            assert!(z.iter().all(|v| v.is_finite()), "{policy:?}: {z:?}");
+        }
     }
 }

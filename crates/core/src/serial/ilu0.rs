@@ -4,13 +4,25 @@
 //! allowed, so `L + U` has exactly the pattern of `A` and concurrency can be
 //! extracted with a one-time colouring (paper Figure 1a).
 
+use crate::breakdown::PivotDoctor;
 use crate::factors::{LuFactors, SparseRow};
-use crate::options::FactorError;
+use crate::options::{BreakdownPolicy, FactorError};
 use pilut_sparse::{CsrMatrix, WorkRow};
 
 /// Computes ILU(0): Gaussian elimination restricted to the pattern of `A`.
+///
+/// Aborts on the first unusable pivot; use [`ilu0_with`] to recover instead.
 pub fn ilu0(a: &CsrMatrix) -> Result<LuFactors, FactorError> {
+    ilu0_with(a, BreakdownPolicy::Abort)
+}
+
+/// [`ilu0`] with an explicit [`BreakdownPolicy`] for unusable pivots. Note
+/// that the recovery policies may shrink the factor pattern below the
+/// pattern of `A` (scrubbed entries, replaced rows).
+pub fn ilu0_with(a: &CsrMatrix, policy: BreakdownPolicy) -> Result<LuFactors, FactorError> {
     assert_eq!(a.n_rows(), a.n_cols(), "ILU(0) needs a square matrix");
+    policy.validate()?;
+    let mut doctor = PivotDoctor::new(policy);
     let n = a.n_rows();
     let mut l: Vec<SparseRow> = Vec::with_capacity(n);
     let mut u: Vec<SparseRow> = Vec::with_capacity(n);
@@ -52,10 +64,7 @@ pub fn ilu0(a: &CsrMatrix) -> Result<LuFactors, FactorError> {
                 upper.push((j, v));
             }
         }
-        // lint: allow(float-eq): exact zero-pivot test
-        if upper.first().map(|&(c, _)| c) != Some(i) || upper[0].1 == 0.0 {
-            return Err(FactorError::ZeroPivot { row: i });
-        }
+        doctor.repair_row(i, a.row_norm2(i), &mut lower, &mut upper)?;
         l.push(SparseRow::from_pairs(lower));
         u.push(SparseRow::from_pairs(upper));
     }
@@ -111,6 +120,20 @@ mod tests {
     fn zero_pivot_detected() {
         use pilut_sparse::CsrMatrix;
         let a = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0]);
-        assert_eq!(ilu0(&a).err(), Some(FactorError::ZeroPivot { row: 0 }));
+        assert_eq!(
+            ilu0(&a).err(),
+            Some(FactorError::StructurallySingular { row: 0 })
+        );
+    }
+
+    #[test]
+    fn recovery_policies_factor_the_singular_pattern() {
+        use crate::options::BreakdownPolicy;
+        use pilut_sparse::CsrMatrix;
+        let a = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0]);
+        for policy in [BreakdownPolicy::shift(), BreakdownPolicy::ReplaceRow] {
+            let f = ilu0_with(&a, policy).unwrap();
+            f.check_structure().unwrap();
+        }
     }
 }

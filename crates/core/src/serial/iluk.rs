@@ -6,15 +6,29 @@
 //! purely structural, insensitive to magnitudes, which is exactly the
 //! weakness (paper §2) that motivates threshold-based dropping.
 
+use crate::breakdown::PivotDoctor;
 use crate::factors::{LuFactors, SparseRow};
-use crate::options::FactorError;
+use crate::options::{BreakdownPolicy, FactorError};
 use pilut_sparse::CsrMatrix;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Computes ILU(k) with the given fill level. `iluk(a, 0)` equals ILU(0).
+///
+/// Aborts on the first unusable pivot; use [`iluk_with`] to recover instead.
 pub fn iluk(a: &CsrMatrix, k: usize) -> Result<LuFactors, FactorError> {
+    iluk_with(a, k, BreakdownPolicy::Abort)
+}
+
+/// [`iluk`] with an explicit [`BreakdownPolicy`] for unusable pivots.
+pub fn iluk_with(
+    a: &CsrMatrix,
+    k: usize,
+    policy: BreakdownPolicy,
+) -> Result<LuFactors, FactorError> {
     assert_eq!(a.n_rows(), a.n_cols(), "ILU(k) needs a square matrix");
+    policy.validate()?;
+    let mut doctor = PivotDoctor::new(policy);
     let n = a.n_rows();
     let mut l: Vec<SparseRow> = Vec::with_capacity(n);
     let mut u: Vec<SparseRow> = Vec::with_capacity(n);
@@ -83,11 +97,21 @@ pub fn iluk(a: &CsrMatrix, k: usize) -> Result<LuFactors, FactorError> {
             lev[j] = usize::MAX;
         }
         touched.clear();
-        // lint: allow(float-eq): exact zero-pivot test
-        if upper.first().map(|&(c, _)| c) != Some(i) || upper[0].1 == 0.0 {
-            return Err(FactorError::ZeroPivot { row: i });
-        }
-        u_levels.push(upper_lev.iter().map(|&(_, lv)| lv).collect());
+        doctor.repair_row(i, a.row_norm2(i), &mut lower, &mut upper)?;
+        // A repair can change the upper pattern (inserted or replaced
+        // diagonal, scrubbed entries); realign the levels with it. An
+        // injected diagonal gets level 0, like an original entry.
+        u_levels.push(
+            upper
+                .iter()
+                .map(|&(j, _)| {
+                    upper_lev
+                        .iter()
+                        .find(|&&(c, _)| c == j)
+                        .map_or(0, |&(_, lv)| lv)
+                })
+                .collect(),
+        );
         l.push(SparseRow::from_pairs(lower));
         u.push(SparseRow::from_pairs(upper));
     }

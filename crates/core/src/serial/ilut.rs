@@ -1,5 +1,6 @@
 //! The serial ILUT(m, t) factorization — paper Algorithm 2.1 (after Saad).
 
+use crate::breakdown::PivotDoctor;
 use crate::factors::{LuFactors, SparseRow};
 use crate::options::{FactorError, FactorStats, IlutOptions};
 use crate::serial::drop_rules::{selection_cost, threshold_and_cap_in_place};
@@ -13,7 +14,8 @@ use std::collections::BinaryHeap;
 /// order using a full-length working row (the paper's `w`); the first
 /// dropping rule discards multipliers below `t·‖a_i‖₂`, the second keeps the
 /// `m` largest entries in each of the strict `L` and `U` parts (the diagonal
-/// is always kept).
+/// is always kept). Unusable pivots are handled per
+/// [`crate::options::BreakdownPolicy`] (`opts.breakdown`).
 pub fn ilut(a: &CsrMatrix, opts: &IlutOptions) -> Result<LuFactors, FactorError> {
     ilut_with_stats(a, opts).map(|(f, _)| f)
 }
@@ -24,6 +26,8 @@ pub fn ilut_with_stats(
     opts: &IlutOptions,
 ) -> Result<(LuFactors, FactorStats), FactorError> {
     assert_eq!(a.n_rows(), a.n_cols(), "ILUT needs a square matrix");
+    opts.validate()?;
+    let mut doctor = PivotDoctor::new(opts.breakdown);
     let n = a.n_rows();
     let mut l: Vec<SparseRow> = Vec::with_capacity(n);
     let mut u: Vec<SparseRow> = Vec::with_capacity(n);
@@ -41,7 +45,8 @@ pub fn ilut_with_stats(
 
     for i in 0..n {
         let (cols, vals) = a.row(i);
-        let tau_i = opts.tau * a.row_norm2(i);
+        let norm_i = a.row_norm2(i);
+        let tau_i = opts.tau * norm_i;
         debug_assert!(heap.is_empty(), "heap drained by the previous row");
         for (&j, &v) in cols.iter().zip(vals) {
             w.set(j, v);
@@ -95,15 +100,13 @@ pub fn ilut_with_stats(
         }
         threshold_and_cap_in_place(&mut lower, tau_i, opts.m, None);
         threshold_and_cap_in_place(&mut upper, tau_i, opts.m, Some(i));
-        // lint: allow(float-eq): exact zero-pivot test
-        if upper.first().map(|&(c, _)| c) != Some(i) || upper[0].1 == 0.0 {
-            return Err(FactorError::ZeroPivot { row: i });
-        }
+        doctor.repair_row(i, norm_i, &mut lower, &mut upper)?;
         stats.nnz_l += lower.len();
         stats.nnz_u += upper.len();
         l.push(SparseRow::from_sorted_pairs(&lower));
         u.push(SparseRow::from_sorted_pairs(&upper));
     }
+    stats.breakdowns_repaired = doctor.repairs();
     Ok((LuFactors { n, l, u }, stats))
 }
 
@@ -174,12 +177,33 @@ mod tests {
 
     #[test]
     fn zero_pivot_detected() {
-        // [[0, 1], [1, 0]] has a structurally zero pivot.
+        // [[0, 1], [1, 0]] has a structurally missing pivot: the diagonal
+        // is outside the pattern and no fill reaches it in row 0.
         let a = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0]);
         assert_eq!(
             ilut(&a, &IlutOptions::new(2, 0.0)).err(),
-            Some(FactorError::ZeroPivot { row: 0 })
+            Some(FactorError::StructurallySingular { row: 0 })
         );
+    }
+
+    #[test]
+    fn shift_policy_recovers_the_structural_zero_pivot() {
+        use crate::options::BreakdownPolicy;
+        let a = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0]);
+        let opts = IlutOptions::new(2, 0.0).with_breakdown(BreakdownPolicy::shift());
+        let (f, s) = ilut_with_stats(&a, &opts).unwrap();
+        f.check_structure().unwrap();
+        assert_eq!(s.breakdowns_repaired, 1);
+        assert!(f.u[0].vals[0] > 0.0 && f.u[0].vals[0].is_finite());
+    }
+
+    #[test]
+    fn invalid_options_rejected_with_context() {
+        let a = gen::laplace_2d(3, 3);
+        let err = ilut(&a, &IlutOptions::new(0, 0.0)).unwrap_err();
+        assert!(matches!(err, FactorError::InvalidOptions { .. }), "{err}");
+        let err = ilut(&a, &IlutOptions::new(3, f64::NAN)).unwrap_err();
+        assert!(err.to_string().contains("tau"), "{err}");
     }
 
     #[test]

@@ -6,9 +6,9 @@ pub mod ilu0;
 pub mod iluk;
 pub mod ilut;
 
-pub use ic0::ic0;
-pub use ilu0::ilu0;
-pub use iluk::iluk;
+pub use ic0::{ic0, ic0_with};
+pub use ilu0::{ilu0, ilu0_with};
+pub use iluk::{iluk, iluk_with};
 pub use ilut::ilut;
 pub use ilut::ilut_with_stats;
 

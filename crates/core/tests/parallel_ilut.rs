@@ -171,10 +171,9 @@ fn deterministic_given_seed() {
     );
 }
 
-#[test]
-fn zero_pivot_reported_on_all_ranks() {
-    // Row 2 has no diagonal and no lower couplings, so no elimination can
-    // fill its pivot: the factorization must fail on every rank.
+/// Builds the 4×4 matrix whose row 2 has no diagonal and no lower
+/// couplings: no elimination can fill its pivot.
+fn singular_4x4() -> pilut_sparse::CsrMatrix {
     let mut coo = pilut_sparse::CooMatrix::new(4, 4);
     coo.push(0, 0, 2.0);
     coo.push(0, 1, -1.0);
@@ -182,17 +181,65 @@ fn zero_pivot_reported_on_all_ranks() {
     coo.push(1, 1, 2.0);
     coo.push(2, 3, 1.0);
     coo.push(3, 3, 2.0);
-    let a = coo.to_csr();
-    let dm = DistMatrix::from_matrix(a, 2, 5);
+    coo.to_csr()
+}
+
+#[test]
+fn zero_pivot_reported_on_all_ranks() {
+    // The factorization must fail on every rank: the owner of row 2 with
+    // the detailed error, its peers with a RankFailure naming the owner.
+    let dm = DistMatrix::from_matrix(singular_4x4(), 2, 5);
     let opts = IlutOptions::new(6, 0.0);
     let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
         par_ilut(ctx, &dm, &local, &opts)
     });
-    for r in &out.results {
+    let mut owner = None;
+    for (rank, r) in out.results.iter().enumerate() {
         match r {
-            Err(FactorError::ZeroPivot { .. }) => {}
-            other => panic!("expected zero pivot on every rank, got {other:?}"),
+            Err(FactorError::StructurallySingular { row: 2 }) => {
+                assert!(owner.replace(rank).is_none(), "one owner expected");
+            }
+            Err(FactorError::RankFailure { rank: o }) => {
+                assert_ne!(*o, rank, "a peer never names itself");
+            }
+            other => panic!("expected a factorization failure on every rank, got {other:?}"),
+        }
+    }
+    let owner = owner.expect("some rank must report the detailed error");
+    for (rank, r) in out.results.iter().enumerate() {
+        if rank != owner {
+            assert!(
+                matches!(r, Err(FactorError::RankFailure { rank: o }) if *o == owner),
+                "rank {rank} should name rank {owner}, got {r:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn breakdown_policies_recover_the_singular_matrix_in_parallel() {
+    use pilut_core::options::BreakdownPolicy;
+    for policy in [BreakdownPolicy::shift(), BreakdownPolicy::ReplaceRow] {
+        let dm = DistMatrix::from_matrix(singular_4x4(), 2, 5);
+        let opts = IlutOptions::new(6, 0.0).with_breakdown(policy);
+        let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            par_ilut(ctx, &dm, &local, &opts).unwrap()
+        });
+        let repaired: usize = out
+            .results
+            .iter()
+            .map(|rf| rf.stats.breakdowns_repaired)
+            .sum();
+        assert_eq!(repaired, 1, "{policy:?}: exactly row 2 needed repair");
+        for rf in &out.results {
+            for (v, row) in &rf.rows {
+                assert!(
+                    row.diag.is_finite() && row.diag != 0.0,
+                    "{policy:?}: row {v} pivot unusable after repair"
+                );
+            }
         }
     }
 }

@@ -42,6 +42,9 @@ pub enum RankStatus {
     Finished,
     /// Unwound with a panic; it will never send again.
     Panicked,
+    /// Killed by fault injection (see [`crate::fault`]); it will never send
+    /// again, and the wait-for graph names it as the cause.
+    Killed,
 }
 
 /// The collective operations the machine offers, piggybacked on
@@ -73,6 +76,9 @@ pub struct LeakRecord {
     pub tag: u64,
     /// Payload size on the simulated wire.
     pub bytes: usize,
+    /// True when the envelope never reached the wire because the fault
+    /// injector dropped it (rather than the program failing to receive it).
+    pub injected: bool,
 }
 
 /// Mutable board contents, guarded by one mutex: scheduling states, the
@@ -90,6 +96,9 @@ struct Board {
     coll_logs: Vec<Vec<CollKind>>,
     failure: Option<String>,
     leaks: Vec<LeakRecord>,
+    /// Envelopes discarded by the fault injector; folded into deadlock
+    /// reports (a drop usually strands the receiver) and the leak sweep.
+    injected_drops: Vec<LeakRecord>,
 }
 
 /// Shared state of one checked run. One instance per
@@ -112,6 +121,7 @@ impl CheckState {
                 coll_logs: vec![Vec::new(); p],
                 failure: None,
                 leaks: Vec::new(),
+                injected_drops: Vec::new(),
             }),
         }
     }
@@ -166,6 +176,15 @@ impl CheckState {
         self.lock().leaks.extend(leaks);
     }
 
+    /// Records an envelope the fault injector discarded before delivery.
+    pub(crate) fn record_injected_drop(&self, drop: LeakRecord) {
+        self.lock().injected_drops.push(drop);
+    }
+
+    pub(crate) fn take_injected_drops(&self) -> Vec<LeakRecord> {
+        std::mem::take(&mut self.lock().injected_drops)
+    }
+
     /// Records the primary failure if none is stored yet and returns the
     /// message the calling rank should panic with.
     pub(crate) fn fail(&self, report: String) -> String {
@@ -217,15 +236,20 @@ impl CheckState {
         if !any_blocked {
             return None;
         }
-        let report = deadlock_report(&b.status, &b.coll_logs);
+        let report = deadlock_report(&b.status, &b.coll_logs, &b.injected_drops);
         b.failure = Some(report.clone());
         Some(report)
     }
 }
 
-/// Formats the wait-for graph, the deadlock cycle (if one exists), and any
-/// collective-sequence divergence between ranks.
-fn deadlock_report(status: &[RankStatus], coll_logs: &[Vec<CollKind>]) -> String {
+/// Formats the wait-for graph, the deadlock cycle (if one exists), any
+/// envelopes the fault injector dropped, and any collective-sequence
+/// divergence between ranks.
+fn deadlock_report(
+    status: &[RankStatus],
+    coll_logs: &[Vec<CollKind>],
+    injected_drops: &[LeakRecord],
+) -> String {
     use std::fmt::Write;
     let mut out = String::from("commcheck: deadlock — every unfinished rank is blocked and no message is in flight\nwait-for graph:\n");
     for (r, s) in status.iter().enumerate() {
@@ -244,6 +268,9 @@ fn deadlock_report(status: &[RankStatus], coll_logs: &[Vec<CollKind>]) -> String
             }
             RankStatus::Panicked => {
                 let _ = writeln!(out, "  rank {r}: panicked");
+            }
+            RankStatus::Killed => {
+                let _ = writeln!(out, "  rank {r}: killed by fault injection");
             }
         }
     }
@@ -264,9 +291,29 @@ fn deadlock_report(status: &[RankStatus], coll_logs: &[Vec<CollKind>]) -> String
                     RankStatus::Panicked => {
                         let _ = writeln!(out, "rank {r} waits on rank {f}, which panicked");
                     }
+                    RankStatus::Killed => {
+                        let _ = writeln!(
+                            out,
+                            "rank {r} waits on rank {f}, which was killed by fault injection"
+                        );
+                    }
                     _ => {}
                 }
             }
+        }
+    }
+    if !injected_drops.is_empty() {
+        let _ = writeln!(
+            out,
+            "fault injection dropped {} envelope(s) before delivery:",
+            injected_drops.len()
+        );
+        for d in injected_drops {
+            let _ = writeln!(
+                out,
+                "  from rank {} to rank {} tag {:#x} ({} bytes) [injected drop]",
+                d.from, d.to, d.tag, d.bytes
+            );
         }
     }
     if let Some(divergence) = collective_divergence(coll_logs) {
@@ -394,8 +441,37 @@ mod tests {
     fn waiting_on_finished_rank_has_no_cycle() {
         let status = vec![blocked(1, 0), RankStatus::Finished];
         assert!(find_cycle(&status).is_none());
-        let report = deadlock_report(&status, &[Vec::new(), Vec::new()]);
+        let report = deadlock_report(&status, &[Vec::new(), Vec::new()], &[]);
         assert!(report.contains("already finished"), "{report}");
+    }
+
+    #[test]
+    fn killed_rank_named_in_report() {
+        let status = vec![blocked(1, 0), RankStatus::Killed];
+        let report = deadlock_report(&status, &[Vec::new(), Vec::new()], &[]);
+        assert!(
+            report.contains("rank 1: killed by fault injection"),
+            "{report}"
+        );
+        assert!(
+            report.contains("waits on rank 1, which was killed by fault injection"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn injected_drops_listed_in_report() {
+        let status = vec![blocked(1, 3), RankStatus::Finished];
+        let drops = vec![LeakRecord {
+            from: 1,
+            to: 0,
+            tag: 3,
+            bytes: 16,
+            injected: true,
+        }];
+        let report = deadlock_report(&status, &[Vec::new(), Vec::new()], &drops);
+        assert!(report.contains("[injected drop]"), "{report}");
+        assert!(report.contains("dropped 1 envelope(s)"), "{report}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! clock.
 
 use crate::check::{CheckState, CollKind, LeakRecord, RankStatus};
+use crate::fault::{FaultSession, MessageFate, RankFate, FAULT_KILL_PREFIX};
 use crate::machine::MachineModel;
 use crate::payload::Payload;
 use std::collections::VecDeque;
@@ -9,9 +10,12 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How often a blocked rank in checked mode wakes to run the watchdog
-/// predicate. Pure overhead tuning: correctness does not depend on it.
-const CHECK_POLL: Duration = Duration::from_millis(1);
+/// Default watchdog poll: how often a blocked rank in checked mode wakes to
+/// run the watchdog predicate. Pure overhead tuning: correctness does not
+/// depend on it. Overridable per run via
+/// [`crate::MachineBuilder::watchdog_poll`] or the `PILUT_WATCHDOG_POLL_MS`
+/// environment variable.
+pub(crate) const DEFAULT_CHECK_POLL: Duration = Duration::from_millis(1);
 
 /// One message in flight.
 #[derive(Debug)]
@@ -83,6 +87,17 @@ pub struct Ctx {
     last_accepted_from: usize,
     /// Commcheck board; `None` on the zero-overhead production path.
     check: Option<Arc<CheckState>>,
+    /// Watchdog poll interval used by the checked receive loop.
+    poll: Duration,
+    /// Fault-injection session; `None` unless a plan was installed via
+    /// [`crate::MachineBuilder::fault_plan`].
+    fault: Option<FaultSession>,
+    /// Envelopes held back by a `Reorder` fault, flushed at the next
+    /// send/receive/exit so injection can never destroy liveness.
+    held: Vec<Envelope>,
+    /// Set when this rank was killed by injection, so exit reporting can
+    /// publish `Killed` instead of a plain panic.
+    killed: bool,
 }
 
 impl Ctx {
@@ -96,6 +111,8 @@ impl Ctx {
         senders: Vec<Sender<Envelope>>,
         receiver: Receiver<Envelope>,
         check: Option<Arc<CheckState>>,
+        poll: Duration,
+        fault: Option<FaultSession>,
     ) -> Self {
         Ctx {
             rank,
@@ -110,6 +127,10 @@ impl Ctx {
             current_coll: None,
             last_accepted_from: usize::MAX,
             check,
+            poll,
+            fault,
+            held: Vec::new(),
+            killed: false,
         }
     }
 
@@ -141,6 +162,9 @@ impl Ctx {
     /// envelopes to the commcheck board. `panicked` records whether the
     /// rank closure unwound instead of returning.
     pub(crate) fn into_exit(mut self, panicked: bool) -> RankExit {
+        // Release any reorder-held envelopes so the injector never turns a
+        // benign reorder into a lost message.
+        self.flush_held();
         // Drain the channel so late-but-already-sent envelopes are visible.
         while let Ok(env) = self.receiver.try_recv() {
             if let Some(check) = &self.check {
@@ -154,8 +178,11 @@ impl Ctx {
                 to: e.to,
                 tag: e.tag,
                 bytes: e.payload.bytes(),
+                injected: false,
             }));
-            let exit_status = if panicked {
+            let exit_status = if self.killed {
+                RankStatus::Killed
+            } else if panicked {
                 RankStatus::Panicked
             } else {
                 RankStatus::Finished
@@ -202,6 +229,7 @@ impl Ctx {
 
     pub(crate) fn send_internal(&mut self, to: usize, tag: u64, payload: Payload) {
         assert!(to < self.nprocs, "rank {to} out of range");
+        self.fault_point();
         self.counters.messages += 1;
         self.counters.bytes += payload.bytes() as u64;
         let coll_kind = if tag >= Self::RESERVED_TAG_BASE {
@@ -209,7 +237,7 @@ impl Ctx {
         } else {
             None
         };
-        let env = Envelope {
+        let mut env = Envelope {
             from: self.rank,
             to,
             tag,
@@ -218,16 +246,102 @@ impl Ctx {
             payload,
         };
         if to == self.rank {
-            // Self-sends are local queue operations: no wire cost.
+            // Self-sends are local queue operations: no wire cost and no
+            // injection (message faults model the wire).
             self.pending.push_back(env);
-        } else {
-            if let Some(check) = &self.check {
-                // Count the envelope as in flight *before* it enters the
-                // channel so the watchdog can never undercount.
-                check.note_send(to);
+            return;
+        }
+        let fate = match self.fault.as_mut() {
+            Some(f) => f.on_send(to, tag),
+            None => MessageFate::Deliver,
+        };
+        match fate {
+            MessageFate::Deliver => self.ship(env),
+            MessageFate::DeliverDelayed(seconds) => {
+                env.time += seconds;
+                self.ship(env);
             }
-            // lint: allow(unwrap): the machine keeps every receiver alive until all ranks join
-            self.senders[to].send(env).expect("receiver hung up");
+            MessageFate::Drop => {
+                // The envelope never reaches the wire; record it on the
+                // board so the deadlock report / leak sweep can name it.
+                if let Some(check) = &self.check {
+                    check.record_injected_drop(LeakRecord {
+                        from: self.rank,
+                        to,
+                        tag,
+                        bytes: env.payload.bytes(),
+                        injected: true,
+                    });
+                }
+                return;
+            }
+            MessageFate::Duplicate => {
+                let dup = Envelope {
+                    from: env.from,
+                    to: env.to,
+                    tag: env.tag,
+                    time: env.time,
+                    coll_kind: env.coll_kind,
+                    payload: env.payload.clone(),
+                };
+                self.counters.messages += 1;
+                self.counters.bytes += dup.payload.bytes() as u64;
+                self.ship(env);
+                self.ship(dup);
+            }
+            MessageFate::Hold => {
+                self.held.push(env);
+                return;
+            }
+        }
+        // Anything held back by a Reorder fault departs *after* the
+        // envelope just shipped — that is the reordering.
+        self.flush_held();
+    }
+
+    /// Hands one envelope to the destination channel, keeping the board's
+    /// in-flight count ahead of the wire.
+    fn ship(&mut self, env: Envelope) {
+        if let Some(check) = &self.check {
+            // Count the envelope as in flight *before* it enters the
+            // channel so the watchdog can never undercount.
+            check.note_send(env.to);
+        }
+        // lint: allow(unwrap): the machine keeps every receiver alive until all ranks join
+        self.senders[env.to].send(env).expect("receiver hung up");
+    }
+
+    /// Releases reorder-held envelopes. Called after every real send, when
+    /// the rank is about to block in a receive, and at rank exit.
+    fn flush_held(&mut self) {
+        for env in std::mem::take(&mut self.held) {
+            self.ship(env);
+        }
+    }
+
+    /// Rank-level injection point (stall / kill), hit at the head of every
+    /// communication op.
+    fn fault_point(&mut self) {
+        let Some(fate) = self.fault.as_mut().and_then(FaultSession::tick) else {
+            return;
+        };
+        match fate {
+            RankFate::Stall(millis) => {
+                // The board still shows this rank Running, so a correct
+                // watchdog never reports a stalled rank as deadlocked.
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            RankFate::Kill => {
+                self.killed = true;
+                if let Some(check) = &self.check {
+                    check.set_status(self.rank, RankStatus::Killed);
+                }
+                let op = self.fault.as_ref().map_or(0, FaultSession::ops);
+                panic!(
+                    "{FAULT_KILL_PREFIX} rank {} killed at comm op {op}",
+                    self.rank
+                );
+            }
         }
     }
 
@@ -246,6 +360,10 @@ impl Ctx {
     }
 
     pub(crate) fn recv_internal(&mut self, from: usize, tag: u64) -> Payload {
+        self.fault_point();
+        // About to (possibly) block: release reorder-held envelopes so the
+        // injector cannot manufacture a deadlock of its own.
+        self.flush_held();
         // Check the pending queue first.
         if let Some(pos) = self
             .pending
@@ -276,6 +394,8 @@ impl Ctx {
     /// blocking until one arrives. Used by the sparse all-to-all, where the
     /// receiver knows how many messages to expect but not their order.
     pub(crate) fn recv_any_internal(&mut self, tag: u64) -> (usize, Payload) {
+        self.fault_point();
+        self.flush_held();
         if let Some(pos) = self.pending.iter().position(|e| e.tag == tag) {
             // lint: allow(unwrap): the position came from a search of the same deque
             let env = self.pending.remove(pos).expect("position came from iter");
@@ -309,7 +429,7 @@ impl Ctx {
         let check = Arc::clone(self.check.as_ref().expect("checked mode"));
         check.set_status(self.rank, RankStatus::BlockedRecv { from, tag });
         loop {
-            match self.receiver.recv_timeout(CHECK_POLL) {
+            match self.receiver.recv_timeout(self.poll) {
                 Ok(env) => {
                     let matches = env.tag == tag && from.is_none_or(|f| env.from == f);
                     if matches {

@@ -33,13 +33,23 @@
 //! checked entry point; [`Machine::run`] stays the zero-overhead
 //! production path.
 
+//!
+//! # Fault injection
+//!
+//! [`Machine::builder`] can install a seeded [`fault::FaultPlan`] that
+//! delays, reorders, duplicates, or drops messages and stalls or kills
+//! ranks at their communication ops — with commcheck asserting the right
+//! diagnosis for each (see [`fault`]).
+
 pub mod check;
 pub mod collectives;
 pub mod ctx;
+pub mod fault;
 pub mod machine;
 pub mod payload;
 
 pub use check::{CollKind, LeakRecord, RankStatus};
 pub use ctx::Ctx;
-pub use machine::{Machine, MachineModel, MachineStats, RunOutput};
+pub use fault::{FaultAction, FaultPlan, FaultRule, InjectedFault, FAULT_KILL_PREFIX};
+pub use machine::{Machine, MachineBuilder, MachineModel, MachineStats, RunOutput};
 pub use payload::Payload;

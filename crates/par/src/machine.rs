@@ -1,10 +1,12 @@
 //! The virtual machine: model constants, thread launch, and run statistics.
 
 use crate::check::{collective_divergence, CheckState, LeakRecord, SECONDARY_ABORT};
-use crate::ctx::{Ctx, Envelope, RankExit};
+use crate::ctx::{Ctx, Envelope, RankExit, DEFAULT_CHECK_POLL};
+use crate::fault::{FaultPlan, FaultSession, FaultShared, InjectedFault, FAULT_KILL_PREFIX};
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Cost-model constants of the simulated machine.
 ///
@@ -90,6 +92,94 @@ pub struct RunOutput<R> {
     pub sim_time: f64,
     /// Aggregate counters.
     pub stats: MachineStats,
+    /// Faults that actually fired during the run (empty without a
+    /// [`FaultPlan`]). Only populated for runs that complete; destructive
+    /// faults end in a diagnosis panic instead.
+    pub injected_faults: Vec<InjectedFault>,
+}
+
+/// Configures a machine run beyond the two standard entry points: checked
+/// mode, the commcheck watchdog poll interval, and fault injection.
+///
+/// ```
+/// use pilut_par::{Machine, MachineModel, Payload};
+/// let out = Machine::builder(MachineModel::cray_t3d())
+///     .checked(true)
+///     .run(2, |ctx| ctx.rank());
+/// assert_eq!(out.results, vec![0, 1]);
+/// ```
+pub struct MachineBuilder {
+    model: MachineModel,
+    checked: bool,
+    watchdog_poll: Duration,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl MachineBuilder {
+    /// Enables or disables the commcheck verification layer
+    /// (see [`Machine::run_checked`]). Installing a fault plan enables it
+    /// implicitly: injection without diagnosis would just be a hang.
+    pub fn checked(mut self, on: bool) -> Self {
+        self.checked = on;
+        self
+    }
+
+    /// Sets how often a blocked rank wakes to run the deadlock watchdog.
+    ///
+    /// The poll interval is pure detection latency/overhead tuning; it can
+    /// never cause a false positive, because the watchdog predicate looks
+    /// only at the status board (a stalled-but-running rank shows
+    /// `Running`, and injected *simulated* delays do not consume wall-clock
+    /// time at all). Raise it for long soak runs, lower it for fast failure
+    /// in CI. The `PILUT_WATCHDOG_POLL_MS` environment variable overrides
+    /// the default for runs that do not call this.
+    pub fn watchdog_poll(mut self, poll: Duration) -> Self {
+        assert!(!poll.is_zero(), "watchdog poll must be non-zero");
+        self.watchdog_poll = poll;
+        self
+    }
+
+    /// Installs a fault plan (see [`crate::fault`]); implies `checked`.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Runs `f` on `p` ranks with this configuration.
+    ///
+    /// # Panics
+    /// As [`Machine::run_checked`] when checked (or a fault plan is
+    /// installed); as [`Machine::run`] otherwise.
+    pub fn run<R, F>(self, p: usize, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Sync,
+    {
+        assert!(p > 0, "need at least one rank");
+        let checked = self.checked || self.fault_plan.is_some();
+        let check = checked.then(|| Arc::new(CheckState::new(p)));
+        let fault = self.fault_plan.map(|plan| Arc::new(FaultShared::new(plan)));
+        Machine::run_impl(p, self.model, check, fault, self.watchdog_poll, f)
+    }
+}
+
+/// Parses a `PILUT_WATCHDOG_POLL_MS` value; rejects zero (a zero timeout
+/// would spin) and garbage.
+fn parse_poll_ms(s: &str) -> Option<Duration> {
+    match s.trim().parse::<u64>() {
+        Ok(ms) if ms > 0 => Some(Duration::from_millis(ms)),
+        _ => None,
+    }
+}
+
+/// The watchdog poll used when the builder was not asked for a specific
+/// one: `PILUT_WATCHDOG_POLL_MS` from the environment, or 1 ms.
+fn default_watchdog_poll() -> Duration {
+    std::env::var("PILUT_WATCHDOG_POLL_MS")
+        .ok()
+        .as_deref()
+        .and_then(parse_poll_ms)
+        .unwrap_or(DEFAULT_CHECK_POLL)
 }
 
 /// The SPMD launcher.
@@ -114,7 +204,18 @@ impl Machine {
         R: Send,
         F: Fn(&mut Ctx) -> R + Sync,
     {
-        Self::run_impl(p, model, None, f)
+        Self::run_impl(p, model, None, None, DEFAULT_CHECK_POLL, f)
+    }
+
+    /// Starts a configurable run: checked mode, watchdog poll interval,
+    /// fault injection. See [`MachineBuilder`].
+    pub fn builder(model: MachineModel) -> MachineBuilder {
+        MachineBuilder {
+            model,
+            checked: false,
+            watchdog_poll: default_watchdog_poll(),
+            fault_plan: None,
+        }
     }
 
     /// Runs `f` on `p` ranks under the commcheck verification layer
@@ -143,13 +244,22 @@ impl Machine {
         F: Fn(&mut Ctx) -> R + Sync,
     {
         assert!(p > 0, "need at least one rank");
-        Self::run_impl(p, model, Some(Arc::new(CheckState::new(p))), f)
+        Self::run_impl(
+            p,
+            model,
+            Some(Arc::new(CheckState::new(p))),
+            None,
+            default_watchdog_poll(),
+            f,
+        )
     }
 
     fn run_impl<R, F>(
         p: usize,
         model: MachineModel,
         check: Option<Arc<CheckState>>,
+        fault: Option<Arc<FaultShared>>,
+        poll: Duration,
         f: F,
     ) -> RunOutput<R>
     where
@@ -178,8 +288,11 @@ impl Machine {
                 let senders = senders.clone();
                 let fref = &f;
                 let check = check.clone();
+                let session = fault
+                    .as_ref()
+                    .map(|shared| FaultSession::new(Arc::clone(shared), rank));
                 scope.spawn(move || {
-                    let mut ctx = Ctx::new(rank, p, model, senders, rx, check);
+                    let mut ctx = Ctx::new(rank, p, model, senders, rx, check, poll, session);
                     match std::panic::catch_unwind(AssertUnwindSafe(|| fref(&mut ctx))) {
                         Ok(r) => {
                             *rslot = Some(r);
@@ -199,7 +312,8 @@ impl Machine {
             // filled — no join-order dependence survives this point.
         });
         if let Some(check) = &check {
-            Self::verdict(check, &mut panic_slots, &exit_slots);
+            let fired = fault.as_ref().map(|s| s.snapshot()).unwrap_or_default();
+            Self::verdict(check, &mut panic_slots, &exit_slots, &fired);
         }
         // Deterministic propagation: the lowest-numbered panicking rank
         // wins, regardless of the order the threads actually died in.
@@ -234,6 +348,7 @@ impl Machine {
             results,
             sim_time,
             stats,
+            injected_faults: fault.map(|s| s.take_log()).unwrap_or_default(),
         }
     }
 
@@ -243,6 +358,7 @@ impl Machine {
         check: &Arc<CheckState>,
         panic_slots: &mut [Option<Box<dyn std::any::Any + Send>>],
         exit_slots: &[Option<RankExit>],
+        fired: &[crate::fault::InjectedFault],
     ) {
         // Late leak sweep: envelopes that arrived after a rank's own exit
         // drain are still sitting in its (kept-alive) channel.
@@ -254,9 +370,13 @@ impl Machine {
                     to: env.to,
                     tag: env.tag,
                     bytes: env.payload.bytes(),
+                    injected: false,
                 });
             }
         }
+        // Envelopes the fault injector discarded join the leak sweep: a
+        // run that completed despite a drop still lost a message.
+        leaks.extend(check.take_injected_drops());
         let failure = check.take_failure();
         // Drop secondary aborts and the primary's own unwind payload: the
         // stored report carries the diagnosis. User panics stay.
@@ -272,10 +392,58 @@ impl Machine {
                 *slot = None;
             }
         }
+        if failure.is_some() {
+            // An injected kill is the *cause* of the stored diagnosis (the
+            // survivors deadlocked on the dead rank); the report, which
+            // names the killed rank, is the better message. Without a
+            // stored failure the kill panic itself propagates below.
+            let is_fault_kill = |payload: &Box<dyn std::any::Any + Send>| {
+                payload
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.starts_with(FAULT_KILL_PREFIX))
+            };
+            for slot in panic_slots.iter_mut() {
+                if slot.as_ref().is_some_and(is_fault_kill) {
+                    *slot = None;
+                }
+            }
+        }
         let user_panicked = panic_slots.iter().any(Option::is_some);
         if user_panicked {
             // A genuine rank panic outranks the derived diagnosis (the
-            // deadlock/abort was collateral damage of the panic).
+            // deadlock/abort was collateral damage of the panic). But when
+            // the injector was active the panic may itself be the
+            // downstream echo of a consumed fault — a duplicated envelope
+            // read as fresh data, say — so annotate the payload with the
+            // firing log to keep the root cause attributable.
+            if !fired.is_empty() {
+                for slot in panic_slots.iter_mut() {
+                    let Some(payload) = slot.take() else { continue };
+                    let msg = payload.downcast_ref::<String>().cloned().or_else(|| {
+                        payload
+                            .downcast_ref::<&'static str>()
+                            .map(|s| s.to_string())
+                    });
+                    *slot = Some(match msg {
+                        Some(m) => {
+                            use std::fmt::Write;
+                            let mut out = format!(
+                                "{m}\nnote: fault injection fired {} fault(s) this run:\n",
+                                fired.len()
+                            );
+                            for f in fired {
+                                let _ = writeln!(
+                                    out,
+                                    "  rank {} op {}: {} {}",
+                                    f.rank, f.op, f.kind, f.detail
+                                );
+                            }
+                            Box::new(out)
+                        }
+                        None => payload,
+                    });
+                }
+            }
             return;
         }
         if let Some(report) = failure {
@@ -285,9 +453,10 @@ impl Machine {
             let mut msg = String::from("commcheck: message leak — envelopes never received:\n");
             for l in &leaks {
                 use std::fmt::Write;
+                let note = if l.injected { " [injected drop]" } else { "" };
                 let _ = writeln!(
                     msg,
-                    "  from rank {} to rank {} tag {:#x} ({} bytes)",
+                    "  from rank {} to rank {} tag {:#x} ({} bytes){note}",
                     l.from, l.to, l.tag, l.bytes
                 );
             }
@@ -371,6 +540,34 @@ mod tests {
         let b = run();
         assert_eq!(a.stats.rank_times, b.stats.rank_times);
         assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    #[test]
+    fn poll_ms_parser_rejects_zero_and_garbage() {
+        assert_eq!(parse_poll_ms("5"), Some(Duration::from_millis(5)));
+        assert_eq!(parse_poll_ms(" 12 "), Some(Duration::from_millis(12)));
+        assert_eq!(parse_poll_ms("0"), None);
+        assert_eq!(parse_poll_ms("fast"), None);
+        assert_eq!(parse_poll_ms("-3"), None);
+    }
+
+    #[test]
+    fn builder_checked_run_matches_run_checked() {
+        let out = Machine::builder(MachineModel::cray_t3d())
+            .checked(true)
+            .watchdog_poll(Duration::from_millis(2))
+            .run(3, |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 4, Payload::u64s(vec![9]));
+                    0
+                } else if ctx.rank() == 1 {
+                    ctx.recv(0, 4).into_u64()[0]
+                } else {
+                    0
+                }
+            });
+        assert_eq!(out.results, vec![0, 9, 0]);
+        assert!(out.injected_faults.is_empty());
     }
 
     #[test]

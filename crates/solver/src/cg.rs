@@ -6,6 +6,7 @@
 //! method — the original incomplete-factorization preconditioner the
 //! paper's §2 lineage starts from.
 
+use crate::report::Breakdown;
 use pilut_core::precond::Preconditioner;
 use pilut_sparse::vec_ops::{axpy, dot, norm2};
 use pilut_sparse::CsrMatrix;
@@ -35,6 +36,10 @@ pub struct CgResult {
     pub converged: bool,
     pub iterations: usize,
     pub rel_residual: f64,
+    /// Why the iteration stopped early: indefinite curvature (the matrix or
+    /// preconditioner is not SPD) or non-finite recurrence scalars. `None`
+    /// on clean convergence or a plain iteration-cap stop.
+    pub breakdown: Option<Breakdown>,
 }
 
 /// Solves `A x = b` for SPD `A` with preconditioned CG. The preconditioner
@@ -50,6 +55,7 @@ pub fn cg(a: &CsrMatrix, b: &[f64], precond: &dyn Preconditioner, opts: &CgOptio
             converged: true,
             iterations: 0,
             rel_residual: 0.0,
+            breakdown: None,
         };
     }
     let target = opts.rtol * b_norm;
@@ -59,6 +65,7 @@ pub fn cg(a: &CsrMatrix, b: &[f64], precond: &dyn Preconditioner, opts: &CgOptio
     let mut p = z.clone();
     let mut rz = dot(&r, &z);
     let mut iterations = 0usize;
+    let mut breakdown: Option<Breakdown> = None;
     while iterations < opts.max_iters {
         let r_norm = norm2(&r);
         if r_norm <= target {
@@ -67,10 +74,27 @@ pub fn cg(a: &CsrMatrix, b: &[f64], precond: &dyn Preconditioner, opts: &CgOptio
                 converged: true,
                 iterations,
                 rel_residual: r_norm / b_norm,
+                breakdown: None,
             };
         }
+        if !r_norm.is_finite() || !rz.is_finite() {
+            breakdown = Some(Breakdown::NonFinite { at: iterations });
+            break;
+        }
         let ap = a.spmv_owned(&p);
-        let alpha = rz / dot(&p, &ap);
+        let pap = dot(&p, &ap);
+        if !pap.is_finite() {
+            breakdown = Some(Breakdown::NonFinite { at: iterations });
+            break;
+        }
+        if pap <= 0.0 {
+            // CG's theory needs pᵀAp > 0; a non-positive value means the
+            // operator (or preconditioner) is not SPD and every later
+            // iterate would be untrustworthy.
+            breakdown = Some(Breakdown::IndefiniteCurvature { at: iterations });
+            break;
+        }
+        let alpha = rz / pap;
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &ap, &mut r);
         z = precond.apply(&r);
@@ -82,12 +106,16 @@ pub fn cg(a: &CsrMatrix, b: &[f64], precond: &dyn Preconditioner, opts: &CgOptio
         }
         iterations += 1;
     }
-    let rel = norm2(&r) / b_norm;
+    let mut rel = norm2(&r) / b_norm;
+    if !rel.is_finite() {
+        rel = f64::INFINITY;
+    }
     CgResult {
-        x,
         converged: rel <= opts.rtol,
+        x,
         iterations,
         rel_residual: rel,
+        breakdown,
     }
 }
 

@@ -15,6 +15,7 @@ use pilut_core::trisolve::{dist_solve, TrisolvePlan};
 use pilut_par::Ctx;
 
 use crate::gmres::GmresOptions;
+use crate::report::Breakdown;
 
 /// A distributed preconditioner: maps a local residual slice to a local
 /// correction slice. Collective — every rank calls `apply` together.
@@ -43,18 +44,34 @@ pub struct DistDiagonal {
 
 impl DistDiagonal {
     /// Extracts the locally owned diagonal for Jacobi preconditioning.
+    ///
+    /// # Panics
+    /// Panics on a zero or non-finite diagonal entry; use
+    /// [`DistDiagonal::try_new`] for a typed error.
     pub fn new(dm: &DistMatrix, local: &LocalView) -> Self {
-        let inv_diag = local
-            .nodes
-            .iter()
-            .map(|&g| {
-                let d = dm.matrix().get(g, g).unwrap_or(0.0);
-                // lint: allow(float-eq): exact zero-diagonal guard
-                assert!(d != 0.0, "zero diagonal at row {g}");
-                1.0 / d
-            })
-            .collect();
-        DistDiagonal { inv_diag }
+        // lint: allow(unwrap): documented panic on unusable diagonals
+        Self::try_new(dm, local).expect("unusable diagonal")
+    }
+
+    /// Fallible construction: reports the first locally owned row with an
+    /// unusable diagonal instead of panicking.
+    pub fn try_new(
+        dm: &DistMatrix,
+        local: &LocalView,
+    ) -> Result<Self, pilut_core::options::FactorError> {
+        let mut inv_diag = Vec::with_capacity(local.nodes.len());
+        for &g in &local.nodes {
+            let d = dm.matrix().get(g, g).unwrap_or(0.0);
+            if !d.is_finite() {
+                return Err(pilut_core::options::FactorError::NonFinite { row: g });
+            }
+            // lint: allow(float-eq): exact zero-diagonal guard
+            if d == 0.0 {
+                return Err(pilut_core::options::FactorError::ZeroPivot { row: g });
+            }
+            inv_diag.push(1.0 / d);
+        }
+        Ok(DistDiagonal { inv_diag })
     }
 }
 
@@ -114,6 +131,11 @@ pub struct DistGmresResult {
     pub converged: bool,
     pub matvecs: usize,
     pub rel_residual: f64,
+    /// Why the iteration stopped early (identical on every rank: the
+    /// detection runs on all-reduced scalars, so every rank sees the same
+    /// values and takes the same branch). `None` on clean convergence or a
+    /// plain budget stop.
+    pub breakdown: Option<Breakdown>,
 }
 
 fn ddot(ctx: &mut Ctx, a: &[f64], b: &[f64]) -> f64 {
@@ -149,25 +171,44 @@ pub fn dist_gmres(
             converged: true,
             matvecs: 0,
             rel_residual: 0.0,
+            breakdown: None,
         };
     }
     let target = opts.rtol * b_norm;
     let m = opts.restart.max(1);
     let mut matvecs = 0usize;
+    let mut breakdown: Option<Breakdown> = None;
+    let mut prev_beta = f64::INFINITY;
+    let mut stalled_cycles = 0usize;
 
-    loop {
+    'outer: loop {
         let ax = dist_spmv(ctx, dm, local, spmv_plan, &x);
         matvecs += 1;
         let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
         let beta = dnorm(ctx, &r);
+        if !beta.is_finite() {
+            breakdown = Some(Breakdown::NonFinite { at: matvecs });
+            break 'outer;
+        }
         if beta <= target || matvecs >= opts.max_matvecs {
             return DistGmresResult {
                 x_local: x,
                 converged: beta <= target,
                 matvecs,
                 rel_residual: beta / b_norm,
+                breakdown: None,
             };
         }
+        if beta >= prev_beta * (1.0 - 1e-12) {
+            stalled_cycles += 1;
+            if stalled_cycles >= 2 {
+                breakdown = Some(Breakdown::Stagnation { at: matvecs });
+                break 'outer;
+            }
+        } else {
+            stalled_cycles = 0;
+        }
+        prev_beta = beta;
         for ri in &mut r {
             *ri /= beta;
         }
@@ -193,6 +234,13 @@ pub fn dist_gmres(
                 ctx.work(2.0 * nl as f64);
             }
             let wn = dnorm(ctx, &w);
+            if !wn.is_finite() {
+                // Poisoned column (same verdict on every rank): discard it
+                // and solve with the clean prefix below.
+                breakdown = Some(Breakdown::NonFinite { at: matvecs });
+                inner = j;
+                break;
+            }
             h[j + 1][j] = wn;
             for i in 0..j {
                 let t = cs[i] * h[i][j] + sn[i] * h[i + 1][j];
@@ -240,21 +288,34 @@ pub fn dist_gmres(
         }
         ctx.work(2.0 * inner as f64 * nl as f64);
         let z = precond.apply(ctx, local, &vy);
-        for (xi, zi) in x.iter_mut().zip(&z) {
-            *xi += zi;
+        // Guard the update collectively: every rank must agree on whether
+        // the correction is applied, so the verdict is an all-reduce.
+        let poisoned = z.iter().any(|zi| !zi.is_finite()) as u64;
+        if ctx.all_reduce_sum_u64(poisoned) == 0 {
+            for (xi, zi) in x.iter_mut().zip(&z) {
+                *xi += zi;
+            }
+        } else {
+            breakdown.get_or_insert(Breakdown::NonFinite { at: matvecs });
         }
         ctx.work(nl as f64);
-        if matvecs >= opts.max_matvecs {
-            let ax = dist_spmv(ctx, dm, local, spmv_plan, &x);
-            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
-            let rel = dnorm(ctx, &r) / b_norm;
-            return DistGmresResult {
-                x_local: x,
-                converged: rel <= opts.rtol,
-                matvecs,
-                rel_residual: rel,
-            };
+        if breakdown.is_some() || matvecs >= opts.max_matvecs {
+            break 'outer;
         }
+    }
+    // Budget exhausted or breakdown: report the true residual.
+    let ax = dist_spmv(ctx, dm, local, spmv_plan, &x);
+    let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
+    let mut rel = dnorm(ctx, &r) / b_norm;
+    if !rel.is_finite() {
+        rel = f64::INFINITY;
+    }
+    DistGmresResult {
+        converged: rel <= opts.rtol,
+        x_local: x,
+        matvecs,
+        rel_residual: rel,
+        breakdown,
     }
 }
 

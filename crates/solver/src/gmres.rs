@@ -1,5 +1,6 @@
 //! Serial restarted GMRES with right preconditioning.
 
+use crate::report::Breakdown;
 use pilut_core::precond::Preconditioner;
 use pilut_sparse::vec_ops::{axpy, norm2};
 use pilut_sparse::CsrMatrix;
@@ -36,6 +37,10 @@ pub struct GmresResult {
     pub rel_residual: f64,
     /// Residual-norm history, one entry per inner iteration.
     pub history: Vec<f64>,
+    /// Why the iteration stopped early, when it did not converge cleanly:
+    /// non-finite poisoning of the Arnoldi process or stagnation across
+    /// restart cycles. `None` on clean convergence or a plain budget stop.
+    pub breakdown: Option<Breakdown>,
 }
 
 /// Solves `A x = b` with right-preconditioned GMRES(restart):
@@ -58,12 +63,17 @@ pub fn gmres(
             matvecs: 0,
             rel_residual: 0.0,
             history: vec![],
+            breakdown: None,
         };
     }
     let target = opts.rtol * b_norm;
     let m = opts.restart.max(1);
     let mut matvecs = 0usize;
     let mut history = Vec::new();
+    let mut breakdown: Option<Breakdown> = None;
+    // Stagnation watch: restart cycles in a row without measurable progress.
+    let mut prev_beta = f64::INFINITY;
+    let mut stalled_cycles = 0usize;
 
     'outer: loop {
         // r = b - A x.
@@ -72,6 +82,10 @@ pub fn gmres(
         let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
         let beta = norm2(&r);
         history.push(beta);
+        if !beta.is_finite() {
+            breakdown = Some(Breakdown::NonFinite { at: matvecs });
+            break 'outer;
+        }
         if beta <= target || matvecs >= opts.max_matvecs {
             let converged = beta <= target;
             return GmresResult {
@@ -80,8 +94,19 @@ pub fn gmres(
                 matvecs,
                 rel_residual: beta / b_norm,
                 history,
+                breakdown: None,
             };
         }
+        if beta >= prev_beta * (1.0 - 1e-12) {
+            stalled_cycles += 1;
+            if stalled_cycles >= 2 {
+                breakdown = Some(Breakdown::Stagnation { at: matvecs });
+                break 'outer;
+            }
+        } else {
+            stalled_cycles = 0;
+        }
+        prev_beta = beta;
         for ri in &mut r {
             *ri /= beta;
         }
@@ -105,6 +130,14 @@ pub fn gmres(
                 axpy(-hij, &v[i], &mut w);
             }
             let wn = norm2(&w);
+            if !wn.is_finite() {
+                // The preconditioner or SpMV poisoned this column (NaN/Inf
+                // anywhere in w makes its norm non-finite): discard it and
+                // fall through to the clean-prefix solve below.
+                breakdown = Some(Breakdown::NonFinite { at: matvecs });
+                inner = j;
+                break;
+            }
             h[j + 1][j] = wn;
             // Apply existing Givens rotations to the new column.
             for i in 0..j {
@@ -148,27 +181,36 @@ pub fn gmres(
             }
             y[i] = s / h[i][i];
         }
-        // x += M⁻¹ (V y).
+        // x += M⁻¹ (V y), guarded: a poisoned correction is discarded
+        // rather than destroying the best solution found so far.
         let mut vy = vec![0.0; n];
         for (i, yi) in y.iter().enumerate() {
             axpy(*yi, &v[i], &mut vy);
         }
         let z = precond.apply(&vy);
-        axpy(1.0, &z, &mut x);
-        if matvecs >= opts.max_matvecs {
+        if z.iter().all(|zi| zi.is_finite()) {
+            axpy(1.0, &z, &mut x);
+        } else {
+            breakdown.get_or_insert(Breakdown::NonFinite { at: matvecs });
+        }
+        if breakdown.is_some() || matvecs >= opts.max_matvecs {
             break 'outer;
         }
     }
-    // Max matvecs exhausted: report the true residual.
+    // Budget exhausted or breakdown: report the true residual.
     let ax = a.spmv_owned(&x);
     let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
-    let rel = norm2(&r) / b_norm;
+    let mut rel = norm2(&r) / b_norm;
+    if !rel.is_finite() {
+        rel = f64::INFINITY;
+    }
     GmresResult {
-        x,
         converged: rel <= opts.rtol,
+        x,
         matvecs,
         rel_residual: rel,
         history,
+        breakdown,
     }
 }
 

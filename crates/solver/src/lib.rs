@@ -10,10 +10,22 @@
 //!   virtual machine, with distributed SpMV, all-reduce inner products and
 //!   the parallel triangular solves as the preconditioner action.
 
+//! Robustness layer: all solvers detect numerical breakdown (non-finite
+//! Arnoldi/recurrence values, stagnation across restarts, indefinite
+//! curvature in CG) and report it as a typed [`Breakdown`] instead of
+//! looping on garbage; [`solve_robust`] wraps GMRES in a fallback ladder
+//! (caller's ILUT → boosted-shift refactorization → Jacobi →
+//! unpreconditioned) and returns a structured [`SolveReport`] naming the
+//! rung that produced the answer.
+
 pub mod cg;
 pub mod dist_gmres;
 pub mod gmres;
+pub mod report;
+pub mod robust;
 
 pub use cg::{cg, CgOptions, CgResult, IcPreconditioner};
 pub use dist_gmres::{dist_gmres, DistDiagonal, DistIdentity, DistIlu, DistPrecond};
 pub use gmres::{gmres, GmresOptions, GmresResult};
+pub use report::{AttemptOutcome, AttemptRecord, Breakdown, SolveReport};
+pub use robust::solve_robust;

@@ -1,0 +1,306 @@
+//! Graceful degradation: a solve that survives factorization breakdown.
+//!
+//! [`solve_robust`] climbs down a fixed ladder until something converges:
+//!
+//! 1. **Primary**: ILUT with the caller's options (whatever breakdown
+//!    policy they chose, `Abort` by default).
+//! 2. **Boosted-shift refactorization**: the same ILUT but under an
+//!    aggressive [`BreakdownPolicy::Shift`] — repairs every unusable pivot
+//!    with an escalating diagonal boost, trading preconditioner quality for
+//!    existence.
+//! 3. **Jacobi**: plain diagonal scaling via
+//!    [`DiagonalPreconditioner::try_new`] (skipped when the diagonal itself
+//!    is unusable).
+//! 4. **Unpreconditioned** GMRES — always constructible.
+//!
+//! Every rung is recorded in the returned [`SolveReport`], so a caller (or
+//! an operator reading logs) can see exactly which fallback produced the
+//! answer and why the better ones were rejected.
+
+use crate::gmres::{gmres, GmresOptions, GmresResult};
+use crate::report::{AttemptOutcome, AttemptRecord, SolveReport};
+use pilut_core::options::{BreakdownPolicy, IlutOptions};
+use pilut_core::precond::{DiagonalPreconditioner, IdentityPreconditioner, IluPreconditioner};
+use pilut_core::serial::ilut;
+use pilut_sparse::CsrMatrix;
+
+/// The shift policy rung 2 retries with: strong enough to survive rows the
+/// caller's own policy could not, escalating fast on repeated breakdowns.
+fn boosted_shift() -> BreakdownPolicy {
+    BreakdownPolicy::Shift {
+        initial: 1e-4,
+        growth: 100.0,
+    }
+}
+
+/// Solves `A x = b` with ILUT-preconditioned GMRES, degrading gracefully on
+/// factorization or solver breakdown instead of panicking or returning
+/// garbage. See the module docs for the ladder; the report names the rung
+/// that produced the solution.
+pub fn solve_robust(
+    a: &CsrMatrix,
+    b: &[f64],
+    ilut_opts: &IlutOptions,
+    gmres_opts: &GmresOptions,
+) -> SolveReport {
+    let mut attempts: Vec<AttemptRecord> = Vec::new();
+    // Best non-converged fallback seen so far: (attempt index, result).
+    let mut best: Option<(usize, GmresResult)> = None;
+
+    let try_rung = |attempts: &mut Vec<AttemptRecord>,
+                    best: &mut Option<(usize, GmresResult)>,
+                    name: String,
+                    outcome: Result<GmresResult, pilut_core::options::FactorError>|
+     -> Option<SolveReport> {
+        let idx = attempts.len();
+        match outcome {
+            Err(e) => {
+                attempts.push(AttemptRecord {
+                    preconditioner: name,
+                    outcome: AttemptOutcome::FactorFailed(e),
+                });
+                None
+            }
+            Ok(r) if r.converged => {
+                attempts.push(AttemptRecord {
+                    preconditioner: name,
+                    outcome: AttemptOutcome::Converged {
+                        rel_residual: r.rel_residual,
+                        matvecs: r.matvecs,
+                    },
+                });
+                Some(SolveReport {
+                    x: r.x,
+                    converged: true,
+                    rel_residual: r.rel_residual,
+                    attempts: std::mem::take(attempts),
+                    chosen: idx,
+                })
+            }
+            Ok(r) => {
+                attempts.push(AttemptRecord {
+                    preconditioner: name,
+                    outcome: AttemptOutcome::SolveFailed {
+                        rel_residual: r.rel_residual,
+                        matvecs: r.matvecs,
+                        breakdown: r.breakdown,
+                    },
+                });
+                let better = match best {
+                    None => true,
+                    Some((_, prev)) => r.rel_residual < prev.rel_residual,
+                };
+                if better && r.rel_residual.is_finite() {
+                    *best = Some((idx, r));
+                }
+                None
+            }
+        }
+    };
+
+    // Rung 1: the caller's own ILUT options.
+    let primary = ilut(a, ilut_opts).map(|f| {
+        gmres(
+            a,
+            b,
+            &IluPreconditioner::with_label(f, ilut_opts.name()),
+            gmres_opts,
+        )
+    });
+    if let Some(report) = try_rung(&mut attempts, &mut best, ilut_opts.name(), primary) {
+        return report;
+    }
+
+    // Rung 2: refactor under the boosted shift (skip when the caller was
+    // already running an equivalent policy — retrying it would be a no-op).
+    if ilut_opts.breakdown != boosted_shift() {
+        let opts2 = ilut_opts.clone().with_breakdown(boosted_shift());
+        let name = format!("{}+shift(1e-4)", ilut_opts.name());
+        let shifted = ilut(a, &opts2).map(|f| {
+            gmres(
+                a,
+                b,
+                &IluPreconditioner::with_label(f, name.clone()),
+                gmres_opts,
+            )
+        });
+        if let Some(report) = try_rung(&mut attempts, &mut best, name, shifted) {
+            return report;
+        }
+    }
+
+    // Rung 3: Jacobi.
+    let jacobi = DiagonalPreconditioner::try_new(a).map(|p| gmres(a, b, &p, gmres_opts));
+    if let Some(report) = try_rung(&mut attempts, &mut best, "Jacobi".into(), jacobi) {
+        return report;
+    }
+
+    // Rung 4: unpreconditioned — always constructible.
+    let plain = gmres(a, b, &IdentityPreconditioner, gmres_opts);
+    if let Some(report) = try_rung(&mut attempts, &mut best, "none".into(), Ok(plain)) {
+        return report;
+    }
+
+    // Nothing converged: report the best fallback we saw (the identity rung
+    // always yields a finite-residual candidate, so `best` is set unless
+    // every single solve returned a non-finite residual).
+    match best {
+        Some((idx, r)) => SolveReport {
+            x: r.x,
+            converged: false,
+            rel_residual: r.rel_residual,
+            attempts,
+            chosen: idx,
+        },
+        None => SolveReport {
+            x: vec![0.0; a.n_rows()],
+            converged: false,
+            rel_residual: f64::INFINITY,
+            chosen: attempts.len() - 1,
+            attempts,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Breakdown;
+    use pilut_sparse::gen;
+    use pilut_sparse::vec_ops::norm2;
+    use pilut_sparse::CooMatrix;
+
+    /// Diagonally dominant except row 0, whose diagonal entry is removed:
+    /// no earlier row can fill the pivot back in, so plain ILUT under
+    /// `Abort` dies and the shift rung must carry the solve.
+    fn zero_diag_problem() -> (CsrMatrix, Vec<f64>) {
+        let lap = gen::laplace_2d(6, 6);
+        let n = lap.n_rows();
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let (cols, vals) = lap.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if i == 0 && j == 0 {
+                    continue;
+                }
+                coo.push(i, j, v);
+            }
+        }
+        let a = coo.to_csr();
+        let b = a.spmv_owned(&vec![1.0; n]);
+        (a, b)
+    }
+
+    #[test]
+    fn primary_path_reports_no_fallback() {
+        let a = gen::laplace_2d(8, 8);
+        let b = a.spmv_owned(&vec![1.0; 64]);
+        let r = solve_robust(&a, &b, &IlutOptions::new(8, 1e-3), &GmresOptions::default());
+        assert!(r.converged && r.primary_succeeded(), "{}", r.summary());
+        assert_eq!(r.attempts.len(), 1);
+    }
+
+    #[test]
+    fn zero_pivot_falls_back_to_boosted_shift() {
+        let (a, b) = zero_diag_problem();
+        let r = solve_robust(
+            &a,
+            &b,
+            &IlutOptions::new(10, 1e-4),
+            &GmresOptions::default(),
+        );
+        assert!(r.converged, "{}", r.summary());
+        assert!(!r.primary_succeeded());
+        assert!(
+            matches!(r.attempts[0].outcome, AttemptOutcome::FactorFailed(_)),
+            "{:?}",
+            r.attempts[0]
+        );
+        assert!(r.fallback().contains("shift"), "{}", r.summary());
+        // The answer must actually solve the system.
+        let ax = a.spmv_owned(&r.x);
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(y, bi)| y - bi).collect();
+        assert!(norm2(&resid) <= 1e-5 * norm2(&b).max(1.0));
+    }
+
+    #[test]
+    fn report_names_every_rung_tried() {
+        let (a, b) = zero_diag_problem();
+        let r = solve_robust(
+            &a,
+            &b,
+            &IlutOptions::new(10, 1e-4),
+            &GmresOptions::default(),
+        );
+        let names: Vec<&str> = r
+            .attempts
+            .iter()
+            .map(|a| a.preconditioner.as_str())
+            .collect();
+        assert!(names[0].starts_with("ILUT("), "{names:?}");
+        assert!(names.len() >= 2, "{names:?}");
+        let s = r.summary();
+        assert!(s.contains("converged via"), "{s}");
+    }
+
+    #[test]
+    fn singular_system_fails_with_a_structured_report() {
+        // Exactly singular (a zero row): nothing can converge, but the
+        // report must say so without panicking, with every rung recorded.
+        let n = 4;
+        let mut coo = CooMatrix::new(n, n);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push(2, 2, 1.0);
+        // Row 3 entirely zero.
+        let a = coo.to_csr();
+        let b = vec![1.0; n];
+        let r = solve_robust(
+            &a,
+            &b,
+            &IlutOptions::new(4, 0.0),
+            &GmresOptions {
+                max_matvecs: 50,
+                ..Default::default()
+            },
+        );
+        assert!(!r.converged);
+        assert_eq!(r.attempts.len(), 4, "{:?}", r.attempts);
+        assert!(r.rel_residual.is_finite());
+        assert!(r.summary().contains("FAILED"), "{}", r.summary());
+    }
+
+    #[test]
+    fn stagnation_is_reported_as_breakdown() {
+        // A rotation-like skew system with restart 1 makes restarted GMRES
+        // stall: the first Arnoldi step cannot reduce the residual.
+        let n = 2;
+        let mut coo = CooMatrix::new(n, n);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, -1.0);
+        let a = coo.to_csr();
+        let b = vec![1.0, 0.0];
+        let r = crate::gmres::gmres(
+            &a,
+            &b,
+            &pilut_core::precond::IdentityPreconditioner,
+            &GmresOptions {
+                restart: 1,
+                rtol: 1e-10,
+                max_matvecs: 1000,
+            },
+        );
+        assert!(!r.converged);
+        assert!(
+            matches!(r.breakdown, Some(Breakdown::Stagnation { .. })),
+            "expected stagnation, got {:?} after {} matvecs",
+            r.breakdown,
+            r.matvecs
+        );
+        assert!(
+            r.matvecs < 100,
+            "stagnation must abort early, used {} matvecs",
+            r.matvecs
+        );
+    }
+}

@@ -16,14 +16,27 @@ pub struct CsrMatrix {
     values: Vec<f64>,
 }
 
+/// Why a set of raw CSR arrays was rejected by
+/// [`CsrMatrix::try_from_raw`]. The message names the first inconsistency
+/// found, with the offending row where one exists.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrLayoutError(pub String);
+
+impl std::fmt::Display for CsrLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid CSR layout: {}", self.0)
+    }
+}
+
+impl std::error::Error for CsrLayoutError {}
+
 impl CsrMatrix {
     /// Builds a matrix from raw CSR arrays.
     ///
     /// # Panics
-    /// Panics if the arrays are inconsistent: `row_ptr` must have
-    /// `n_rows + 1` monotone entries ending at `col_idx.len()`, column
-    /// indices must be in range and strictly ascending within each row,
-    /// and `col_idx`/`values` must have equal length.
+    /// Panics if the arrays are inconsistent; use
+    /// [`CsrMatrix::try_from_raw`] to validate untrusted input and get a
+    /// typed error instead.
     pub fn from_raw(
         n_rows: usize,
         n_cols: usize,
@@ -31,36 +44,77 @@ impl CsrMatrix {
         col_idx: Vec<usize>,
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr length mismatch");
-        assert_eq!(
-            col_idx.len(),
-            values.len(),
-            "col_idx/values length mismatch"
-        );
-        assert_eq!(
-            // lint: allow(unwrap): row_ptr has n_rows + 1 entries, asserted above
-            *row_ptr.last().unwrap(),
-            col_idx.len(),
-            "row_ptr end mismatch"
-        );
-        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        // lint: allow(unwrap): documented panic on inconsistent raw arrays
+        Self::try_from_raw(n_rows, n_cols, row_ptr, col_idx, values).expect("invalid CSR arrays")
+    }
+
+    /// Validates raw CSR arrays and builds a matrix, reporting the first
+    /// inconsistency as a [`CsrLayoutError`]: `row_ptr` must have
+    /// `n_rows + 1` monotone entries starting at 0 and ending at
+    /// `col_idx.len()`, column indices must be in range and strictly
+    /// ascending within each row, and `col_idx`/`values` must have equal
+    /// length.
+    pub fn try_from_raw(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, CsrLayoutError> {
+        let fail = |msg: String| Err(CsrLayoutError(msg));
+        if row_ptr.len() != n_rows + 1 {
+            return fail(format!(
+                "row_ptr has {} entries, expected n_rows + 1 = {}",
+                row_ptr.len(),
+                n_rows + 1
+            ));
+        }
+        if col_idx.len() != values.len() {
+            return fail(format!(
+                "col_idx has {} entries but values has {}",
+                col_idx.len(),
+                values.len()
+            ));
+        }
+        // lint: allow(unwrap): row_ptr has n_rows + 1 >= 1 entries, checked above
+        let end = *row_ptr.last().unwrap();
+        if end != col_idx.len() {
+            return fail(format!(
+                "row_ptr ends at {end} but col_idx has {} entries",
+                col_idx.len()
+            ));
+        }
+        if row_ptr[0] != 0 {
+            return fail(format!("row_ptr starts at {}, must start at 0", row_ptr[0]));
+        }
         for i in 0..n_rows {
-            assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be monotone");
+            if row_ptr[i] > row_ptr[i + 1] {
+                return fail(format!("row_ptr decreases at row {i}"));
+            }
             let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
             for w in row.windows(2) {
-                assert!(w[0] < w[1], "columns must be strictly ascending in row {i}");
+                if w[0] >= w[1] {
+                    return fail(format!(
+                        "columns not strictly ascending in row {i} ({} then {})",
+                        w[0], w[1]
+                    ));
+                }
             }
             if let Some(&last) = row.last() {
-                assert!(last < n_cols, "column index out of range in row {i}");
+                if last >= n_cols {
+                    return fail(format!(
+                        "column index {last} out of range in row {i} (n_cols = {n_cols})"
+                    ));
+                }
             }
         }
-        CsrMatrix {
+        Ok(CsrMatrix {
             n_rows,
             n_cols,
             row_ptr,
             col_idx,
             values,
-        }
+        })
     }
 
     /// An `n_rows × n_cols` matrix with no stored entries.
@@ -372,6 +426,32 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_column() {
         CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn try_from_raw_accepts_a_valid_layout() {
+        let a = CsrMatrix::try_from_raw(
+            3,
+            3,
+            vec![0, 2, 5, 7],
+            vec![0, 1, 0, 1, 2, 1, 2],
+            vec![4.0, -1.0, -1.0, 4.0, -1.0, -1.0, 4.0],
+        )
+        .expect("layout is valid");
+        assert_eq!(a.nnz(), 7);
+    }
+
+    #[test]
+    fn try_from_raw_names_the_first_inconsistency() {
+        let err = CsrMatrix::try_from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0])
+            .expect_err("unsorted columns must be rejected");
+        assert!(err.0.contains("row 0"), "{err}");
+        let err = CsrMatrix::try_from_raw(2, 2, vec![0, 1], vec![1], vec![1.0])
+            .expect_err("short row_ptr must be rejected");
+        assert!(err.0.contains("expected n_rows + 1"), "{err}");
+        let err = CsrMatrix::try_from_raw(1, 2, vec![0, 1], vec![1], vec![1.0, 2.0])
+            .expect_err("length mismatch must be rejected");
+        assert!(err.0.contains("values"), "{err}");
     }
 
     #[test]

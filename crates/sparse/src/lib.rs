@@ -27,7 +27,7 @@ pub mod vec_ops;
 pub mod workrow;
 
 pub use coo::CooMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{CsrLayoutError, CsrMatrix};
 pub use permute::Permutation;
 pub use rng::SplitMix64;
 pub use stats::MatrixStats;

@@ -1,0 +1,276 @@
+//! `xtask chaos` — the seeded chaos regression suite.
+//!
+//! Runs the parallel ILUT factorization on the simulated machine under a
+//! battery of deterministic fault plans and checks that every injected
+//! fault lands in its contract:
+//!
+//! * **benign** faults (`delay`, `reorder`, `stall`) must leave the run
+//!   bit-identical to a clean run — the VM's `(from, tag)` matching and the
+//!   commcheck watchdog absorb them;
+//! * **destructive** faults (`drop`, `duplicate`, `kill`) must end in a
+//!   panic whose message *names the injection* (deadlock report, message
+//!   leak sweep, or the kill marker) — never a hang, never a silently
+//!   wrong factorization.
+//!
+//! Every trial is replayable: the fault plan is derived from `(kind, seed,
+//! p)` alone, and the failure line prints all three. Full mode sweeps
+//! p ∈ {4, 8} × 20 seeds; `--quick` runs one trial per fault class at
+//! p = 4 (the CI configuration).
+
+use std::panic::AssertUnwindSafe;
+use std::time::Duration;
+
+use pilut_core::dist::DistMatrix;
+use pilut_core::options::IlutOptions;
+use pilut_core::parallel::par_ilut;
+use pilut_par::{FaultAction, FaultPlan, FaultRule, Machine, MachineModel, FAULT_KILL_PREFIX};
+use pilut_sparse::gen;
+
+/// The six fault classes, cycled over seeds so every class is exercised at
+/// every process count.
+const KINDS: &[&str] = &["delay", "reorder", "stall", "drop", "duplicate", "kill"];
+
+fn is_benign(kind: &str) -> bool {
+    matches!(kind, "delay" | "reorder" | "stall")
+}
+
+/// splitmix64 — same mixer the fault layer uses, so plan parameters are
+/// well spread without any external RNG crate.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds the deterministic plan for one trial. Destructive rules fire
+/// with probability 1 at a seed-chosen victim rank and comm-op, so a
+/// failure reproduces from its printed `(kind, seed, p)` triple; benign
+/// rules may use probabilities — nondeterminism in *whether* they fire is
+/// still seeded, and a benign fault must be harmless wherever it lands.
+fn plan_for(kind: &str, seed: u64, p: usize) -> FaultPlan {
+    let mut s = seed ^ 0xc7a_5_u64.rotate_left(17);
+    let victim = (mix(&mut s) % p as u64) as usize;
+    let after = 1 + mix(&mut s) % 12;
+    let rule = match kind {
+        "delay" => FaultRule::new(FaultAction::Delay { seconds: 2.0 }).probability(0.3),
+        "reorder" => FaultRule::new(FaultAction::Reorder)
+            .rank(victim)
+            .probability(0.25),
+        "stall" => FaultRule::new(FaultAction::Stall { millis: 5 })
+            .rank(victim)
+            .after_op(after)
+            .max_fires(1),
+        "drop" => FaultRule::new(FaultAction::Drop)
+            .rank(victim)
+            .after_op(after)
+            .max_fires(1),
+        "duplicate" => FaultRule::new(FaultAction::Duplicate)
+            .rank(victim)
+            .after_op(after)
+            .max_fires(1),
+        "kill" => FaultRule::new(FaultAction::Kill)
+            .rank(victim)
+            .after_op(after),
+        other => unreachable!("unknown fault kind {other}"),
+    };
+    FaultPlan::new(seed).with(rule)
+}
+
+/// How one trial ended.
+enum Outcome {
+    /// Run completed; per-rank factorization checksums matched the clean
+    /// run (benign contract).
+    CleanMatch,
+    /// Run completed and no rule ever fired (the seed armed the rule past
+    /// the program's op count) — vacuous but not a violation.
+    NoFire,
+    /// Run panicked with a message that names the injection.
+    Diagnosed,
+    /// Contract violation; the string says what went wrong.
+    Fail(String),
+}
+
+/// The factorization workload: par_ilut over a block-partitioned Laplacian,
+/// reduced to one checksum per rank (the sum of owned pivots) so benign
+/// trials can be compared bit-for-bit against a clean run.
+fn workload(dm: &DistMatrix, p: usize, plan: Option<FaultPlan>) -> Vec<u64> {
+    let opts = IlutOptions::new(5, 1e-4);
+    let mut builder = Machine::builder(MachineModel::cray_t3d())
+        .checked(true)
+        .watchdog_poll(Duration::from_millis(2));
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    let out = builder.run(p, |ctx| {
+        let local = dm.local_view(ctx.rank());
+        // lint: allow(unwrap): the workload matrix factors cleanly; a corrupted run dies in the VM's diagnosis
+        let rf = par_ilut(ctx, dm, &local, &opts).expect("chaos workload must factor");
+        // Sum pivots in global row order: HashMap iteration order varies
+        // between processes, and a different summation order would change
+        // the rounding and break the bit-for-bit benign comparison.
+        let mut pivots: Vec<(usize, f64)> = rf.rows.iter().map(|(&g, r)| (g, r.diag)).collect();
+        pivots.sort_unstable_by_key(|&(g, _)| g);
+        let sum: f64 = pivots.iter().map(|&(_, d)| d).sum();
+        sum.to_bits()
+    });
+    // The trailing element carries the fired-fault count: completed
+    // destructive runs are judged on whether anything actually fired.
+    let mut sums = out.results;
+    sums.push(out.injected_faults.len() as u64);
+    sums
+}
+
+/// Runs one trial and classifies it against the fault-class contract.
+fn run_trial(kind: &str, seed: u64, p: usize, clean: &[u64]) -> Outcome {
+    let plan = plan_for(kind, seed, p);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        workload(&dist_matrix(p), p, Some(plan))
+    }));
+    match result {
+        Ok(sums) => {
+            let fired = *sums.last().unwrap_or(&0);
+            if is_benign(kind) {
+                if sums[..p] == clean[..p] {
+                    if fired == 0 {
+                        Outcome::NoFire
+                    } else {
+                        Outcome::CleanMatch
+                    }
+                } else {
+                    Outcome::Fail("benign fault changed the factorization result".into())
+                }
+            } else if fired == 0 {
+                Outcome::NoFire
+            } else {
+                Outcome::Fail(format!(
+                    "destructive fault fired {fired} time(s) but the run completed undiagnosed"
+                ))
+            }
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| {
+                    payload
+                        .downcast_ref::<&'static str>()
+                        .map(|s| s.to_string())
+                })
+                .unwrap_or_else(|| "<non-string panic payload>".into());
+            if is_benign(kind) {
+                return Outcome::Fail(format!("benign fault crashed the run: {msg}"));
+            }
+            // A consumed fault (e.g. a duplicate read as fresh data) can
+            // surface as the algorithm's own panic; the VM annotates such
+            // payloads with the firing log, which also names the injection.
+            let annotated = msg.contains("note: fault injection fired");
+            let recognized = annotated
+                || match kind {
+                    "drop" => msg.contains("[injected drop]"),
+                    "duplicate" => msg.contains("message leak") || msg.contains("deadlock"),
+                    "kill" => {
+                        msg.contains("killed by fault injection") || msg.contains(FAULT_KILL_PREFIX)
+                    }
+                    _ => false,
+                };
+            if recognized {
+                Outcome::Diagnosed
+            } else {
+                Outcome::Fail(format!("panic does not name the injected {kind}: {msg}"))
+            }
+        }
+    }
+}
+
+/// The trial matrix: big enough that every rank owns interior rows at
+/// p = 8, small enough that a full sweep stays in seconds.
+fn dist_matrix(p: usize) -> DistMatrix {
+    DistMatrix::from_matrix(gen::laplace_2d(12, 12), p, 17)
+}
+
+/// Entry point for `xtask chaos`. Returns `Err(message)` on bad usage or
+/// any contract violation.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut quick = false;
+    let mut seeds_per_p = 20u64;
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => return Err(format!("unknown chaos flag {other}")),
+        }
+    }
+    let procs: &[usize] = if quick { &[4] } else { &[4, 8] };
+    if quick {
+        seeds_per_p = KINDS.len() as u64;
+    }
+    let mut failures: Vec<String> = Vec::new();
+    let mut diagnosed = 0usize;
+    let mut clean_match = 0usize;
+    let mut no_fire = 0usize;
+    // Destructive trials end in panics by design; the default hook would
+    // spray every induced backtrace over the CI log. The messages still
+    // reach the classifier through `catch_unwind`.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for &p in procs {
+        let clean = workload(&dist_matrix(p), p, None);
+        for seed in 0..seeds_per_p {
+            let kind = KINDS[(seed as usize) % KINDS.len()];
+            match run_trial(kind, seed, p, &clean) {
+                Outcome::CleanMatch => clean_match += 1,
+                Outcome::NoFire => no_fire += 1,
+                Outcome::Diagnosed => diagnosed += 1,
+                Outcome::Fail(why) => {
+                    failures.push(format!("kind={kind} seed={seed} p={p}: {why}"))
+                }
+            }
+        }
+    }
+    std::panic::set_hook(default_hook);
+    let total = clean_match + no_fire + diagnosed + failures.len();
+    println!(
+        "chaos: {total} trial(s) — {clean_match} benign-clean, {diagnosed} diagnosed, \
+         {no_fire} no-fire, {} failure(s)",
+        failures.len()
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        for f in &failures {
+            eprintln!("chaos FAIL: {f}");
+        }
+        Err(format!(
+            "{} trial(s) violated the fault contract",
+            failures.len()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let a = plan_for("drop", 9, 4);
+        let b = plan_for("drop", 9, 4);
+        assert_eq!(a.rules()[0].rank, b.rules()[0].rank);
+        assert_eq!(a.rules()[0].after_op, b.rules()[0].after_op);
+    }
+
+    #[test]
+    fn every_kind_is_classified() {
+        for kind in KINDS {
+            let benign = is_benign(kind);
+            let destructive = matches!(*kind, "drop" | "duplicate" | "kill");
+            assert!(benign != destructive, "{kind} must be exactly one class");
+        }
+    }
+
+    #[test]
+    fn quick_suite_is_green() {
+        run(&["--quick".to_string()]).expect("quick chaos suite must pass");
+    }
+}

@@ -6,6 +6,10 @@
 //!   harness (see [`bench`]).
 //! * `cargo run -p xtask -- bench-verify PATH` — structural check of a
 //!   bench JSON report (the CI smoke gate).
+//! * `cargo run -p xtask -- bench-compare NEW BASELINE [--tolerance PCT] [--geomean]`
+//!   — regression gate comparing two bench reports (see [`bench::compare`]).
+//! * `cargo run -p xtask --release -- chaos [--quick]` — the seeded
+//!   fault-injection regression suite (see [`chaos`]).
 //!
 //! The `lint` task enforces repo-local rules that `rustc` and `clippy`
 //! (which is not guaranteed to exist in the offline toolchain) do not:
@@ -36,6 +40,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 mod bench;
+mod chaos;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +65,20 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("bench-compare") => match bench::compare(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("xtask bench-compare: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("chaos") => match chaos::run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("xtask chaos: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("lint") => {
             let root = workspace_root();
             let violations = run_lint(&root);
@@ -75,7 +94,10 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint | bench [flags] | bench-verify <file>");
+            eprintln!(
+                "usage: cargo run -p xtask -- lint | bench [flags] | bench-verify <file> \
+                 | bench-compare <new> <baseline> [--tolerance PCT] [--geomean] | chaos [--quick]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -118,15 +140,16 @@ impl fmt::Display for Violation {
 /// Runs every rule over the workspace rooted at `root`.
 fn run_lint(root: &Path) -> Vec<Violation> {
     let mut violations = Vec::new();
-    // Library source rules: the five algorithm crates plus the root facade.
-    // xtask itself (tooling, and it spells the patterns it greps for) and
-    // bench code are not library code.
+    // Library source rules: the five algorithm crates, the root facade, and
+    // xtask itself — tooling is held to the same unwrap/float-eq discipline
+    // (its grep patterns live in string literals, which the rules blank out).
     let lib_src: &[&str] = &[
         "crates/sparse/src",
         "crates/graph/src",
         "crates/par/src",
         "crates/core/src",
         "crates/solver/src",
+        "crates/xtask/src",
         "src",
     ];
     for dir in lib_src {
