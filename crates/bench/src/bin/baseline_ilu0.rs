@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release -p pilut-bench --bin baseline_ilu0`
 
 use pilut_bench::{fmt_time, torso};
-use pilut_core::dist::spmv::{dist_spmv, SpmvPlan};
+use pilut_core::dist::op::{DistCsr, DistOperator};
 use pilut_core::dist::DistMatrix;
 use pilut_core::options::IlutOptions;
 use pilut_core::parallel::{par_ilu0, par_ilut};
@@ -36,7 +36,7 @@ fn main() {
         let dm = DistMatrix::from_matrix(a.clone(), p, 17);
         let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
-            let mut splan = SpmvPlan::build(ctx, &dm, &local);
+            let mut op = DistCsr::new(ctx, &dm, &local);
             ctx.barrier();
             let t0 = ctx.time();
             let rf = match &opts {
@@ -47,12 +47,12 @@ fn main() {
             let t_factor = ctx.time() - t0;
             let q = rf.stats.levels;
             let ones = vec![1.0; local.len()];
-            let b = dist_spmv(ctx, &dm, &local, &mut splan, &ones);
+            let b = op.apply(ctx, &ones);
             let mut pre = DistIlu::new(ctx, &dm, &local, rf);
             let gopts = GmresOptions { restart: 50, rtol: 1e-7, max_matvecs: 3000 };
             ctx.barrier();
             let t1 = ctx.time();
-            let r = dist_gmres(ctx, &dm, &local, &mut splan, &mut pre, &b, &gopts);
+            let r = dist_gmres(ctx, &mut op, &local, &mut pre, &b, &gopts);
             ctx.barrier();
             (t_factor, q, ctx.time() - t1, r.matvecs, r.converged)
         });

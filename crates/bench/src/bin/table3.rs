@@ -6,7 +6,7 @@
 //! Usage: `PILUT_SCALE=0.25 cargo run --release -p pilut-bench --bin table3`
 
 use pilut_bench::{config_grid, fmt_time, g40, proc_list, torso};
-use pilut_core::dist::spmv::SpmvPlan;
+use pilut_core::dist::op::{DistCsr, DistOperator};
 use pilut_core::dist::DistMatrix;
 use pilut_core::options::IlutOptions;
 use pilut_core::parallel::par_ilut;
@@ -26,10 +26,10 @@ fn run_solve(a: &CsrMatrix, p: usize, ilut: Option<&IlutOptions>, restart: usize
     let ilut = ilut.cloned();
     let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
-        let mut plan = SpmvPlan::build(ctx, &dm, &local);
+        let mut op = DistCsr::new(ctx, &dm, &local);
         // b = A·1, x0 = 0 (paper §6).
         let ones = vec![1.0; local.len()];
-        let b = pilut_core::dist::spmv::dist_spmv(ctx, &dm, &local, &mut plan, &ones);
+        let b = op.apply(ctx, &ones);
         let mut pre: Box<dyn DistPrecond> = match &ilut {
             Some(io) => {
                 let rf = par_ilut(ctx, &dm, &local, io).expect("factorization failed");
@@ -40,7 +40,7 @@ fn run_solve(a: &CsrMatrix, p: usize, ilut: Option<&IlutOptions>, restart: usize
         // Time only the solve, as the paper does.
         ctx.barrier();
         let t0 = ctx.time();
-        let r = dist_gmres(ctx, &dm, &local, &mut plan, pre.as_mut(), &b, &gopts);
+        let r = dist_gmres(ctx, &mut op, &local, pre.as_mut(), &b, &gopts);
         ctx.barrier();
         (ctx.time() - t0, r.matvecs, r.converged)
     });

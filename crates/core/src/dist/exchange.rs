@@ -1,0 +1,564 @@
+//! The unified data plane: plan-once / replay-many neighbour exchange.
+//!
+//! The paper's three kernels (factorization, triangular solve, SpMV — §1,
+//! §3) all ride the same structural fact: the neighbour communication
+//! pattern is fixed by the matrix distribution, so it can be **planned
+//! once** (a collective that teaches every rank which peers reference which
+//! of its nodes) and **replayed** many times with one packed message per
+//! peer per round. [`CommPlan`] is that plan; every distributed kernel in
+//! the repository ([`crate::dist::spmv`], [`crate::trisolve`],
+//! [`crate::parallel`], the distributed GMRES in the solver crate) is built
+//! on its replay primitives, and the `no-raw-comm` lint keeps it that way:
+//! this module and the `pilut-par` VM itself are the only places allowed to
+//! touch `ctx.send` / `ctx.recv` directly.
+//!
+//! Replay contract:
+//!
+//! * every replay sends **exactly one message per scheduled peer** and
+//!   receives exactly one from each peer on the opposite side, in ascending
+//!   peer order — deterministic, deadlock-free, and observable (each
+//!   protocol runs under its own tag from [`tags`], so the per-tag counters
+//!   in `MachineStats::by_tag` break comm volume down by kernel);
+//! * every round ships under a fresh wire tag `base + round` (stats still
+//!   attribute to the base tag via `Ctx::send_as`), so two in-flight rounds
+//!   of one protocol can never be confused even if same-pair delivery order
+//!   is inverted — the chaos suite's `reorder` fault exercises exactly this;
+//! * payload contents are producer-defined ([`CommPlan::replay`]) or
+//!   values-only ([`CommPlan::replay_halo`], which ships `f64`s in the node
+//!   order both sides agreed on at plan time — no ids on the wire);
+//! * a plan built from empty need-lists replays as a no-op, so ranks that
+//!   own zero rows participate safely.
+
+use crate::dist::LocalView;
+use pilut_par::{Ctx, Payload};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// The user-tag namespace of every planned protocol in the repository.
+///
+/// One constant per kernel keeps repeated replays unambiguous (matching is
+/// FIFO per `(sender, tag)`) and makes the per-tag counters in
+/// `MachineStats::by_tag` legible. Values are stable across releases — the
+/// bench JSON reports them by [`tag_name`].
+pub mod tags {
+    /// Boundary `x` values of the distributed SpMV.
+    pub const SPMV: u64 = 1 << 20;
+    /// U-row shipping of the parallel ILUT interface factorization.
+    pub const UROWS: u64 = 1 << 24;
+    /// Forward-sweep values of the distributed triangular solve.
+    pub const FWD: u64 = 2 << 40;
+    /// Backward-sweep values of the distributed triangular solve.
+    pub const BWD: u64 = 3 << 40;
+    /// Distributed-MIS step 1: key/state push.
+    pub const MIS_KEYS: u64 = 4 << 40;
+    /// Distributed-MIS step 2: tentative-winner push.
+    pub const MIS_TENT: u64 = 5 << 40;
+    /// Distributed-MIS step 3: confirmation + kill push.
+    pub const MIS_CONF: u64 = 6 << 40;
+    /// U-row shipping of the parallel ILU(0) numeric levels.
+    pub const U0: u64 = 7 << 40;
+
+    /// Human-readable name of a counter tag (the collectives' reserved
+    /// namespace reports as `"coll"`, unknown user tags as `"user"`).
+    pub fn tag_name(tag: u64) -> &'static str {
+        match tag {
+            SPMV => "spmv",
+            UROWS => "urows",
+            FWD => "fwd",
+            BWD => "bwd",
+            MIS_KEYS => "mis_keys",
+            MIS_TENT => "mis_tent",
+            MIS_CONF => "mis_conf",
+            U0 => "u0",
+            t if t >= pilut_par::Ctx::RESERVED_TAG_BASE => "coll",
+            _ => "user",
+        }
+    }
+}
+
+/// A distributed vector: this rank's owned values (in local-view order)
+/// plus a halo of remote values filled in by [`CommPlan::replay_halo`].
+#[derive(Clone, Debug)]
+pub struct DistVector {
+    /// Owned values, indexed in local-view order (interiors then
+    /// interfaces; see [`LocalView::nodes`]).
+    pub owned: Vec<f64>,
+    /// Dense halo scratch indexed by *global* node id. Only the positions
+    /// named in a plan's receive lists are meaningful after a replay.
+    halo: Vec<f64>,
+}
+
+impl DistVector {
+    /// A zero vector for a rank owning `local_len` of `n` global nodes.
+    pub fn new(local_len: usize, n: usize) -> Self {
+        DistVector {
+            owned: vec![0.0; local_len],
+            halo: vec![0.0; n],
+        }
+    }
+
+    /// The value of a global node: owned storage when local, halo otherwise
+    /// (valid for remote nodes only after a halo replay that covered them).
+    pub fn value(&self, local: &LocalView, node: usize) -> f64 {
+        match local.pos_of(node) {
+            Some(p) => self.owned[p],
+            None => self.halo[node],
+        }
+    }
+}
+
+/// A reusable per-rank communication schedule, built collectively from
+/// "which remote nodes do I need, and who owns them".
+///
+/// `recv` lists the nodes this rank declared a need for, grouped by owning
+/// peer and sorted; `send` lists the nodes each peer declared a need for,
+/// in the exact order that peer's receive side expects. Both sides of every
+/// pair hold mirror-image lists, which is what lets replays ship values
+/// without node ids on the wire.
+pub struct CommPlan {
+    tag: u64,
+    /// Counter key for the per-tag traffic stats. Equal to `tag` unless the
+    /// plan was [`CommPlan::rebase`]d into a private wire-tag namespace —
+    /// derived sub-plans keep reporting under their protocol's tag.
+    stats_tag: u64,
+    /// `(peer, my nodes to send)` — in the order `peer` expects them.
+    send: Vec<(usize, Vec<usize>)>,
+    /// `(peer, peer's nodes I need)` — sorted ascending.
+    recv: Vec<(usize, Vec<usize>)>,
+    /// Sorted union of send and recv peers (the symmetric-round pairs).
+    union_peers: Vec<usize>,
+    /// Per-base-tag `(send, recv)` round counters. Every replay round ships
+    /// under the fresh wire tag `base + round` so two in-flight rounds can
+    /// never be confused, even if the network inverts same-pair delivery
+    /// order (the same trick the VM's collectives play with their sequence
+    /// numbers). Interior-mutable because replays take `&self` — plans are
+    /// shared immutably by long-lived solvers. Both halves of a round
+    /// advance in lockstep across ranks because every replay call is
+    /// collective over the plan's participants.
+    rounds: RefCell<HashMap<u64, (u64, u64)>>,
+}
+
+impl CommPlan {
+    /// Collectively builds the plan (every rank must call this together).
+    ///
+    /// `needed` enumerates the remote nodes this rank references (duplicates
+    /// welcome — the plan dedups); `owner_of` maps each to its owning rank.
+    /// One sparse all-to-all teaches every owner which peers need which of
+    /// its nodes. `tag` names the user-tag namespace later replays use.
+    pub fn build(
+        ctx: &mut Ctx,
+        tag: u64,
+        needed: impl IntoIterator<Item = usize>,
+        owner_of: impl Fn(usize) -> usize,
+    ) -> CommPlan {
+        let me = ctx.rank();
+        let p = ctx.nprocs();
+        let mut by_owner: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for node in needed {
+            let owner = owner_of(node);
+            debug_assert_ne!(owner, me, "own nodes are never remote");
+            by_owner[owner].push(node);
+        }
+        let mut sends = Vec::new();
+        let mut recv = Vec::new();
+        for (owner, list) in by_owner.iter_mut().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            list.sort_unstable();
+            list.dedup();
+            sends.push((
+                owner,
+                Payload::u64s(list.iter().map(|&x| x as u64).collect()),
+            ));
+            recv.push((owner, std::mem::take(list)));
+        }
+        let mut send = Vec::new();
+        for (peer, payload) in ctx.exchange(sends) {
+            let nodes: Vec<usize> = payload.into_u64().into_iter().map(|x| x as usize).collect();
+            send.push((peer, nodes));
+        }
+        let mut union_peers: Vec<usize> = send
+            .iter()
+            .map(|&(q, _)| q)
+            .chain(recv.iter().map(|&(q, _)| q))
+            .collect();
+        union_peers.sort_unstable();
+        union_peers.dedup();
+        CommPlan {
+            tag,
+            stats_tag: tag,
+            send,
+            recv,
+            union_peers,
+            rounds: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Moves the plan into its own wire-tag namespace while keeping traffic
+    /// attributed to the original tag. Derived sub-plans that replay side by
+    /// side in one logical round (e.g. the per-level triangular-sweep plans)
+    /// must not share a wire namespace: with a common base, level `l` and
+    /// level `l+1` values shipped in the same sweep would carry the same
+    /// `(sender, tag)` and a reordered network could swap them.
+    pub fn rebase(mut self, wire_base: u64) -> CommPlan {
+        self.tag = wire_base;
+        self
+    }
+
+    /// The round's wire tag for the send half under `base`, advancing the
+    /// send counter. Computed once per round — every peer of one round must
+    /// ship under the same tag.
+    fn send_round_tag(&self, base: u64) -> u64 {
+        let mut rounds = self.rounds.borrow_mut();
+        let entry = rounds.entry(base).or_insert((0, 0));
+        let tag = base + entry.0;
+        entry.0 += 1;
+        tag
+    }
+
+    /// The round's wire tag for the receive half under `base`, advancing
+    /// the receive counter.
+    fn recv_round_tag(&self, base: u64) -> u64 {
+        let mut rounds = self.rounds.borrow_mut();
+        let entry = rounds.entry(base).or_insert((0, 0));
+        let tag = base + entry.1;
+        entry.1 += 1;
+        tag
+    }
+
+    /// The user tag this plan's replays run under.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// `(peer, nodes)` send schedule: nodes of mine each peer needs, in the
+    /// order that peer expects them.
+    pub fn send_lists(&self) -> &[(usize, Vec<usize>)] {
+        &self.send
+    }
+
+    /// `(peer, nodes)` receive schedule: remote nodes I need, by owner,
+    /// sorted ascending.
+    pub fn recv_lists(&self) -> &[(usize, Vec<usize>)] {
+        &self.recv
+    }
+
+    /// Total values this rank ships per halo replay.
+    pub fn sent_values(&self) -> usize {
+        self.send.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// True when this rank neither sends nor receives under this plan.
+    pub fn is_idle(&self) -> bool {
+        self.union_peers.is_empty()
+    }
+
+    /// The owning peer of a remote node this plan receives, if any (every
+    /// needed node appears in exactly one peer's receive list).
+    pub fn owner_of(&self, node: usize) -> Option<usize> {
+        self.recv
+            .iter()
+            .find_map(|(peer, nodes)| nodes.binary_search(&node).ok().map(|_| *peer))
+    }
+
+    /// One directed replay round under the plan's own tag: see
+    /// [`CommPlan::replay_tagged`].
+    pub fn replay(
+        &self,
+        ctx: &mut Ctx,
+        make: impl FnMut(usize, &[usize]) -> Payload,
+        take: impl FnMut(usize, &[usize], Payload),
+    ) {
+        self.replay_tagged(ctx, self.tag, make, take);
+    }
+
+    /// One directed replay round under an explicit tag (for protocols that
+    /// multiplex several message kinds over one plan, like the MIS steps):
+    /// sends `make(peer, nodes)` to every send-side peer, then hands each
+    /// receive-side peer's payload to `take(peer, nodes, payload)`, both in
+    /// ascending peer order. Exactly one message per peer per round.
+    pub fn replay_tagged(
+        &self,
+        ctx: &mut Ctx,
+        tag: u64,
+        mut make: impl FnMut(usize, &[usize]) -> Payload,
+        mut take: impl FnMut(usize, &[usize], Payload),
+    ) {
+        let send_tag = self.send_round_tag(tag);
+        for (peer, nodes) in &self.send {
+            let payload = make(*peer, nodes);
+            ctx.send_as(*peer, send_tag, tag, payload);
+        }
+        let recv_tag = self.recv_round_tag(tag);
+        for (peer, nodes) in &self.recv {
+            let payload = ctx.recv(*peer, recv_tag);
+            take(*peer, nodes, payload);
+        }
+    }
+
+    /// One symmetric replay round: every rank pair in the *union* of the two
+    /// plan directions exchanges exactly one message (used by MIS step 3,
+    /// where confirmations flow owner→referencer but kills flow the other
+    /// way).
+    pub fn replay_symmetric_tagged(
+        &self,
+        ctx: &mut Ctx,
+        tag: u64,
+        mut make: impl FnMut(usize) -> Payload,
+        mut take: impl FnMut(usize, Payload),
+    ) {
+        let send_tag = self.send_round_tag(tag);
+        for &peer in &self.union_peers {
+            let payload = make(peer);
+            ctx.send_as(peer, send_tag, tag, payload);
+        }
+        let recv_tag = self.recv_round_tag(tag);
+        for &peer in &self.union_peers {
+            let payload = ctx.recv(peer, recv_tag);
+            take(peer, payload);
+        }
+    }
+
+    /// Values-only halo replay: ships the owned values named by the send
+    /// schedule (one `f64` batch per peer, no node ids on the wire) and
+    /// scatters the received batches into `v`'s halo.
+    pub fn replay_halo(&self, ctx: &mut Ctx, local: &LocalView, v: &mut DistVector) {
+        let send_tag = self.send_round_tag(self.tag);
+        for (peer, nodes) in &self.send {
+            let vals: Vec<f64> = nodes
+                .iter()
+                // lint: allow(unwrap): the plan was built from this view's own nodes
+                .map(|&g| v.owned[local.pos_of(g).expect("plan refers to non-local node")])
+                .collect();
+            ctx.copy_words(vals.len() as f64);
+            ctx.send_as(*peer, send_tag, self.stats_tag, Payload::f64s(vals));
+        }
+        let recv_tag = self.recv_round_tag(self.tag);
+        for (peer, nodes) in &self.recv {
+            let vals = ctx.recv(*peer, recv_tag).into_f64();
+            assert_eq!(vals.len(), nodes.len(), "plan mismatch from rank {peer}");
+            for (&g, val) in nodes.iter().zip(vals) {
+                v.halo[g] = val;
+            }
+            ctx.copy_words(nodes.len() as f64);
+        }
+    }
+
+    /// A sub-plan keeping only the scheduled nodes that pass the filters
+    /// (`keep_send` over my nodes, `keep_recv` over remote nodes). Peers
+    /// left with empty lists drop out entirely. Both sides of a pair must
+    /// restrict by the same criterion for replays to stay matched — the
+    /// triangular solves guarantee this by exchanging level labels first
+    /// ([`CommPlan::exchange_labels`]) and restricting per level.
+    pub fn restrict(
+        &self,
+        keep_send: impl Fn(usize) -> bool,
+        keep_recv: impl Fn(usize) -> bool,
+    ) -> CommPlan {
+        let filter = |lists: &[(usize, Vec<usize>)], keep: &dyn Fn(usize) -> bool| {
+            lists
+                .iter()
+                .filter_map(|(peer, nodes)| {
+                    let kept: Vec<usize> = nodes.iter().copied().filter(|&g| keep(g)).collect();
+                    if kept.is_empty() {
+                        None
+                    } else {
+                        Some((*peer, kept))
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let send = filter(&self.send, &keep_send);
+        let recv = filter(&self.recv, &keep_recv);
+        let mut union_peers: Vec<usize> = send
+            .iter()
+            .map(|&(q, _)| q)
+            .chain(recv.iter().map(|&(q, _)| q))
+            .collect();
+        union_peers.sort_unstable();
+        union_peers.dedup();
+        CommPlan {
+            tag: self.tag,
+            stats_tag: self.stats_tag,
+            send,
+            recv,
+            union_peers,
+            rounds: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The send half of a values-only round: one `f64` batch per send-side
+    /// peer, values in the agreed node order. Pairs with a matching
+    /// [`CommPlan::recv_values`] on the other side — the triangular sweeps
+    /// use the halves at different loop iterations, which is why they are
+    /// split.
+    pub fn send_values(&self, ctx: &mut Ctx, value_of: impl Fn(usize) -> f64) {
+        let send_tag = self.send_round_tag(self.tag);
+        for (peer, nodes) in &self.send {
+            let vals: Vec<f64> = nodes.iter().map(|&g| value_of(g)).collect();
+            ctx.copy_words(vals.len() as f64);
+            ctx.send_as(*peer, send_tag, self.stats_tag, Payload::f64s(vals));
+        }
+    }
+
+    /// The receive half of a values-only round: drains one `f64` batch per
+    /// recv-side peer and hands each `(node, value)` to `take`.
+    pub fn recv_values(&self, ctx: &mut Ctx, mut take: impl FnMut(usize, f64)) {
+        let recv_tag = self.recv_round_tag(self.tag);
+        for (peer, nodes) in &self.recv {
+            let vals = ctx.recv(*peer, recv_tag).into_f64();
+            assert_eq!(vals.len(), nodes.len(), "plan mismatch from rank {peer}");
+            for (&g, val) in nodes.iter().zip(vals) {
+                take(g, val);
+            }
+            ctx.copy_words(nodes.len() as f64);
+        }
+    }
+
+    /// One label round: every owner answers `label_of(node)` for each node
+    /// in its send schedule; the result maps each of this rank's needed
+    /// remote nodes to its owner's label. Used at plan-build time (e.g. the
+    /// triangular solves exchange level indices so both sides can derive
+    /// the identical per-level batch schedule).
+    pub fn exchange_labels(
+        &self,
+        ctx: &mut Ctx,
+        label_of: impl Fn(usize) -> u64,
+    ) -> HashMap<usize, u64> {
+        let send_tag = self.send_round_tag(self.tag);
+        for (peer, nodes) in &self.send {
+            let labels: Vec<u64> = nodes.iter().map(|&g| label_of(g)).collect();
+            ctx.send_as(*peer, send_tag, self.stats_tag, Payload::u64s(labels));
+        }
+        let mut out = HashMap::new();
+        let recv_tag = self.recv_round_tag(self.tag);
+        for (peer, nodes) in &self.recv {
+            let labels = ctx.recv(*peer, recv_tag).into_u64();
+            assert_eq!(labels.len(), nodes.len(), "plan mismatch from rank {peer}");
+            for (&g, l) in nodes.iter().zip(labels) {
+                out.insert(g, l);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{DistMatrix, Distribution};
+    use pilut_par::{Machine, MachineModel};
+    use pilut_sparse::gen;
+
+    /// Builds a plan over a block-distributed grid where every rank needs
+    /// the off-rank columns of its rows.
+    fn plan_workload(p: usize, nx: usize) -> Vec<(usize, usize)> {
+        let a = gen::laplace_2d(nx, nx);
+        let n = a.n_rows();
+        let dm = DistMatrix::new(a, Distribution::block(n, p));
+        let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let needed = local.nodes.iter().flat_map(|&i| {
+                dm.matrix()
+                    .row(i)
+                    .0
+                    .iter()
+                    .copied()
+                    .filter(|&j| !local.owns(j))
+                    .collect::<Vec<_>>()
+            });
+            let plan = CommPlan::build(ctx, tags::SPMV, needed, |j| dm.dist().owner(j));
+            // Halo roundtrip: owned value of node g is g as f64.
+            let mut v = DistVector::new(local.len(), dm.n());
+            for (slot, &g) in v.owned.iter_mut().zip(&local.nodes) {
+                *slot = g as f64;
+            }
+            plan.replay_halo(ctx, &local, &mut v);
+            for (_, nodes) in plan.recv_lists() {
+                for &g in nodes {
+                    assert!((v.value(&local, g) - g as f64).abs() < 1e-15);
+                    assert_eq!(plan.owner_of(g), Some(dm.dist().owner(g)));
+                }
+            }
+            // Labels: owners answer node id + 7.
+            let labels = plan.exchange_labels(ctx, |g| g as u64 + 7);
+            for (&g, &l) in &labels {
+                assert_eq!(l, g as u64 + 7);
+            }
+            (plan.sent_values(), labels.len())
+        });
+        out.results
+    }
+
+    #[test]
+    fn halo_and_labels_roundtrip() {
+        for p in [1, 2, 3, 4] {
+            let results = plan_workload(p, 6);
+            if p == 1 {
+                assert_eq!(results[0], (0, 0));
+            } else {
+                assert!(results.iter().any(|&(s, _)| s > 0));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ranks_replay_as_noops() {
+        // p = 8 ranks over a 5-row chain: ranks 5..8 own nothing.
+        let a = gen::laplace_2d(5, 1);
+        let dm = DistMatrix::new(a, Distribution::block(5, 8));
+        let out = Machine::run_checked(8, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let needed = local.nodes.iter().flat_map(|&i| {
+                dm.matrix()
+                    .row(i)
+                    .0
+                    .iter()
+                    .copied()
+                    .filter(|&j| !local.owns(j))
+                    .collect::<Vec<_>>()
+            });
+            let plan = CommPlan::build(ctx, tags::SPMV, needed, |j| dm.dist().owner(j));
+            let mut v = DistVector::new(local.len(), dm.n());
+            for (slot, &g) in v.owned.iter_mut().zip(&local.nodes) {
+                *slot = 1.0 + g as f64;
+            }
+            plan.replay_halo(ctx, &local, &mut v);
+            plan.is_idle()
+        });
+        // The empty trailing ranks have nothing scheduled.
+        assert!(out.results[5..].iter().all(|&idle| idle));
+        assert!(!out.results[0]);
+    }
+
+    #[test]
+    fn symmetric_round_pairs_every_linked_peer() {
+        let dist = Distribution::block(4, 4);
+        let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
+            let me = ctx.rank();
+            // Ring of directed needs: rank r references node of rank r+1.
+            let needed = vec![(me + 1) % 4];
+            let plan = CommPlan::build(ctx, tags::MIS_KEYS, needed, |j| dist.owner(j));
+            let mut heard: Vec<usize> = Vec::new();
+            plan.replay_symmetric_tagged(
+                ctx,
+                tags::MIS_CONF,
+                |_| Payload::u64s(vec![me as u64]),
+                |peer, payload| {
+                    assert_eq!(payload.into_u64(), vec![peer as u64]);
+                    heard.push(peer);
+                },
+            );
+            heard
+        });
+        for (r, heard) in out.results.iter().enumerate() {
+            let expect = {
+                let mut v = vec![(r + 1) % 4, (r + 3) % 4];
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(heard, &expect, "rank {r}");
+        }
+    }
+}

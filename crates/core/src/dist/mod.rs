@@ -13,6 +13,8 @@
 //! read-only across rank threads — each rank only ever touches its own rows,
 //! mimicking a distributed matrix without duplicating storage per rank.
 
+pub mod exchange;
+pub mod op;
 pub mod spmv;
 
 use pilut_graph::{partition_kway, Graph, PartitionOptions};
@@ -48,9 +50,22 @@ impl Distribution {
     }
 
     /// Contiguous block distribution (a poor-man's baseline for ablations).
+    ///
+    /// Balanced: each rank gets `floor(n/p)` rows, the first `n % p` ranks
+    /// one extra. With `p > n` the trailing ranks own zero rows — a legal
+    /// distribution that every plan and collective must tolerate (the old
+    /// `ceil`-based blocking both doubled up one rank and left others empty
+    /// even when `p <= n`).
     pub fn block(n: usize, p: usize) -> Self {
-        let per = n.div_ceil(p);
-        Self::from_part((0..n).map(|i| (i / per).min(p - 1)).collect(), p)
+        assert!(p > 0, "need at least one rank");
+        let base = n / p;
+        let extra = n % p;
+        let mut part = Vec::with_capacity(n);
+        for r in 0..p {
+            let size = base + usize::from(r < extra);
+            part.extend(std::iter::repeat(r).take(size));
+        }
+        Self::from_part(part, p)
     }
 
     /// Global number of matrix rows.
@@ -209,8 +224,33 @@ mod tests {
     fn block_distribution_covers_everything() {
         let d = Distribution::block(10, 3);
         assert_eq!(d.rows_of(0), &[0, 1, 2, 3]);
-        assert_eq!(d.rows_of(2), &[8, 9]);
+        assert_eq!(d.rows_of(1), &[4, 5, 6]);
+        assert_eq!(d.rows_of(2), &[7, 8, 9]);
         assert_eq!(d.owner(5), 1);
+    }
+
+    #[test]
+    fn block_distribution_is_balanced_and_tolerates_empty_ranks() {
+        // p > n: the trailing ranks legally own nothing.
+        let d = Distribution::block(5, 8);
+        for r in 0..5 {
+            assert_eq!(d.rows_of(r), &[r]);
+        }
+        for r in 5..8 {
+            assert!(d.rows_of(r).is_empty(), "rank {r} must be empty");
+        }
+        // Every p <= n leaves no rank empty and sizes within one of each
+        // other (the old ceil-based blocking violated both at e.g. 10/8).
+        for n in 1..=12usize {
+            for p in 1..=n {
+                let d = Distribution::block(n, p);
+                let sizes: Vec<usize> = (0..p).map(|r| d.rows_of(r).len()).collect();
+                let lo = *sizes.iter().min().unwrap_or(&0);
+                let hi = *sizes.iter().max().unwrap_or(&0);
+                assert!(lo >= 1, "n={n} p={p}: empty rank in {sizes:?}");
+                assert!(hi - lo <= 1, "n={n} p={p}: unbalanced {sizes:?}");
+            }
+        }
     }
 
     #[test]

@@ -3,71 +3,44 @@
 //! One of the three kernels of a parallel iterative method (paper §1). The
 //! communication pattern — push boundary `x` values to the neighbouring
 //! ranks that reference them — is fixed by the matrix, so it is planned once
-//! ([`SpmvPlan::build`], a collective) and replayed on every product.
+//! ([`SpmvPlan::build`], a collective wrapping [`CommPlan::build`]) and
+//! replayed on every product as a values-only halo exchange
+//! ([`CommPlan::replay_halo`]).
 
+use crate::dist::exchange::{tags, CommPlan, DistVector};
 use crate::dist::{DistMatrix, LocalView};
-use pilut_par::{Ctx, Payload};
+use pilut_par::Ctx;
 
-/// Tag namespace for SpMV traffic (FIFO matching per rank pair keeps
-/// repeated products with a constant tag unambiguous).
-const TAG_SPMV: u64 = 1 << 20;
-
-/// The communication plan of a rank for repeated products.
+/// The communication plan of a rank for repeated products: the halo
+/// exchange schedule plus the [`DistVector`] scratch it replays into.
 pub struct SpmvPlan {
-    /// `(peer, my nodes to send, scratch positions)` — values of these local
-    /// nodes go to `peer`, in this order.
-    send: Vec<(usize, Vec<usize>)>,
-    /// `(peer, global nodes received)` — the order `peer` sends values in.
-    recv: Vec<(usize, Vec<usize>)>,
-    /// Dense global→value scratch for remote columns.
-    x_remote: Vec<f64>,
+    plan: CommPlan,
+    v: DistVector,
 }
 
 impl SpmvPlan {
     /// Collectively builds the exchange plan (every rank must call this).
     pub fn build(ctx: &mut Ctx, dm: &DistMatrix, local: &LocalView) -> SpmvPlan {
-        let me = ctx.rank();
-        // Remote columns referenced by my rows, grouped by owner.
-        let mut needed: Vec<Vec<usize>> = vec![Vec::new(); ctx.nprocs()];
-        for &i in &local.nodes {
-            for &j in dm.matrix().row(i).0 {
-                if !local.owns(j) {
-                    needed[dm.dist().owner(j)].push(j);
-                }
-            }
-        }
-        let mut sends = Vec::new();
-        let mut recv = Vec::new();
-        for (owner, list) in needed.iter_mut().enumerate() {
-            if list.is_empty() {
-                continue;
-            }
-            list.sort_unstable();
-            list.dedup();
-            debug_assert_ne!(owner, me, "own columns are never remote");
-            sends.push((
-                owner,
-                Payload::u64s(list.iter().map(|&x| x as u64).collect()),
-            ));
-            recv.push((owner, list.clone()));
-        }
-        let incoming = ctx.exchange(sends);
-        let mut send = Vec::new();
-        for (peer, payload) in incoming {
-            let nodes: Vec<usize> = payload.into_u64().into_iter().map(|x| x as usize).collect();
-            debug_assert!(nodes.iter().all(|&v| local.owns(v)));
-            send.push((peer, nodes));
-        }
+        // Remote columns referenced by my rows.
+        let needed = local.nodes.iter().flat_map(|&i| {
+            dm.matrix()
+                .row(i)
+                .0
+                .iter()
+                .copied()
+                .filter(|&j| !local.owns(j))
+                .collect::<Vec<_>>()
+        });
+        let plan = CommPlan::build(ctx, tags::SPMV, needed, |j| dm.dist().owner(j));
         SpmvPlan {
-            send,
-            recv,
-            x_remote: vec![0.0; dm.n()],
+            plan,
+            v: DistVector::new(local.len(), dm.n()),
         }
     }
 
     /// Number of boundary values this rank ships per product.
     pub fn sent_values(&self) -> usize {
-        self.send.iter().map(|(_, v)| v.len()).sum()
+        self.plan.sent_values()
     }
 }
 
@@ -81,25 +54,10 @@ pub fn dist_spmv(
     x: &[f64],
 ) -> Vec<f64> {
     assert_eq!(x.len(), local.len());
-    // Push boundary values.
-    for (peer, nodes) in &plan.send {
-        let vals: Vec<f64> = nodes
-            .iter()
-            // lint: allow(unwrap): the plan was built from this view's own nodes
-            .map(|&g| x[local.pos_of(g).expect("plan refers to non-local node")])
-            .collect();
-        ctx.copy_words(vals.len() as f64);
-        ctx.send(*peer, TAG_SPMV, Payload::f64s(vals));
-    }
-    // Receive and scatter.
-    for (peer, nodes) in &plan.recv {
-        let vals = ctx.recv(*peer, TAG_SPMV).into_f64();
-        assert_eq!(vals.len(), nodes.len(), "plan mismatch from rank {peer}");
-        for (&g, v) in nodes.iter().zip(vals) {
-            plan.x_remote[g] = v;
-        }
-        ctx.copy_words(nodes.len() as f64);
-    }
+    // Halo exchange of boundary values.
+    plan.v.owned.clear();
+    plan.v.owned.extend_from_slice(x);
+    plan.plan.replay_halo(ctx, local, &mut plan.v);
     // Local product.
     let mut y = vec![0.0; local.len()];
     let mut flops = 0usize;
@@ -107,11 +65,7 @@ pub fn dist_spmv(
         let (cols, vals) = dm.matrix().row(i);
         let mut acc = 0.0;
         for (&j, &v) in cols.iter().zip(vals) {
-            let xj = match local.pos_of(j) {
-                Some(p) => x[p],
-                None => plan.x_remote[j],
-            };
-            acc += v * xj;
+            acc += v * plan.v.value(local, j);
         }
         flops += 2 * cols.len();
         *out = acc;
@@ -194,5 +148,22 @@ mod tests {
         for (y1, y2) in out.results {
             assert_eq!(y1, y2);
         }
+    }
+
+    #[test]
+    fn spmv_traffic_is_tagged() {
+        let a = gen::laplace_2d(8, 8);
+        let dm = DistMatrix::from_matrix(a, 2, 3);
+        let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let mut plan = SpmvPlan::build(ctx, &dm, &local);
+            let x = vec![1.0; local.len()];
+            dist_spmv(ctx, &dm, &local, &mut plan, &x);
+            plan.sent_values()
+        });
+        let shipped: usize = out.results.iter().sum();
+        let (msgs, bytes) = out.stats.tag_totals(tags::SPMV);
+        assert!(msgs >= 2, "both ranks should push boundary values");
+        assert_eq!(bytes, shipped as u64 * 8);
     }
 }

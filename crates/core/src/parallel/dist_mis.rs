@@ -9,28 +9,18 @@
 //! the maximum-key tentative vertex always survives — each round makes
 //! progress.
 //!
-//! Communication per level: one **setup** exchange teaching every rank which
-//! peers reference each of its nodes (the paper's "communication setup
-//! phase"), then per Luby round three sparse exchanges: key/state push,
-//! tentative push, and confirmation-plus-kill push. The paper truncates at
-//! five rounds; leftovers stay candidates for the next level.
+//! Communication per level: one **setup** collective builds the level's
+//! [`CommPlan`] (the paper's "communication setup phase" — every rank learns
+//! which peers reference each of its nodes), then per Luby round three
+//! replays along the fixed plan: key/state push, tentative push
+//! (owner → referencing ranks), and a symmetric confirmation-plus-kill
+//! round. The paper truncates at five rounds; leftovers stay candidates for
+//! the next level.
 
+use crate::dist::exchange::{tags, CommPlan};
 use crate::dist::Distribution;
 use pilut_par::{Ctx, Payload};
 use std::collections::HashMap;
-
-/// Per-level communication structure.
-pub struct LevelLinks {
-    /// `(peer, my nodes that peer's rows reference)` — push targets.
-    pub refs_by_rank: Vec<(usize, Vec<usize>)>,
-    /// `(peer, peer's nodes my rows reference)` — what I receive.
-    pub needed_by_rank: Vec<(usize, Vec<usize>)>,
-    /// remote node → my nodes whose rows reference it.
-    pub local_refs: HashMap<usize, Vec<usize>>,
-    /// my node → peers referencing it (deduplicated). Reused to route U rows
-    /// after the independent set is factored.
-    pub needers: HashMap<usize, Vec<usize>>,
-}
 
 /// Result of one distributed MIS computation.
 pub struct MisOutcome {
@@ -59,75 +49,34 @@ pub fn mis_key(seed: u64, level: u64, round: u64, node: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Collectively builds the level's communication links from the current
+/// Collectively builds the level's communication plan from the current
 /// reduced rows (`node → sorted columns`, all rows owned by this rank).
+/// The send side lists my nodes each peer's rows reference; the receive
+/// side lists the remote nodes my rows reference. The factorizations reuse
+/// the same plan to route freshly factored `U` rows after the set is known.
 pub fn build_level_links(
     ctx: &mut Ctx,
     dist: &Distribution,
     reduced_cols: &HashMap<usize, Vec<usize>>,
-) -> LevelLinks {
+) -> CommPlan {
     let me = ctx.rank();
-    let p = ctx.nprocs();
-    let mut needed: Vec<Vec<usize>> = vec![Vec::new(); p];
-    let mut local_refs: HashMap<usize, Vec<usize>> = HashMap::new();
-    for (&i, cols) in reduced_cols {
-        for &j in cols {
-            let owner = dist.owner(j);
-            if owner != me {
-                needed[owner].push(j);
-                local_refs.entry(j).or_default().push(i);
-            }
-        }
-    }
-    let mut sends = Vec::new();
-    let mut needed_by_rank = Vec::new();
-    for (owner, list) in needed.iter_mut().enumerate() {
-        if list.is_empty() {
-            continue;
-        }
-        list.sort_unstable();
-        list.dedup();
-        sends.push((
-            owner,
-            Payload::u64s(list.iter().map(|&x| x as u64).collect()),
-        ));
-        needed_by_rank.push((owner, list.clone()));
-    }
-    let incoming = ctx.exchange(sends);
-    let mut refs_by_rank = Vec::new();
-    let mut needers: HashMap<usize, Vec<usize>> = HashMap::new();
-    for (peer, payload) in incoming {
-        let nodes: Vec<usize> = payload.into_u64().into_iter().map(|x| x as usize).collect();
-        for &v in &nodes {
-            needers.entry(v).or_default().push(peer);
-        }
-        refs_by_rank.push((peer, nodes));
-    }
-    LevelLinks {
-        refs_by_rank,
-        needed_by_rank,
-        local_refs,
-        needers,
-    }
+    let needed = reduced_cols
+        .values()
+        .flat_map(|cols| cols.iter().copied())
+        .filter(|&j| dist.owner(j) != me);
+    CommPlan::build(ctx, tags::MIS_KEYS, needed, |j| dist.owner(j))
 }
-
-/// Message tags of the per-round neighbour steps. A constant tag per step
-/// suffices: each rank pair exchanges exactly one message per step per
-/// round in program order, and matching is FIFO per `(sender, tag)`.
-const TAG_MIS_KEYS: u64 = 4 << 40;
-const TAG_MIS_TENT: u64 = 5 << 40;
-const TAG_MIS_CONF: u64 = 6 << 40;
 
 /// Runs the modified Luby algorithm for one level over the remaining rows.
 /// Every rank must call this collectively with consistent arguments.
 ///
 /// The paper's structure: the communication *setup* ([`build_level_links`])
 /// is the only collective; each of the (at most `max_rounds`) augmentation
-/// rounds uses purely neighbour-to-neighbour messages along the fixed links,
+/// rounds uses purely neighbour-to-neighbour replays along the fixed plan,
 /// so round cost does not grow with `p`.
 pub fn dist_mis(
     ctx: &mut Ctx,
-    links: &LevelLinks,
+    plan: &CommPlan,
     reduced_cols: &HashMap<usize, Vec<usize>>,
     seed: u64,
     level: u64,
@@ -145,23 +94,26 @@ pub fn dist_mis(
         // Per-candidate key hashing is a handful of integer ops.
         ctx.work(5.0 * undecided as f64);
 
-        // --- Step 1 exchange: push (key, state) of referenced nodes. ------
-        for (peer, nodes) in &links.refs_by_rank {
-            let mut buf = Vec::with_capacity(nodes.len() * 3);
-            for &v in nodes {
-                buf.push(v as u64);
-                buf.push(mis_key(seed, level, round, v as u64));
-                // Referenced nodes no longer in our row set are decided.
-                buf.push(state.get(&v).copied().unwrap_or(OUT));
-            }
-            ctx.send(*peer, TAG_MIS_KEYS, Payload::u64s(buf));
-        }
-        for (peer, _) in &links.needed_by_rank {
-            let buf = ctx.recv(*peer, TAG_MIS_KEYS).into_u64();
-            for c in buf.chunks_exact(3) {
-                remote.insert(c[0] as usize, (c[1], c[2]));
-            }
-        }
+        // --- Step 1 replay: push (key, state) of referenced nodes. --------
+        plan.replay_tagged(
+            ctx,
+            tags::MIS_KEYS,
+            |_, nodes| {
+                let mut buf = Vec::with_capacity(nodes.len() * 3);
+                for &v in nodes {
+                    buf.push(v as u64);
+                    buf.push(mis_key(seed, level, round, v as u64));
+                    // Referenced nodes no longer in our row set are decided.
+                    buf.push(state.get(&v).copied().unwrap_or(OUT));
+                }
+                Payload::u64s(buf)
+            },
+            |_, _, payload| {
+                for c in payload.into_u64().chunks_exact(3) {
+                    remote.insert(c[0] as usize, (c[1], c[2]));
+                }
+            },
+        );
 
         // --- Step 1: tentative winners. ------------------------------------
         let key_of = |v: usize| mis_key(seed, level, round, v as u64);
@@ -181,7 +133,7 @@ pub fn dist_mis(
                     None => {
                         let &(ku, su) = remote
                             .get(&u)
-                            // lint: allow(unwrap): the exchange returns exactly the requested remote nodes
+                            // lint: allow(unwrap): the replay returns exactly the requested remote nodes
                             .expect("referenced remote node missing from exchange");
                         (ku, su)
                     }
@@ -197,21 +149,26 @@ pub fn dist_mis(
         }
         ctx.work(reduced_cols.values().map(|c| c.len() as f64).sum::<f64>());
 
-        // --- Step 2 exchange: push tentative flags of referenced nodes. ---
-        for (peer, nodes) in &links.refs_by_rank {
-            let buf: Vec<u64> = nodes
-                .iter()
-                .filter(|v| tentative.contains_key(v))
-                .map(|&v| v as u64)
-                .collect();
-            ctx.send(*peer, TAG_MIS_TENT, Payload::u64s(buf));
-        }
+        // --- Step 2 replay: push tentative flags of referenced nodes. -----
         let mut remote_tentative: HashMap<usize, bool> = HashMap::new();
-        for (peer, _) in &links.needed_by_rank {
-            for v in ctx.recv(*peer, TAG_MIS_TENT).into_u64() {
-                remote_tentative.insert(v as usize, true);
-            }
-        }
+        plan.replay_tagged(
+            ctx,
+            tags::MIS_TENT,
+            |_, nodes| {
+                Payload::u64s(
+                    nodes
+                        .iter()
+                        .filter(|v| tentative.contains_key(v))
+                        .map(|&v| v as u64)
+                        .collect(),
+                )
+            },
+            |_, _, payload| {
+                for v in payload.into_u64() {
+                    remote_tentative.insert(v as usize, true);
+                }
+            },
+        );
 
         // --- Step 2: confirm tentatives with no tentative out-neighbour. ---
         let mut confirmed: Vec<usize> = Vec::new();
@@ -243,55 +200,63 @@ pub fn dist_mis(
                     }
                     None => {
                         // Remote out-neighbour: its owner must kill it.
-                        kills_by_rank
-                            .entry(dist_owner_from_links(links, u))
-                            .or_default()
-                            .push(u as u64);
+                        let owner = plan
+                            .owner_of(u)
+                            // lint: allow(unwrap): every referenced remote node is in the plan
+                            .expect("referenced node missing from plan");
+                        kills_by_rank.entry(owner).or_default().push(u as u64);
                     }
                 }
             }
         }
 
-        // --- Step 3 exchange: confirmations + kills, along the fixed links.
+        // --- Step 3 replay: confirmations + kills, symmetric round. -------
         // Confirmations flow owner → referencing ranks; kills flow arc-source
-        // rank → target's owner (a `needed` peer). Every pair in the union of
-        // the two link directions exchanges exactly one message.
+        // rank → target's owner (a receive-side peer). Every pair in the
+        // union of the two plan directions exchanges exactly one message.
+        // Encoding: [n_confirmed, confirmed..., kills...].
         let confirmed_set: std::collections::HashSet<usize> = confirmed.iter().copied().collect();
-        let peers = union_peers(links);
-        for &peer in &peers {
-            let conf: Vec<u64> = links
-                .refs_by_rank
-                .iter()
-                .find(|&&(p, _)| p == peer)
-                .map(|(_, nodes)| {
+        let conf_by_peer: HashMap<usize, Vec<u64>> = plan
+            .send_lists()
+            .iter()
+            .map(|(peer, nodes)| {
+                (
+                    *peer,
                     nodes
                         .iter()
                         .filter(|v| confirmed_set.contains(v))
                         .map(|&v| v as u64)
-                        .collect()
-                })
-                .unwrap_or_default();
-            let kills = kills_by_rank.get(&peer).cloned().unwrap_or_default();
-            let mut buf = Vec::with_capacity(conf.len() + kills.len() + 1);
-            buf.push(conf.len() as u64);
-            buf.extend_from_slice(&conf);
-            buf.extend_from_slice(&kills);
-            ctx.send(peer, TAG_MIS_CONF, Payload::u64s(buf));
-        }
-        for &peer in &peers {
-            let buf = ctx.recv(peer, TAG_MIS_CONF).into_u64();
-            let nc = buf[0] as usize;
-            for &v in &buf[1..1 + nc] {
-                remote.entry(v as usize).or_insert((0, CAND)).1 = IN;
-            }
-            for &v in &buf[1 + nc..] {
-                if let Some(s) = state.get_mut(&(v as usize)) {
-                    if *s == CAND {
-                        *s = OUT;
+                        .collect(),
+                )
+            })
+            .collect();
+        plan.replay_symmetric_tagged(
+            ctx,
+            tags::MIS_CONF,
+            |peer| {
+                let conf = conf_by_peer.get(&peer).cloned().unwrap_or_default();
+                let kills = kills_by_rank.get(&peer).cloned().unwrap_or_default();
+                let mut buf = Vec::with_capacity(conf.len() + kills.len() + 1);
+                buf.push(conf.len() as u64);
+                buf.extend_from_slice(&conf);
+                buf.extend_from_slice(&kills);
+                Payload::u64s(buf)
+            },
+            |_, payload| {
+                let buf = payload.into_u64();
+                let nc = buf[0] as usize;
+                for &v in &buf[1..1 + nc] {
+                    remote.entry(v as usize).or_insert((0, CAND)).1 = IN;
+                }
+                for &v in &buf[1 + nc..] {
+                    if let Some(s) = state.get_mut(&(v as usize)) {
+                        if *s == CAND {
+                            *s = OUT;
+                        }
                     }
                 }
-            }
-        }
+            },
+        );
 
         // Kill any local candidate pointing at a (local or remote) member.
         for (&v, cols) in reduced_cols {
@@ -324,27 +289,6 @@ pub fn dist_mis(
     MisOutcome { my_in, remote_in }
 }
 
-/// The union of the two link directions — the rank pairs that exchange a
-/// confirmation/kill message each round.
-fn union_peers(links: &LevelLinks) -> Vec<usize> {
-    let mut peers: Vec<usize> = links.refs_by_rank.iter().map(|&(p, _)| p).collect();
-    peers.extend(links.needed_by_rank.iter().map(|&(p, _)| p));
-    peers.sort_unstable();
-    peers.dedup();
-    peers
-}
-
-/// Looks up the owner of a referenced remote node via the level links
-/// (every referenced node appears in exactly one peer's needed list).
-fn dist_owner_from_links(links: &LevelLinks, node: usize) -> usize {
-    for (peer, nodes) in &links.needed_by_rank {
-        if nodes.binary_search(&node).is_ok() {
-            return *peer;
-        }
-    }
-    unreachable!("node {node} not referenced by this rank")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,8 +316,8 @@ mod tests {
                     reduced.insert(v, cols);
                 }
             }
-            let links = build_level_links(ctx, &dist, &reduced);
-            let mis = dist_mis(ctx, &links, &reduced, 42, 0, rounds);
+            let plan = build_level_links(ctx, &dist, &reduced);
+            let mis = dist_mis(ctx, &plan, &reduced, 42, 0, rounds);
             mis.my_in
         });
         let mut all: Vec<usize> = out.results.into_iter().flatten().collect();

@@ -16,6 +16,7 @@
 //! unchanged.
 
 use crate::breakdown::{PivotDoctor, PivotFault};
+use crate::dist::exchange::tags;
 use crate::dist::{DistMatrix, LocalView};
 use crate::options::{BreakdownPolicy, FactorError};
 use crate::parallel::dist_mis::{build_level_links, dist_mis};
@@ -23,8 +24,6 @@ use crate::parallel::{collective_fault_verdict, FactorRow, ParStats, RankFactors
 use pilut_par::{Ctx, Payload};
 use pilut_sparse::WorkRow;
 use std::collections::{HashMap, HashSet};
-
-const TAG_U0: u64 = 7 << 40;
 
 /// Runs the parallel zero-fill factorization. Collective. Aborts on the
 /// first unusable pivot; use [`par_ilu0_with`] to recover instead.
@@ -188,8 +187,8 @@ pub fn par_ilu0_with(
                 (v, cols)
             })
             .collect();
-        let links = build_level_links(ctx, dm.dist(), &pat);
-        let mis = dist_mis(ctx, &links, &pat, 0xC0105, level_idx, 5);
+        let plan = build_level_links(ctx, dm.dist(), &pat);
+        let mis = dist_mis(ctx, &plan, &pat, 0xC0105, level_idx, 5);
         for &v in &mis.my_in {
             remaining.remove(&v);
         }
@@ -238,58 +237,61 @@ pub fn par_ilu0_with(
         }
         levels.push(level.clone());
 
-        // Ship the new U rows along the current links, then eliminate this
-        // level's unknowns from the remaining rows (pattern-restricted).
+        // Ship the new U rows along the current level's plan, then eliminate
+        // this level's unknowns from the remaining rows (pattern-restricted).
+        // Encoding per peer: U64 = [node, len, cols...]*, F64 = [diag, vals...]*.
         let pat: HashMap<usize, Vec<usize>> = reduced
             .iter()
             .map(|(&v, row)| (v, row.iter().map(|&(c, _)| c).collect()))
             .collect();
-        let links = build_level_links(ctx, dm.dist(), &pat);
+        let plan = build_level_links(ctx, dm.dist(), &pat);
         let level_set: HashSet<usize> = level.iter().copied().collect();
-        let mut batch: HashMap<usize, (Vec<u64>, Vec<f64>)> = HashMap::new();
-        for &v in level {
-            if let Some(peers) = links.needers.get(&v) {
-                let row = &rows[&v];
-                for &peer in peers {
-                    let (bu, bf) = batch.entry(peer).or_default();
+        let mut remote_u: HashMap<usize, FactorRow> = HashMap::new();
+        plan.replay_tagged(
+            ctx,
+            tags::U0,
+            |_, nodes| {
+                let mut bu = Vec::new();
+                let mut bf = Vec::new();
+                for &v in nodes {
+                    if !level_set.contains(&v) {
+                        continue;
+                    }
+                    let row = &rows[&v];
                     bu.push(v as u64);
                     bu.push(row.u.len() as u64);
                     bu.extend(row.u.iter().map(|&(c, _)| c as u64));
                     bf.push(row.diag);
                     bf.extend(row.u.iter().map(|&(_, x)| x));
                 }
-            }
-        }
-        for (peer, _) in &links.refs_by_rank {
-            let (bu, bf) = batch.remove(peer).unwrap_or_default();
-            ctx.send(*peer, TAG_U0, Payload::mixed(bu, bf));
-        }
-        let mut remote_u: HashMap<usize, FactorRow> = HashMap::new();
-        for (peer, _) in &links.needed_by_rank {
-            let (bu, bf) = ctx.recv(*peer, TAG_U0).into_mixed();
-            let (mut iu, mut ifl) = (0usize, 0usize);
-            while iu < bu.len() {
-                let node = bu[iu] as usize;
-                let len = bu[iu + 1] as usize;
-                let cols = &bu[iu + 2..iu + 2 + len];
-                let diag = bf[ifl];
-                let vals = &bf[ifl + 1..ifl + 1 + len];
-                remote_u.insert(
-                    node,
-                    FactorRow {
-                        l: Vec::new(),
-                        diag,
-                        u: cols
-                            .iter()
-                            .map(|&c| c as usize)
-                            .zip(vals.iter().copied())
-                            .collect(),
-                    },
-                );
-                iu += 2 + len;
-                ifl += 1 + len;
-            }
-        }
+                Payload::mixed(bu, bf)
+            },
+            |_, _, payload| {
+                let (bu, bf) = payload.into_mixed();
+                let (mut iu, mut ifl) = (0usize, 0usize);
+                while iu < bu.len() {
+                    let node = bu[iu] as usize;
+                    let len = bu[iu + 1] as usize;
+                    let cols = &bu[iu + 2..iu + 2 + len];
+                    let diag = bf[ifl];
+                    let vals = &bf[ifl + 1..ifl + 1 + len];
+                    remote_u.insert(
+                        node,
+                        FactorRow {
+                            l: Vec::new(),
+                            diag,
+                            u: cols
+                                .iter()
+                                .map(|&c| c as usize)
+                                .zip(vals.iter().copied())
+                                .collect(),
+                        },
+                    );
+                    iu += 2 + len;
+                    ifl += 1 + len;
+                }
+            },
+        );
         // Remote members of this level, detectable from the shipped rows.
         let keys: Vec<usize> = reduced.keys().copied().collect();
         for i in keys {

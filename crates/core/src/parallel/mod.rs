@@ -24,6 +24,7 @@ pub use assemble::assemble_factors;
 pub use ilu0::{par_ilu0, par_ilu0_with};
 
 use crate::breakdown::{PivotDoctor, PivotFault};
+use crate::dist::exchange::tags;
 use crate::dist::{DistMatrix, LocalView};
 use crate::options::{FactorError, IlutOptions};
 use crate::serial::drop_rules::{selection_cost, threshold_and_cap};
@@ -82,8 +83,6 @@ pub struct RankFactors {
     pub initial_reduced_cols: Vec<(usize, Vec<usize>)>,
     pub stats: ParStats,
 }
-
-const TAG_UROWS_BASE: u64 = 1 << 24;
 
 /// Agrees on a factorization error once at least one rank flagged a fault
 /// (collective). Every rank min-reduces its first deferred fault encoded as
@@ -295,10 +294,10 @@ pub fn par_ilut(
             .iter()
             .map(|(&v, row)| (v, row.iter().map(|&(c, _)| c).collect()))
             .collect();
-        let links = build_level_links(ctx, dm.dist(), &reduced_cols);
+        let plan = build_level_links(ctx, dm.dist(), &reduced_cols);
         let mis = dist_mis(
             ctx,
-            &links,
+            &plan,
             &reduced_cols,
             opts.seed,
             level_idx,
@@ -345,55 +344,57 @@ pub fn par_ilut(
         }
         levels.push(mis.my_in.clone());
 
-        // Ship the new U rows directly along the level links: each rank
+        // Ship the new U rows directly along the level plan: each rank
         // sends one (possibly empty) batch to every peer that references its
         // nodes and receives one from every peer whose nodes it references.
         // Encoding per peer: U64 = [node, len, cols...]*, F64 = [diag, vals...]*.
-        let mut batch: HashMap<usize, (Vec<u64>, Vec<f64>)> = HashMap::new();
-        for &v in &mis.my_in {
-            if let Some(peers) = links.needers.get(&v) {
-                let row = &rows[&v];
-                for &peer in peers {
-                    let (bu, bf) = batch.entry(peer).or_default();
+        let mut remote_u: HashMap<usize, FactorRow> = HashMap::new();
+        plan.replay_tagged(
+            ctx,
+            tags::UROWS,
+            |_, nodes| {
+                let mut bu = Vec::new();
+                let mut bf = Vec::new();
+                for &v in nodes {
+                    if mis.my_in.binary_search(&v).is_err() {
+                        continue;
+                    }
+                    let row = &rows[&v];
                     bu.push(v as u64);
                     bu.push(row.u.len() as u64);
                     bu.extend(row.u.iter().map(|&(c, _)| c as u64));
                     bf.push(row.diag);
                     bf.extend(row.u.iter().map(|&(_, x)| x));
                 }
-            }
-        }
-        for (peer, _) in &links.refs_by_rank {
-            let (bu, bf) = batch.remove(peer).unwrap_or_default();
-            ctx.send(*peer, TAG_UROWS_BASE, Payload::mixed(bu, bf));
-        }
-        let mut remote_u: HashMap<usize, FactorRow> = HashMap::new();
-        for (peer, _) in &links.needed_by_rank {
-            let (bu, bf) = ctx.recv(*peer, TAG_UROWS_BASE).into_mixed();
-            let mut iu = 0usize;
-            let mut ifl = 0usize;
-            while iu < bu.len() {
-                let node = bu[iu] as usize;
-                let len = bu[iu + 1] as usize;
-                let cols = &bu[iu + 2..iu + 2 + len];
-                let diag = bf[ifl];
-                let vals = &bf[ifl + 1..ifl + 1 + len];
-                remote_u.insert(
-                    node,
-                    FactorRow {
-                        l: Vec::new(),
-                        diag,
-                        u: cols
-                            .iter()
-                            .map(|&c| c as usize)
-                            .zip(vals.iter().copied())
-                            .collect(),
-                    },
-                );
-                iu += 2 + len;
-                ifl += 1 + len;
-            }
-        }
+                Payload::mixed(bu, bf)
+            },
+            |_, _, payload| {
+                let (bu, bf) = payload.into_mixed();
+                let mut iu = 0usize;
+                let mut ifl = 0usize;
+                while iu < bu.len() {
+                    let node = bu[iu] as usize;
+                    let len = bu[iu + 1] as usize;
+                    let cols = &bu[iu + 2..iu + 2 + len];
+                    let diag = bf[ifl];
+                    let vals = &bf[ifl + 1..ifl + 1 + len];
+                    remote_u.insert(
+                        node,
+                        FactorRow {
+                            l: Vec::new(),
+                            diag,
+                            u: cols
+                                .iter()
+                                .map(|&c| c as usize)
+                                .zip(vals.iter().copied())
+                                .collect(),
+                        },
+                    );
+                    iu += 2 + len;
+                    ifl += 1 + len;
+                }
+            },
+        );
 
         // Algorithm 4.2: eliminate the I_l unknowns from my remaining rows.
         let in_level = |j: usize| -> bool {

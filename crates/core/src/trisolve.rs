@@ -4,140 +4,116 @@
 //! (`L y = b`): every rank solves its interior unknowns locally, then the
 //! interface unknowns level by level — after computing a level, each rank
 //! pushes the new `x` values to exactly the ranks whose later rows reference
-//! them (the plan is built once, collectively). Backward (`U x = y`) runs
-//! the levels in reverse and finishes with the interiors. Communication
-//! volume is proportional to the interface size, but the `q` levels impose
-//! `q` implicit synchronisation points — which is why ILUT\*'s smaller `q`
-//! makes its triangular solves faster (paper Table 2 / Figure 6).
+//! them. Backward (`U x = y`) runs the levels in reverse and finishes with
+//! the interiors. Communication volume is proportional to the interface
+//! size, but the `q` levels impose `q` implicit synchronisation points —
+//! which is why ILUT\*'s smaller `q` makes its triangular solves faster
+//! (paper Table 2 / Figure 6).
+//!
+//! The exchange is fully planned: [`TrisolvePlan::build`] builds one
+//! [`CommPlan`] per direction, asks every owner for the *level index* of
+//! each needed node ([`CommPlan::exchange_labels`]), and restricts the plan
+//! into one sub-plan per level. A sweep then replays a fixed schedule —
+//! at iteration `l` it drains the batches of the previously computed level
+//! and, after computing level `l`, ships one values-only message per peer
+//! that needs any of them. This is valid because remote `L` dependencies
+//! sit at strictly earlier levels and remote `U` dependencies at strictly
+//! later ones (the level construction eliminates a row only against
+//! already-pivoted levels), and received values persist for any
+//! level-skipping consumer. No node ids travel on the wire.
 
+use crate::dist::exchange::{tags, CommPlan};
 use crate::dist::{DistMatrix, LocalView};
 use crate::parallel::RankFactors;
-use pilut_par::{Ctx, Payload};
-use std::collections::{BTreeMap, HashMap};
-
-const TAG_FWD: u64 = 2 << 40;
-const TAG_BWD: u64 = 3 << 40;
-
-/// Drains batched `(node, value)` messages from `owner` until `node` is
-/// present in `remote_x`, then returns its value. Each batch is one level's
-/// worth of values from that owner; per-(sender, tag) FIFO delivery plus the
-/// global level order guarantee the needed node eventually arrives, and
-/// every batched value is eventually demanded (the plan only ships values
-/// the receiver declared a need for), so no batch is left unconsumed.
-fn demand_remote(
-    ctx: &mut Ctx,
-    remote_x: &mut HashMap<usize, f64>,
-    tag: u64,
-    owner: usize,
-    node: usize,
-) -> f64 {
-    while !remote_x.contains_key(&node) {
-        let (nodes, vals) = ctx.recv(owner, tag).into_mixed();
-        for (&g, &v) in nodes.iter().zip(&vals) {
-            remote_x.insert(g as usize, v);
-        }
-    }
-    remote_x[&node]
-}
-
-/// Accumulates one level's freshly computed values into per-peer batches
-/// (`scratch`, reused across levels) and sends one `Mixed` message per peer,
-/// in ascending peer order so the simulated clock is deterministic.
-fn push_level(
-    ctx: &mut Ctx,
-    local: &LocalView,
-    x: &[f64],
-    level: &[usize],
-    push: &HashMap<usize, Vec<usize>>,
-    tag: u64,
-    scratch: &mut BTreeMap<usize, (Vec<u64>, Vec<f64>)>,
-) {
-    for &i in level {
-        if let Some(peers) = push.get(&i) {
-            // lint: allow(unwrap): the schedule lists only locally owned rows
-            let v = x[local.pos_of(i).unwrap()];
-            for &peer in peers {
-                let (nodes, vals) = scratch.entry(peer).or_default();
-                nodes.push(i as u64);
-                vals.push(v);
-            }
-        }
-    }
-    for (&peer, (nodes, vals)) in scratch.iter_mut() {
-        if !nodes.is_empty() {
-            ctx.send(
-                peer,
-                tag,
-                Payload::mixed(std::mem::take(nodes), std::mem::take(vals)),
-            );
-        }
-    }
-}
+use pilut_par::collectives::ReduceOp;
+use pilut_par::Ctx;
+use std::collections::HashMap;
 
 /// The communication plan for repeated triangular solves with one
-/// factorization.
+/// factorization: one per-level sub-plan per direction.
 pub struct TrisolvePlan {
-    /// my node → peers that need its `x` during the forward sweep.
-    fwd_push: HashMap<usize, Vec<usize>>,
-    /// my node → peers that need its `x` during the backward sweep.
-    bwd_push: HashMap<usize, Vec<usize>>,
-    /// remote node → owner, for values I will need (forward / backward).
-    fwd_owner: HashMap<usize, usize>,
-    bwd_owner: HashMap<usize, usize>,
+    /// `fwd_at[l]`: level-`l` forward traffic (my level-`l` nodes on the
+    /// send side, remote level-`l` nodes on the receive side).
+    fwd_at: Vec<CommPlan>,
+    /// `bwd_at[l]`: level-`l` backward traffic.
+    bwd_at: Vec<CommPlan>,
+}
+
+/// Builds one direction's per-level schedule: plan the exchange from the
+/// remote columns, learn each needed node's level from its owner, and
+/// restrict the plan level by level.
+fn build_sweep(
+    ctx: &mut Ctx,
+    tag: u64,
+    local: &LocalView,
+    dm: &DistMatrix,
+    n_levels: usize,
+    level_of: &HashMap<usize, u64>,
+    cols: impl Iterator<Item = usize>,
+) -> Vec<CommPlan> {
+    let needed: Vec<usize> = cols.filter(|&j| !local.owns(j)).collect();
+    let plan = CommPlan::build(ctx, tag, needed, |j| dm.dist().owner(j));
+    let remote_level = plan.exchange_labels(ctx, |g| {
+        // lint: allow(unwrap): peers only reference interface pivots, which all carry a level
+        *level_of.get(&g).expect("referenced node has no level")
+    });
+    (0..n_levels)
+        .map(|l| {
+            plan.restrict(
+                |g| level_of.get(&g).copied() == Some(l as u64),
+                |g| remote_level.get(&g).copied() == Some(l as u64),
+            )
+            // Each level gets a private wire-tag namespace: values of two
+            // adjacent levels can be in flight from one sender at once, and
+            // sharing a wire tag would let a reordered network swap them.
+            .rebase(tag + ((l as u64) << 20))
+        })
+        .collect()
 }
 
 impl TrisolvePlan {
     /// Collectively builds the plan from the distributed factors.
     pub fn build(ctx: &mut Ctx, dm: &DistMatrix, local: &LocalView, rf: &RankFactors) -> Self {
-        let dist = dm.dist();
-        let gather_remote = |cols: Box<dyn Iterator<Item = usize> + '_>| {
-            let mut need: HashMap<usize, usize> = HashMap::new();
-            for j in cols {
-                if !local.owns(j) {
-                    need.insert(j, dist.owner(j));
-                }
+        let mut level_of: HashMap<usize, u64> = HashMap::new();
+        for (l, level) in rf.levels.iter().enumerate() {
+            for &i in level {
+                level_of.insert(i, l as u64);
             }
-            need
-        };
-        let fwd_owner = gather_remote(Box::new(
+        }
+        // The factorization's level loop is collective (one push per
+        // iteration on every rank), so the global level count must agree —
+        // the whole sweep schedule hangs on that.
+        let n_levels = rf.levels.len();
+        let lmax = ctx.all_reduce_u64(vec![n_levels as u64], ReduceOp::Max)[0];
+        assert_eq!(lmax as usize, n_levels, "level count differs across ranks");
+        let fwd_at = build_sweep(
+            ctx,
+            tags::FWD,
+            local,
+            dm,
+            n_levels,
+            &level_of,
             rf.rows.values().flat_map(|r| r.l.iter().map(|&(c, _)| c)),
-        ));
-        let bwd_owner = gather_remote(Box::new(
+        );
+        let bwd_at = build_sweep(
+            ctx,
+            tags::BWD,
+            local,
+            dm,
+            n_levels,
+            &level_of,
             rf.rows.values().flat_map(|r| r.u.iter().map(|&(c, _)| c)),
-        ));
-        // Tell each owner which of its nodes we need, for each direction.
-        let mut sends: Vec<(usize, Payload)> = Vec::new();
-        let mut by_owner: HashMap<usize, (Vec<u64>, Vec<u64>)> = HashMap::new();
-        for (&node, &owner) in &fwd_owner {
-            by_owner.entry(owner).or_default().0.push(node as u64);
-        }
-        for (&node, &owner) in &bwd_owner {
-            by_owner.entry(owner).or_default().1.push(node as u64);
-        }
-        for (owner, (fwd, bwd)) in by_owner {
-            let mut buf = vec![fwd.len() as u64];
-            buf.extend(fwd);
-            buf.extend(bwd);
-            sends.push((owner, Payload::u64s(buf)));
-        }
-        let mut fwd_push: HashMap<usize, Vec<usize>> = HashMap::new();
-        let mut bwd_push: HashMap<usize, Vec<usize>> = HashMap::new();
-        for (peer, payload) in ctx.exchange(sends) {
-            let buf = payload.into_u64();
-            let nf = buf[0] as usize;
-            for &v in &buf[1..1 + nf] {
-                fwd_push.entry(v as usize).or_default().push(peer);
-            }
-            for &v in &buf[1 + nf..] {
-                bwd_push.entry(v as usize).or_default().push(peer);
-            }
-        }
-        TrisolvePlan {
-            fwd_push,
-            bwd_push,
-            fwd_owner,
-            bwd_owner,
-        }
+        );
+        TrisolvePlan { fwd_at, bwd_at }
+    }
+
+    /// Total values this rank ships per solve (forward plus backward).
+    pub fn sent_values(&self) -> usize {
+        self.fwd_at
+            .iter()
+            .chain(&self.bwd_at)
+            .map(|p| p.sent_values())
+            .sum()
     }
 }
 
@@ -154,6 +130,16 @@ pub fn dist_solve(
 ) -> Vec<f64> {
     let y = dist_forward(ctx, local, rf, plan, b);
     dist_backward(ctx, local, rf, plan, &y)
+}
+
+/// The value of column `j`: local solution entry when owned, otherwise a
+/// remote value that the sweep schedule guarantees has already arrived.
+fn col_value(local: &LocalView, x: &[f64], remote_x: &HashMap<usize, f64>, j: usize) -> f64 {
+    match local.pos_of(j) {
+        Some(q) => x[q],
+        // lint: allow(unwrap): the schedule delivers every remote dep before its consumer level
+        None => *remote_x.get(&j).expect("remote value not yet delivered"),
+    }
 }
 
 /// Forward sweep `L y = b` (unit lower triangular).
@@ -182,26 +168,29 @@ pub fn dist_forward(
         flops += 2.0 * row.l.len() as f64;
         x[p] = s;
     }
-    // Interface phase, level by level. Freshly computed values travel in
-    // one batched message per peer per level.
-    let mut batches: BTreeMap<usize, (Vec<u64>, Vec<f64>)> = BTreeMap::new();
-    for level in &rf.levels {
+    // Interface phase, level by level: drain the previous level's batches,
+    // compute, then ship this level's values (one message per peer).
+    for (l, level) in rf.levels.iter().enumerate() {
+        if l > 0 {
+            plan.fwd_at[l - 1].recv_values(ctx, |g, v| {
+                remote_x.insert(g, v);
+            });
+        }
         for &i in level {
             // lint: allow(unwrap): the schedule lists only locally owned rows
             let p = local.pos_of(i).unwrap();
             let row = &rf.rows[&i];
             let mut s = x[p];
             for &(j, v) in &row.l {
-                let xj = match local.pos_of(j) {
-                    Some(q) => x[q],
-                    None => demand_remote(ctx, &mut remote_x, TAG_FWD, plan.fwd_owner[&j], j),
-                };
-                s -= v * xj;
+                s -= v * col_value(local, &x, &remote_x, j);
             }
             flops += 2.0 * row.l.len() as f64;
             x[p] = s;
         }
-        push_level(ctx, local, &x, level, &plan.fwd_push, TAG_FWD, &mut batches);
+        plan.fwd_at[l].send_values(ctx, |g| {
+            // lint: allow(unwrap): the plan ships only locally owned nodes
+            x[local.pos_of(g).expect("plan ships non-local node")]
+        });
     }
     ctx.work(flops);
     x
@@ -219,26 +208,30 @@ pub fn dist_backward(
     let mut x = y.to_vec();
     let mut remote_x: HashMap<usize, f64> = HashMap::new();
     let mut flops = 0.0;
-    // Interface levels in reverse order, with the same per-peer batching as
-    // the forward sweep.
-    let mut batches: BTreeMap<usize, (Vec<u64>, Vec<f64>)> = BTreeMap::new();
-    for level in rf.levels.iter().rev() {
-        for &i in level {
+    // Interface levels in reverse order: drain the batches of the level
+    // computed just before (the next-higher index), compute, ship.
+    let n_levels = rf.levels.len();
+    for l in (0..n_levels).rev() {
+        if l + 1 < n_levels {
+            plan.bwd_at[l + 1].recv_values(ctx, |g, v| {
+                remote_x.insert(g, v);
+            });
+        }
+        for &i in &rf.levels[l] {
             // lint: allow(unwrap): the schedule lists only locally owned rows
             let p = local.pos_of(i).unwrap();
             let row = &rf.rows[&i];
             let mut s = x[p];
             for &(j, v) in &row.u {
-                let xj = match local.pos_of(j) {
-                    Some(q) => x[q],
-                    None => demand_remote(ctx, &mut remote_x, TAG_BWD, plan.bwd_owner[&j], j),
-                };
-                s -= v * xj;
+                s -= v * col_value(local, &x, &remote_x, j);
             }
             flops += 2.0 * row.u.len() as f64 + 1.0;
             x[p] = s / row.diag;
         }
-        push_level(ctx, local, &x, level, &plan.bwd_push, TAG_BWD, &mut batches);
+        plan.bwd_at[l].send_values(ctx, |g| {
+            // lint: allow(unwrap): the plan ships only locally owned nodes
+            x[local.pos_of(g).expect("plan ships non-local node")]
+        });
     }
     // Interior phase, descending elimination order; U columns of interior
     // rows are local (later interiors or own interfaces).

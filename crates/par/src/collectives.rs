@@ -61,7 +61,7 @@ impl Ctx {
         while bit < p {
             if r & bit != 0 {
                 let payload = to_payload(acc);
-                self.send_internal(r - bit, tag, payload);
+                self.send_internal(r - bit, tag, tag, payload);
                 return None;
             }
             if r + bit < p {
@@ -95,7 +95,7 @@ impl Ctx {
             j -= 1;
             let child = r + (1usize << j);
             if child < p && (r != 0 || (1usize << j) < p) {
-                self.send_internal(child, tag, data.clone());
+                self.send_internal(child, tag, tag, data.clone());
             }
         }
         data
@@ -248,7 +248,7 @@ impl Ctx {
         let incoming = totals[self.rank()] as usize;
         let tag = self.begin_collective(CollKind::Exchange);
         for (dest, payload) in sends {
-            self.send_internal(dest, tag, payload);
+            self.send_internal(dest, tag, tag, payload);
         }
         let mut out = Vec::with_capacity(incoming);
         for _ in 0..incoming {

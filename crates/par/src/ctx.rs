@@ -5,7 +5,7 @@ use crate::check::{CheckState, CollKind, LeakRecord, RankStatus};
 use crate::fault::{FaultSession, MessageFate, RankFate, FAULT_KILL_PREFIX};
 use crate::machine::MachineModel;
 use crate::payload::Payload;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
@@ -47,6 +47,26 @@ pub struct Counters {
     pub words_copied: f64,
     /// Collective operations entered.
     pub collectives: u64,
+    /// Per-tag `(messages, bytes)` breakdown of everything counted in
+    /// `messages`/`bytes`. User tags are keyed by their literal value; all
+    /// collective traffic (whose tags embed a per-call sequence number) is
+    /// folded under the single key [`Ctx::RESERVED_TAG_BASE`].
+    pub by_tag: BTreeMap<u64, (u64, u64)>,
+}
+
+impl Counters {
+    /// Records one `bytes`-sized message on `tag` in the per-tag breakdown
+    /// (the aggregate `messages`/`bytes` fields are bumped by the caller).
+    fn note_tag(&mut self, tag: u64, bytes: u64) {
+        let key = if tag < Ctx::RESERVED_TAG_BASE {
+            tag
+        } else {
+            Ctx::RESERVED_TAG_BASE
+        };
+        let slot = self.by_tag.entry(key).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += bytes;
+    }
 }
 
 /// What a rank hands back to the machine when it finishes: its counters,
@@ -224,14 +244,28 @@ impl Ctx {
             tag < Self::RESERVED_TAG_BASE,
             "tag {tag} is reserved for collectives"
         );
-        self.send_internal(to, tag, payload);
+        self.send_internal(to, tag, tag, payload);
     }
 
-    pub(crate) fn send_internal(&mut self, to: usize, tag: u64, payload: Payload) {
+    /// Sends under `wire_tag` while attributing the traffic to `stats_tag`
+    /// in the per-tag counters. Protocols that derive a fresh wire tag per
+    /// round (so reordered rounds can never be confused — the same trick
+    /// the collectives play with their sequence numbers) use this to keep
+    /// the whole protocol's volume under one stable counter key.
+    pub fn send_as(&mut self, to: usize, wire_tag: u64, stats_tag: u64, payload: Payload) {
+        assert!(
+            wire_tag < Self::RESERVED_TAG_BASE,
+            "tag {wire_tag} is reserved for collectives"
+        );
+        self.send_internal(to, wire_tag, stats_tag, payload);
+    }
+
+    pub(crate) fn send_internal(&mut self, to: usize, tag: u64, stats_tag: u64, payload: Payload) {
         assert!(to < self.nprocs, "rank {to} out of range");
         self.fault_point();
         self.counters.messages += 1;
         self.counters.bytes += payload.bytes() as u64;
+        self.counters.note_tag(stats_tag, payload.bytes() as u64);
         let coll_kind = if tag >= Self::RESERVED_TAG_BASE {
             self.current_coll
         } else {
@@ -286,6 +320,7 @@ impl Ctx {
                 };
                 self.counters.messages += 1;
                 self.counters.bytes += dup.payload.bytes() as u64;
+                self.counters.note_tag(dup.tag, dup.payload.bytes() as u64);
                 self.ship(env);
                 self.ship(dup);
             }

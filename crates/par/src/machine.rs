@@ -79,8 +79,20 @@ pub struct MachineStats {
     /// once per rank, divided by `p` on aggregation; aggregation asserts
     /// the ranks agree on the count).
     pub collectives: u64,
+    /// Per-tag `(messages, bytes)` totals across all ranks. User tags keep
+    /// their literal value; all collective traffic is folded under
+    /// [`crate::Ctx::RESERVED_TAG_BASE`] (see [`crate::ctx::Counters::by_tag`]).
+    pub by_tag: std::collections::BTreeMap<u64, (u64, u64)>,
     /// Per-rank final logical clocks.
     pub rank_times: Vec<f64>,
+}
+
+impl MachineStats {
+    /// `(messages, bytes)` recorded under a specific user tag, `(0, 0)`
+    /// when no message ever used it.
+    pub fn tag_totals(&self, tag: u64) -> (u64, u64) {
+        self.by_tag.get(&tag).copied().unwrap_or((0, 0))
+    }
 }
 
 /// The result of a [`Machine::run`] call.
@@ -333,6 +345,11 @@ impl Machine {
             stats.bytes += exit.counters.bytes;
             stats.flops += exit.counters.flops;
             stats.words_copied += exit.counters.words_copied;
+            for (&tag, &(m, b)) in &exit.counters.by_tag {
+                let slot = stats.by_tag.entry(tag).or_insert((0, 0));
+                slot.0 += m;
+                slot.1 += b;
+            }
             per_rank_collectives.push(exit.counters.collectives);
             stats.rank_times.push(exit.time);
         }

@@ -7,9 +7,9 @@
 //! paper's §2 lineage starts from.
 
 use crate::report::Breakdown;
+use pilut_core::dist::op::LinOp;
 use pilut_core::precond::Preconditioner;
 use pilut_sparse::vec_ops::{axpy, dot, norm2};
-use pilut_sparse::CsrMatrix;
 
 /// Solver parameters.
 #[derive(Clone, Debug)]
@@ -44,7 +44,12 @@ pub struct CgResult {
 
 /// Solves `A x = b` for SPD `A` with preconditioned CG. The preconditioner
 /// must be symmetric positive definite as well (identity, diagonal, IC(0)).
-pub fn cg(a: &CsrMatrix, b: &[f64], precond: &dyn Preconditioner, opts: &CgOptions) -> CgResult {
+pub fn cg<A: LinOp + ?Sized>(
+    a: &A,
+    b: &[f64],
+    precond: &dyn Preconditioner,
+    opts: &CgOptions,
+) -> CgResult {
     let n = a.n_rows();
     assert_eq!(b.len(), n);
     let b_norm = norm2(b);
@@ -81,7 +86,7 @@ pub fn cg(a: &CsrMatrix, b: &[f64], precond: &dyn Preconditioner, opts: &CgOptio
             breakdown = Some(Breakdown::NonFinite { at: iterations });
             break;
         }
-        let ap = a.spmv_owned(&p);
+        let ap = a.apply(&p);
         let pap = dot(&p, &ap);
         if !pap.is_finite() {
             breakdown = Some(Breakdown::NonFinite { at: iterations });
@@ -146,7 +151,7 @@ mod tests {
     use super::*;
     use pilut_core::precond::{DiagonalPreconditioner, IdentityPreconditioner};
     use pilut_core::serial::ic0::ic0;
-    use pilut_sparse::gen;
+    use pilut_sparse::{gen, CsrMatrix};
 
     fn spd_problem(nx: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
         let a = gen::laplace_2d(nx, nx);

@@ -2,13 +2,14 @@
 //!
 //! Vectors are distributed in local-view order (interiors then interfaces of
 //! each rank). Inner products are all-reduces, the matrix–vector product is
-//! the planned boundary exchange of [`pilut_core::dist::spmv`], and the
+//! any [`DistOperator`] — canonically [`DistCsr`](pilut_core::dist::op::DistCsr),
+//! the planned boundary exchange of [`pilut_core::dist::spmv`] — and the
 //! preconditioner action is either a diagonal scaling or the parallel
 //! ILUT/ILUT\* triangular solves of [`pilut_core::trisolve`]. The small
 //! Hessenberg least-squares recurrence is replicated on every rank — the
 //! deterministic reduction tree guarantees bit-identical replicas.
 
-use pilut_core::dist::spmv::{dist_spmv, SpmvPlan};
+use pilut_core::dist::op::DistOperator;
 use pilut_core::dist::{DistMatrix, LocalView};
 use pilut_core::parallel::RankFactors;
 use pilut_core::trisolve::{dist_solve, TrisolvePlan};
@@ -148,20 +149,19 @@ fn dnorm(ctx: &mut Ctx, a: &[f64]) -> f64 {
     ddot(ctx, a, a).sqrt()
 }
 
-/// Right-preconditioned GMRES(restart) over the distributed matrix.
+/// Right-preconditioned GMRES(restart) over a distributed operator.
 /// Collective: every rank calls with its own slices.
-#[allow(clippy::too_many_arguments)]
 pub fn dist_gmres(
     ctx: &mut Ctx,
-    dm: &DistMatrix,
+    op: &mut dyn DistOperator,
     local: &LocalView,
-    spmv_plan: &mut SpmvPlan,
     precond: &mut dyn DistPrecond,
     b: &[f64],
     opts: &GmresOptions,
 ) -> DistGmresResult {
     let nl = local.len();
     assert_eq!(b.len(), nl);
+    assert_eq!(op.local_len(), nl);
     let mut x = vec![0.0; nl];
     let b_norm = dnorm(ctx, b);
     // lint: allow(float-eq): exact zero-RHS short-circuit
@@ -182,7 +182,7 @@ pub fn dist_gmres(
     let mut stalled_cycles = 0usize;
 
     'outer: loop {
-        let ax = dist_spmv(ctx, dm, local, spmv_plan, &x);
+        let ax = op.apply(ctx, &x);
         matvecs += 1;
         let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
         let beta = dnorm(ctx, &r);
@@ -223,7 +223,7 @@ pub fn dist_gmres(
 
         for j in 0..m {
             let z = precond.apply(ctx, local, &v[j]);
-            let mut w = dist_spmv(ctx, dm, local, spmv_plan, &z);
+            let mut w = op.apply(ctx, &z);
             matvecs += 1;
             for i in 0..=j {
                 let hij = ddot(ctx, &w, &v[i]);
@@ -304,7 +304,7 @@ pub fn dist_gmres(
         }
     }
     // Budget exhausted or breakdown: report the true residual.
-    let ax = dist_spmv(ctx, dm, local, spmv_plan, &x);
+    let ax = op.apply(ctx, &x);
     let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
     let mut rel = dnorm(ctx, &r) / b_norm;
     if !rel.is_finite() {
@@ -322,6 +322,7 @@ pub fn dist_gmres(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pilut_core::dist::op::DistCsr;
     use pilut_core::options::IlutOptions;
     use pilut_core::parallel::par_ilut;
     use pilut_par::{Machine, MachineModel};
@@ -340,7 +341,7 @@ mod tests {
         let dm = DistMatrix::from_matrix(a, p, 23);
         let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
-            let mut plan = SpmvPlan::build(ctx, &dm, &local);
+            let mut op = DistCsr::new(ctx, &dm, &local);
             let b: Vec<f64> = local.nodes.iter().map(|&g| b_global[g]).collect();
             let mut pre: Box<dyn DistPrecond> = match &ilut_opts {
                 Some(io) => {
@@ -349,7 +350,7 @@ mod tests {
                 }
                 None => Box::new(DistDiagonal::new(&dm, &local)),
             };
-            let r = dist_gmres(ctx, &dm, &local, &mut plan, pre.as_mut(), &b, &opts);
+            let r = dist_gmres(ctx, &mut op, &local, pre.as_mut(), &b, &opts);
             (local.nodes.clone(), r)
         });
         let mut x = vec![f64::NAN; n];

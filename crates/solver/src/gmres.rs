@@ -1,9 +1,9 @@
 //! Serial restarted GMRES with right preconditioning.
 
 use crate::report::Breakdown;
+use pilut_core::dist::op::LinOp;
 use pilut_core::precond::Preconditioner;
 use pilut_sparse::vec_ops::{axpy, norm2};
-use pilut_sparse::CsrMatrix;
 
 /// Solver parameters.
 #[derive(Clone, Debug)]
@@ -44,9 +44,10 @@ pub struct GmresResult {
 }
 
 /// Solves `A x = b` with right-preconditioned GMRES(restart):
-/// iterates on `A M⁻¹ u = b`, `x = M⁻¹ u`.
-pub fn gmres(
-    a: &CsrMatrix,
+/// iterates on `A M⁻¹ u = b`, `x = M⁻¹ u`. The operator is any [`LinOp`]
+/// (a plain `CsrMatrix` at every existing call site).
+pub fn gmres<A: LinOp + ?Sized>(
+    a: &A,
     b: &[f64],
     precond: &dyn Preconditioner,
     opts: &GmresOptions,
@@ -77,7 +78,7 @@ pub fn gmres(
 
     'outer: loop {
         // r = b - A x.
-        let ax = a.spmv_owned(&x);
+        let ax = a.apply(&x);
         matvecs += 1;
         let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
         let beta = norm2(&r);
@@ -121,7 +122,7 @@ pub fn gmres(
         for j in 0..m {
             // w = A M⁻¹ v_j.
             let z = precond.apply(&v[j]);
-            let mut w = a.spmv_owned(&z);
+            let mut w = a.apply(&z);
             matvecs += 1;
             // Modified Gram–Schmidt.
             for i in 0..=j {
@@ -198,7 +199,7 @@ pub fn gmres(
         }
     }
     // Budget exhausted or breakdown: report the true residual.
-    let ax = a.spmv_owned(&x);
+    let ax = a.apply(&x);
     let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
     let mut rel = norm2(&r) / b_norm;
     if !rel.is_finite() {
@@ -219,7 +220,7 @@ mod tests {
     use super::*;
     use pilut_core::precond::{DiagonalPreconditioner, IdentityPreconditioner, IluPreconditioner};
     use pilut_core::serial::{ilut, IlutOptions};
-    use pilut_sparse::gen;
+    use pilut_sparse::{gen, CsrMatrix};
 
     fn problem(nx: usize, cx: f64) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
         let a = gen::convection_diffusion_2d(nx, nx, cx, cx / 2.0);

@@ -39,13 +39,14 @@
 use std::path::Path;
 use std::time::Instant;
 
+use pilut_core::dist::exchange::tags;
 use pilut_core::dist::DistMatrix;
 use pilut_core::options::IlutOptions;
 use pilut_core::parallel::par_ilut;
 use pilut_core::precond::IluPreconditioner;
 use pilut_core::serial::ilut;
 use pilut_core::trisolve::{dist_solve, TrisolvePlan};
-use pilut_par::{Machine, MachineModel};
+use pilut_par::{Machine, MachineModel, MachineStats};
 use pilut_solver::{gmres, GmresOptions};
 use pilut_sparse::gen;
 
@@ -60,6 +61,14 @@ struct Measurement {
     inner: usize,
     median_ns: u64,
     min_ns: u64,
+    /// Total messages the scenario's machine run put on the wire (0 for
+    /// serial scenarios — they have no machine).
+    comm_messages: u64,
+    /// Total bytes behind `comm_messages`.
+    comm_bytes: u64,
+    /// Per-tag breakdown, `"name:messages/bytes"` space-separated (empty
+    /// for serial scenarios). Names come from `tags::tag_name`.
+    comm_tags: String,
 }
 
 impl Measurement {
@@ -161,6 +170,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Folds a machine run's stats into the measurement's comm fields: the
+/// aggregate message/byte totals plus a per-tag breakdown string.
+fn comm_fields(stats: &MachineStats) -> (u64, u64, String) {
+    let detail = stats
+        .by_tag
+        .iter()
+        .map(|(&tag, &(m, b))| format!("{}:{m}/{b}", tags::tag_name(tag)))
+        .collect::<Vec<_>>()
+        .join(" ");
+    (stats.messages, stats.bytes, detail)
+}
+
 // ---------------------------------------------------------------------------
 // Timing helpers.
 
@@ -212,6 +233,9 @@ fn bench_serial_ilut(cfg: &Cfg) -> Measurement {
         inner: 1,
         median_ns,
         min_ns,
+        comm_messages: 0,
+        comm_bytes: 0,
+        comm_tags: String::new(),
     }
 }
 
@@ -232,6 +256,9 @@ fn bench_serial_ilut_unbounded(cfg: &Cfg) -> Measurement {
         inner: 1,
         median_ns,
         min_ns,
+        comm_messages: 0,
+        comm_bytes: 0,
+        comm_tags: String::new(),
     }
 }
 
@@ -255,6 +282,9 @@ fn bench_trisolve_serial(cfg: &Cfg) -> Measurement {
         inner,
         median_ns,
         min_ns,
+        comm_messages: 0,
+        comm_bytes: 0,
+        comm_tags: String::new(),
     }
 }
 
@@ -276,6 +306,9 @@ fn bench_spmv(cfg: &Cfg) -> Measurement {
         inner,
         median_ns,
         min_ns,
+        comm_messages: 0,
+        comm_bytes: 0,
+        comm_tags: String::new(),
     }
 }
 
@@ -304,6 +337,9 @@ fn bench_gmres(cfg: &Cfg) -> Measurement {
         inner: 1,
         median_ns,
         min_ns,
+        comm_messages: 0,
+        comm_bytes: 0,
+        comm_tags: String::new(),
     }
 }
 
@@ -331,6 +367,15 @@ fn bench_par_ilut(name: &'static str, cfg: &Cfg, p: usize, opts: IlutOptions) ->
         });
         out.results.into_iter().max().unwrap_or(0)
     });
+    // One untimed run to read the comm volume of a single factorization.
+    let stats = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
+        let local = dm.local_view(ctx.rank());
+        // lint: allow(unwrap): bench problems factor by construction; a failure here is fatal to the measurement
+        let rf = par_ilut(ctx, &dm, &local, &opts).expect("factorization failed");
+        std::hint::black_box(&rf);
+    })
+    .stats;
+    let (comm_messages, comm_bytes, comm_tags) = comm_fields(&stats);
     Measurement {
         name,
         n,
@@ -339,6 +384,9 @@ fn bench_par_ilut(name: &'static str, cfg: &Cfg, p: usize, opts: IlutOptions) ->
         inner,
         median_ns,
         min_ns,
+        comm_messages,
+        comm_bytes,
+        comm_tags,
     }
 }
 
@@ -383,19 +431,25 @@ fn bench_dist_trisolve_p4(cfg: &Cfg) -> Measurement {
         });
         out.results.into_iter().max().unwrap_or(0)
     });
-    // Factor fill for the throughput figure: rebuild once outside timing.
-    let fill: usize = {
+    // Factor fill for the throughput figure plus the comm volume of one
+    // factor + plan build + solve: rebuild once outside timing.
+    let (fill, stats) = {
         let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
             // lint: allow(unwrap): bench problems factor by construction; a failure here is fatal to the measurement
             let rf = par_ilut(ctx, &dm, &local, &opts).expect("factorization failed");
+            let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
+            let b: Vec<f64> = local.nodes.iter().map(|&g| (g as f64).sin()).collect();
+            let x = dist_solve(ctx, &local, &rf, &plan, &b);
+            std::hint::black_box(&x);
             rf.rows
                 .values()
                 .map(|r| r.l.len() + r.u.len() + 1)
                 .sum::<usize>()
         });
-        out.results.into_iter().sum()
+        (out.results.into_iter().sum::<usize>(), out.stats)
     };
+    let (comm_messages, comm_bytes, comm_tags) = comm_fields(&stats);
     Measurement {
         name: "dist_trisolve_p4",
         n,
@@ -404,6 +458,9 @@ fn bench_dist_trisolve_p4(cfg: &Cfg) -> Measurement {
         inner,
         median_ns,
         min_ns,
+        comm_messages,
+        comm_bytes,
+        comm_tags,
     }
 }
 
@@ -420,7 +477,8 @@ fn render_json(label: &str, quick: bool, results: &[Measurement]) -> String {
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"n\": {}, \"nnz\": {}, \"reps\": {}, \"inner\": {}, \
-             \"median_ns\": {}, \"min_ns\": {}, \"mnnz_per_s\": {:.2}}}{}\n",
+             \"median_ns\": {}, \"min_ns\": {}, \"mnnz_per_s\": {:.2}, \
+             \"comm_messages\": {}, \"comm_bytes\": {}, \"comm_tags\": \"{}\"}}{}\n",
             m.name,
             m.n,
             m.nnz,
@@ -429,6 +487,9 @@ fn render_json(label: &str, quick: bool, results: &[Measurement]) -> String {
             m.median_ns,
             m.min_ns,
             m.mnnz_per_s(),
+            m.comm_messages,
+            m.comm_bytes,
+            m.comm_tags,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -467,6 +528,8 @@ pub fn verify(path: &str) -> Result<(), String> {
             "\"reps\":",
             "\"inner\":",
             "\"mnnz_per_s\":",
+            "\"comm_messages\":",
+            "\"comm_bytes\":",
         ] {
             if !line.contains(key) {
                 return Err(format!("{path}: scenario {scenarios} missing {key}"));
@@ -671,6 +734,9 @@ mod tests {
             inner: 10,
             median_ns: 1000,
             min_ns: 900,
+            comm_messages: 12,
+            comm_bytes: 4096,
+            comm_tags: "spmv:12/4096".to_string(),
         }]
     }
 

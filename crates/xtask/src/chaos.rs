@@ -13,22 +13,31 @@
 //!   wrong factorization.
 //!
 //! Every trial is replayable: the fault plan is derived from `(kind, seed,
-//! p)` alone, and the failure line prints all three. Full mode sweeps
-//! p ∈ {4, 8} × 20 seeds; `--quick` runs one trial per fault class at
-//! p = 4 (the CI configuration).
+//! p)` alone, and the failure line prints all three plus the workload.
+//! Two workloads are swept: `factor` (the parallel ILUT factorization,
+//! where faults land in plan *construction* traffic) and `replay`
+//! (prebuilt SpMV and trisolve `CommPlan`s driven through repeated
+//! `replay` rounds, so faults land in the steady-state data plane). Full
+//! mode sweeps p ∈ {4, 8} × 20 seeds × both workloads; `--quick` runs one
+//! trial per (fault class, workload) at p = 4 (the CI configuration).
 
 use std::panic::AssertUnwindSafe;
 use std::time::Duration;
 
+use pilut_core::dist::op::{DistCsr, DistOperator};
 use pilut_core::dist::DistMatrix;
 use pilut_core::options::IlutOptions;
 use pilut_core::parallel::par_ilut;
+use pilut_core::trisolve::{dist_solve, TrisolvePlan};
 use pilut_par::{FaultAction, FaultPlan, FaultRule, Machine, MachineModel, FAULT_KILL_PREFIX};
 use pilut_sparse::gen;
 
 /// The six fault classes, cycled over seeds so every class is exercised at
 /// every process count.
 const KINDS: &[&str] = &["delay", "reorder", "stall", "drop", "duplicate", "kill"];
+
+/// The two workloads every fault class is thrown at.
+const WORKLOADS: &[&str] = &["factor", "replay"];
 
 fn is_benign(kind: &str) -> bool {
     matches!(kind, "delay" | "reorder" | "stall")
@@ -49,10 +58,17 @@ fn mix(state: &mut u64) -> u64 {
 /// failure reproduces from its printed `(kind, seed, p)` triple; benign
 /// rules may use probabilities — nondeterminism in *whether* they fire is
 /// still seeded, and a benign fault must be harmless wherever it lands.
-fn plan_for(kind: &str, seed: u64, p: usize) -> FaultPlan {
+fn plan_for(work: &str, kind: &str, seed: u64, p: usize) -> FaultPlan {
     let mut s = seed ^ 0xc7a_5_u64.rotate_left(17);
     let victim = (mix(&mut s) % p as u64) as usize;
-    let after = 1 + mix(&mut s) % 12;
+    // The replay workload arms its rules well past the factorization and
+    // plan-build prefix, so destructive fires land inside the
+    // `CommPlan::replay` rounds that workload exists to stress.
+    let after = if work == "replay" {
+        64 + mix(&mut s) % 192
+    } else {
+        1 + mix(&mut s) % 12
+    };
     let rule = match kind {
         "delay" => FaultRule::new(FaultAction::Delay { seconds: 2.0 }).probability(0.3),
         "reorder" => FaultRule::new(FaultAction::Reorder)
@@ -92,18 +108,33 @@ enum Outcome {
     Fail(String),
 }
 
-/// The factorization workload: par_ilut over a block-partitioned Laplacian,
-/// reduced to one checksum per rank (the sum of owned pivots) so benign
-/// trials can be compared bit-for-bit against a clean run.
-fn workload(dm: &DistMatrix, p: usize, plan: Option<FaultPlan>) -> Vec<u64> {
-    let opts = IlutOptions::new(5, 1e-4);
+/// Builds the machine for one trial, with or without a fault plan.
+fn trial_machine(plan: Option<FaultPlan>) -> pilut_par::MachineBuilder {
     let mut builder = Machine::builder(MachineModel::cray_t3d())
         .checked(true)
         .watchdog_poll(Duration::from_millis(2));
     if let Some(plan) = plan {
         builder = builder.fault_plan(plan);
     }
-    let out = builder.run(p, |ctx| {
+    builder
+}
+
+/// Dispatches one of the two chaos workloads; both reduce to one checksum
+/// per rank plus a trailing fired-fault count.
+fn workload(name: &str, dm: &DistMatrix, p: usize, plan: Option<FaultPlan>) -> Vec<u64> {
+    match name {
+        "factor" => factor_workload(dm, p, plan),
+        "replay" => replay_workload(dm, p, plan),
+        other => unreachable!("unknown chaos workload {other}"),
+    }
+}
+
+/// The factorization workload: par_ilut over a block-partitioned Laplacian,
+/// reduced to one checksum per rank (the sum of owned pivots) so benign
+/// trials can be compared bit-for-bit against a clean run.
+fn factor_workload(dm: &DistMatrix, p: usize, plan: Option<FaultPlan>) -> Vec<u64> {
+    let opts = IlutOptions::new(5, 1e-4);
+    let out = trial_machine(plan).run(p, |ctx| {
         let local = dm.local_view(ctx.rank());
         // lint: allow(unwrap): the workload matrix factors cleanly; a corrupted run dies in the VM's diagnosis
         let rf = par_ilut(ctx, dm, &local, &opts).expect("chaos workload must factor");
@@ -122,11 +153,41 @@ fn workload(dm: &DistMatrix, p: usize, plan: Option<FaultPlan>) -> Vec<u64> {
     sums
 }
 
+/// The steady-state data-plane workload: factor once, build the SpMV and
+/// trisolve plans, then drive several matvec+solve rounds through
+/// `CommPlan::replay` — the path every iterative solve sits on. Later
+/// fault `after_op` offsets land inside the replays rather than the plan
+/// builds, which is exactly the coverage the factor workload lacks.
+fn replay_workload(dm: &DistMatrix, p: usize, plan: Option<FaultPlan>) -> Vec<u64> {
+    let opts = IlutOptions::new(5, 1e-4);
+    let out = trial_machine(plan).run(p, |ctx| {
+        let local = dm.local_view(ctx.rank());
+        // lint: allow(unwrap): the workload matrix factors cleanly; a corrupted run dies in the VM's diagnosis
+        let rf = par_ilut(ctx, dm, &local, &opts).expect("chaos workload must factor");
+        let tplan = TrisolvePlan::build(ctx, dm, &local, &rf);
+        let mut op = DistCsr::new(ctx, dm, &local);
+        // Four rounds of matvec + two-sweep solve, feeding each round's
+        // output into the next so a corrupted replay cannot cancel out.
+        let mut x = vec![1.0; local.len()];
+        for _ in 0..4 {
+            let y = op.apply(ctx, &x);
+            x = dist_solve(ctx, &local, &rf, &tplan, &y);
+        }
+        // Local-view order is deterministic per rank, so a sequential sum
+        // is bit-stable for the benign comparison.
+        let sum: f64 = x.iter().sum();
+        sum.to_bits()
+    });
+    let mut sums = out.results;
+    sums.push(out.injected_faults.len() as u64);
+    sums
+}
+
 /// Runs one trial and classifies it against the fault-class contract.
-fn run_trial(kind: &str, seed: u64, p: usize, clean: &[u64]) -> Outcome {
-    let plan = plan_for(kind, seed, p);
+fn run_trial(work: &str, kind: &str, seed: u64, p: usize, clean: &[u64]) -> Outcome {
+    let plan = plan_for(work, kind, seed, p);
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        workload(&dist_matrix(p), p, Some(plan))
+        workload(work, &dist_matrix(p), p, Some(plan))
     }));
     match result {
         Ok(sums) => {
@@ -215,15 +276,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     for &p in procs {
-        let clean = workload(&dist_matrix(p), p, None);
-        for seed in 0..seeds_per_p {
-            let kind = KINDS[(seed as usize) % KINDS.len()];
-            match run_trial(kind, seed, p, &clean) {
-                Outcome::CleanMatch => clean_match += 1,
-                Outcome::NoFire => no_fire += 1,
-                Outcome::Diagnosed => diagnosed += 1,
-                Outcome::Fail(why) => {
-                    failures.push(format!("kind={kind} seed={seed} p={p}: {why}"))
+        for &work in WORKLOADS {
+            let clean = workload(work, &dist_matrix(p), p, None);
+            for seed in 0..seeds_per_p {
+                let kind = KINDS[(seed as usize) % KINDS.len()];
+                match run_trial(work, kind, seed, p, &clean) {
+                    Outcome::CleanMatch => clean_match += 1,
+                    Outcome::NoFire => no_fire += 1,
+                    Outcome::Diagnosed => diagnosed += 1,
+                    Outcome::Fail(why) => {
+                        failures.push(format!("work={work} kind={kind} seed={seed} p={p}: {why}"))
+                    }
                 }
             }
         }
@@ -254,8 +317,8 @@ mod tests {
 
     #[test]
     fn plans_are_deterministic_per_seed() {
-        let a = plan_for("drop", 9, 4);
-        let b = plan_for("drop", 9, 4);
+        let a = plan_for("factor", "drop", 9, 4);
+        let b = plan_for("factor", "drop", 9, 4);
         assert_eq!(a.rules()[0].rank, b.rules()[0].rank);
         assert_eq!(a.rules()[0].after_op, b.rules()[0].after_op);
     }

@@ -26,6 +26,12 @@
 //! * **par-confinement** — `std::thread` and channel types are allowed
 //!   only inside `crates/par`; every other crate must go through the
 //!   `Machine`/`Ctx` abstraction so the cost model sees all parallelism.
+//! * **no-raw-comm** — raw point-to-point traffic (`ctx.send(` /
+//!   `ctx.recv(`) is allowed only inside `crates/par` (which implements
+//!   it) and `crates/core/src/dist/exchange.rs` (the planned-exchange
+//!   layer). Everything else must route through a `CommPlan` or a
+//!   collective, so every message is scheduled, counted, and replayable.
+//!   Escape hatch: `// lint: allow(raw-comm): <why>`.
 //! * **dep-allowlist** — every `Cargo.toml` may depend only on in-repo
 //!   `pilut-*` path crates (plus `criterion`, only in the excluded
 //!   `crates/bench`). This is what keeps the tier-1 gate offline-safe.
@@ -293,6 +299,18 @@ fn lint_source(label: &str, content: &str, in_par: bool) -> Vec<Violation> {
                 text: raw.to_string(),
             });
         }
+        let comm_exempt = in_par || label == "crates/core/src/dist/exchange.rs";
+        if !comm_exempt
+            && (code.contains("ctx.send(") || code.contains("ctx.recv("))
+            && !allowed(&lines, i, "raw-comm")
+        {
+            out.push(Violation {
+                file: label.to_string(),
+                line: i + 1,
+                rule: "no-raw-comm",
+                text: raw.to_string(),
+            });
+        }
         if label.starts_with("crates/") {
             if let Some(v) = missing_doc_violation(label, &lines, i) {
                 out.push(v);
@@ -553,6 +571,19 @@ mod tests {
     fn string_and_comment_content_does_not_fire() {
         let src = "fn f() { let s = \".unwrap() == 0.0 mpsc\"; } // .unwrap() std::thread\n";
         assert!(lint_source("crates/fake/src/a.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn raw_comm_confined_to_par_and_exchange() {
+        let src = "fn f(ctx: &mut Ctx) { ctx.send(1, 7, p); let _ = ctx.recv(0, 7); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/core/src/dist/spmv.rs", src, false)),
+            vec!["no-raw-comm"; 1]
+        );
+        assert!(lint_source("crates/par/src/ctx.rs", src, true).is_empty());
+        assert!(lint_source("crates/core/src/dist/exchange.rs", src, false).is_empty());
+        let allowed = "// lint: allow(raw-comm): bootstrap handshake\nfn f(ctx: &mut Ctx) { ctx.send(1, 7, p); }\n";
+        assert!(lint_source("crates/core/src/a.rs", allowed, false).is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example torso_ecg`
 
-use pilut::core::dist::spmv::{dist_spmv, SpmvPlan};
+use pilut::core::dist::op::{DistCsr, DistOperator};
 use pilut::core::dist::DistMatrix;
 use pilut::core::options::IlutOptions;
 use pilut::core::parallel::par_ilut;
@@ -37,7 +37,7 @@ fn main() {
     for opts in [IlutOptions::new(10, 1e-4), IlutOptions::star(10, 1e-4, 2)] {
         let out = Machine::run(p, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
-            let mut splan = SpmvPlan::build(ctx, &dm, &local);
+            let mut op = DistCsr::new(ctx, &dm, &local);
 
             ctx.barrier();
             let t0 = ctx.time();
@@ -47,7 +47,7 @@ fn main() {
             let q = rf.stats.levels;
 
             let ones = vec![1.0; local.len()];
-            let b = dist_spmv(ctx, &dm, &local, &mut splan, &ones);
+            let b = op.apply(ctx, &ones);
             let mut pre = DistIlu::new(ctx, &dm, &local, rf);
             let gopts = GmresOptions {
                 restart: 50,
@@ -56,7 +56,7 @@ fn main() {
             };
             ctx.barrier();
             let t1 = ctx.time();
-            let r = dist_gmres(ctx, &dm, &local, &mut splan, &mut pre, &b, &gopts);
+            let r = dist_gmres(ctx, &mut op, &local, &mut pre, &b, &gopts);
             ctx.barrier();
             let t_solve = ctx.time() - t1;
             (t_factor, t_solve, q, r.matvecs, r.converged)

@@ -47,6 +47,8 @@ pub use pilut_sparse as sparse;
 /// Everything a typical application needs, in one import:
 /// `use pilut::prelude::*;`
 pub mod prelude {
+    pub use pilut_core::dist::exchange::{CommPlan, DistVector};
+    pub use pilut_core::dist::op::{DistCsr, DistOperator, LinOp};
     pub use pilut_core::dist::spmv::{dist_spmv, SpmvPlan};
     pub use pilut_core::dist::{DistMatrix, Distribution, LocalView};
     pub use pilut_core::options::{FactorError, IlutOptions};

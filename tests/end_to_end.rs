@@ -2,7 +2,7 @@
 //! through partitioning, parallel factorization, and distributed GMRES —
 //! plus "shape" checks of the paper's headline claims at test scale.
 
-use pilut::core::dist::spmv::{dist_spmv, SpmvPlan};
+use pilut::core::dist::op::{DistCsr, DistOperator};
 use pilut::core::dist::DistMatrix;
 use pilut::core::options::IlutOptions;
 use pilut::core::parallel::par_ilut;
@@ -38,11 +38,11 @@ fn distributed_solution_matches_serial() {
     let b2 = b.clone();
     let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
         let local = dm.local_view(ctx.rank());
-        let mut plan = SpmvPlan::build(ctx, &dm, &local);
+        let mut op = DistCsr::new(ctx, &dm, &local);
         let rf = par_ilut(ctx, &dm, &local, &IlutOptions::new(8, 1e-3)).unwrap();
         let mut pre = DistIlu::new(ctx, &dm, &local, rf);
         let bl: Vec<f64> = local.nodes.iter().map(|&g| b2[g]).collect();
-        let r = dist_gmres(ctx, &dm, &local, &mut plan, &mut pre, &bl, &gopts);
+        let r = dist_gmres(ctx, &mut op, &local, &mut pre, &bl, &gopts);
         assert!(r.converged);
         (local.nodes.clone(), r.x_local)
     });
@@ -123,14 +123,14 @@ fn trisolve_cost_is_comparable_to_matvec() {
         let local = dm.local_view(ctx.rank());
         let rf = par_ilut(ctx, &dm, &local, &opts).unwrap();
         let tplan = TrisolvePlan::build(ctx, &dm, &local, &rf);
-        let mut splan = SpmvPlan::build(ctx, &dm, &local);
+        let mut op = DistCsr::new(ctx, &dm, &local);
         let b = vec![1.0; local.len()];
         ctx.barrier();
         let t0 = ctx.time();
         let _ = dist_solve(ctx, &local, &rf, &tplan, &b);
         ctx.barrier();
         let t1 = ctx.time();
-        let _ = dist_spmv(ctx, &dm, &local, &mut splan, &b);
+        let _ = op.apply(ctx, &b);
         ctx.barrier();
         (t1 - t0, ctx.time() - t1)
     });
@@ -157,16 +157,16 @@ fn parallel_ilut_preconditioning_beats_diagonal_end_to_end() {
     let run = |use_ilut: bool| {
         let out = Machine::run_checked(p, MachineModel::cray_t3d(), |ctx| {
             let local = dm.local_view(ctx.rank());
-            let mut plan = SpmvPlan::build(ctx, &dm, &local);
+            let mut op = DistCsr::new(ctx, &dm, &local);
             let ones = vec![1.0; local.len()];
-            let b = dist_spmv(ctx, &dm, &local, &mut plan, &ones);
+            let b = op.apply(ctx, &ones);
             let mut pre: Box<dyn DistPrecond> = if use_ilut {
                 let rf = par_ilut(ctx, &dm, &local, &IlutOptions::new(10, 1e-4)).unwrap();
                 Box::new(DistIlu::new(ctx, &dm, &local, rf))
             } else {
                 Box::new(DistDiagonal::new(&dm, &local))
             };
-            let r = dist_gmres(ctx, &dm, &local, &mut plan, pre.as_mut(), &b, &gopts);
+            let r = dist_gmres(ctx, &mut op, &local, pre.as_mut(), &b, &gopts);
             (r.matvecs, r.converged)
         });
         out.results[0]
