@@ -41,22 +41,30 @@ use std::collections::HashMap;
 /// `MachineStats::by_tag` legible. Values are stable across releases — the
 /// bench JSON reports them by [`tag_name`].
 pub mod tags {
+    /// Uniform stride between protocol namespaces. Each protocol owns
+    /// `[base, base + STRIDE)`: room for a 20-bit per-level rebase shift
+    /// (`base + (level << 20)`) times a 20-bit round counter within every
+    /// level's private base, with no way for one protocol's derived wire
+    /// tags to drift into its neighbour's namespace. The `tag_name`
+    /// *strings* are the stable interface reported in bench JSON; the
+    /// numeric values may restride between releases.
+    pub const STRIDE: u64 = 1 << 40;
     /// Boundary `x` values of the distributed SpMV.
-    pub const SPMV: u64 = 1 << 20;
+    pub const SPMV: u64 = STRIDE;
     /// U-row shipping of the parallel ILUT interface factorization.
-    pub const UROWS: u64 = 1 << 24;
+    pub const UROWS: u64 = 2 * STRIDE;
     /// Forward-sweep values of the distributed triangular solve.
-    pub const FWD: u64 = 2 << 40;
+    pub const FWD: u64 = 3 * STRIDE;
     /// Backward-sweep values of the distributed triangular solve.
-    pub const BWD: u64 = 3 << 40;
+    pub const BWD: u64 = 4 * STRIDE;
     /// Distributed-MIS step 1: key/state push.
-    pub const MIS_KEYS: u64 = 4 << 40;
+    pub const MIS_KEYS: u64 = 5 * STRIDE;
     /// Distributed-MIS step 2: tentative-winner push.
-    pub const MIS_TENT: u64 = 5 << 40;
+    pub const MIS_TENT: u64 = 6 * STRIDE;
     /// Distributed-MIS step 3: confirmation + kill push.
-    pub const MIS_CONF: u64 = 6 << 40;
+    pub const MIS_CONF: u64 = 7 * STRIDE;
     /// U-row shipping of the parallel ILU(0) numeric levels.
-    pub const U0: u64 = 7 << 40;
+    pub const U0: u64 = 8 * STRIDE;
 
     /// Human-readable name of a counter tag (the collectives' reserved
     /// namespace reports as `"coll"`, unknown user tags as `"user"`).
@@ -263,34 +271,51 @@ impl CommPlan {
     }
 
     /// One directed replay round under the plan's own tag: see
-    /// [`CommPlan::replay_tagged`].
+    /// [`CommPlan::replay_tagged`]. On a [`CommPlan::rebase`]d plan the
+    /// wire tags come from the private base while the traffic counters
+    /// stay attributed to the original protocol tag.
     pub fn replay(
         &self,
         ctx: &mut Ctx,
         make: impl FnMut(usize, &[usize]) -> Payload,
         take: impl FnMut(usize, &[usize], Payload),
     ) {
-        self.replay_tagged(ctx, self.tag, make, take);
+        self.replay_dir(ctx, self.tag, self.stats_tag, make, take);
     }
 
     /// One directed replay round under an explicit tag (for protocols that
     /// multiplex several message kinds over one plan, like the MIS steps):
     /// sends `make(peer, nodes)` to every send-side peer, then hands each
     /// receive-side peer's payload to `take(peer, nodes, payload)`, both in
-    /// ascending peer order. Exactly one message per peer per round.
+    /// ascending peer order. Exactly one message per peer per round. The
+    /// explicit tag names both the wire namespace and the counter key.
     pub fn replay_tagged(
         &self,
         ctx: &mut Ctx,
         tag: u64,
+        make: impl FnMut(usize, &[usize]) -> Payload,
+        take: impl FnMut(usize, &[usize], Payload),
+    ) {
+        self.replay_dir(ctx, tag, tag, make, take);
+    }
+
+    /// The shared directed round: wire tags under `wire_base`, counters
+    /// under `stats_tag`. Every public replay entry funnels through here so
+    /// the wire-vs-stats split cannot drift between them.
+    fn replay_dir(
+        &self,
+        ctx: &mut Ctx,
+        wire_base: u64,
+        stats_tag: u64,
         mut make: impl FnMut(usize, &[usize]) -> Payload,
         mut take: impl FnMut(usize, &[usize], Payload),
     ) {
-        let send_tag = self.send_round_tag(tag);
+        let send_tag = self.send_round_tag(wire_base);
         for (peer, nodes) in &self.send {
             let payload = make(*peer, nodes);
-            ctx.send_as(*peer, send_tag, tag, payload);
+            ctx.send_as(*peer, send_tag, stats_tag, payload);
         }
-        let recv_tag = self.recv_round_tag(tag);
+        let recv_tag = self.recv_round_tag(wire_base);
         for (peer, nodes) in &self.recv {
             let payload = ctx.recv(*peer, recv_tag);
             take(*peer, nodes, payload);

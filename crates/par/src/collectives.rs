@@ -7,6 +7,7 @@
 
 use crate::check::CollKind;
 use crate::ctx::Ctx;
+use crate::hb::RecvMode;
 use crate::payload::Payload;
 
 /// Element-wise reduction operators.
@@ -235,31 +236,103 @@ impl Ctx {
     /// ordered by source (and send order within a source).
     ///
     /// Cost: one `O(p)`-payload all-reduce to learn the incoming count,
-    /// then direct messages.
+    /// then **one packed message per destination** — all payloads bound for
+    /// one rank travel in a single envelope. Packing is what makes the
+    /// per-source order promise structural: the wire contract leaves
+    /// same-`(sender, tag)` delivery order undefined, so shipping each
+    /// payload separately was a match-order race (found by the
+    /// happens-before detector; see EXPERIMENTS.md). Cross-source arrival
+    /// order remains free, which is fine — the result is canonicalized by
+    /// the source sort, and the any-source receive declares itself
+    /// order-insensitive to the race detector.
     pub fn exchange(&mut self, sends: Vec<(usize, Payload)>) -> Vec<(usize, Payload)> {
         let p = self.nprocs();
-        let mut counts = vec![0u64; p];
-        for &(dest, _) in &sends {
+        let mut by_dest: Vec<Vec<Payload>> = (0..p).map(|_| Vec::new()).collect();
+        for (dest, payload) in sends {
             assert!(dest < p, "exchange destination {dest} out of range");
-            counts[dest] += 1;
+            by_dest[dest].push(payload);
         }
+        let counts: Vec<u64> = by_dest.iter().map(|l| u64::from(!l.is_empty())).collect();
         // After the sum-reduce, slot `me` holds how many messages I receive.
         let totals = self.all_reduce_u64(counts, ReduceOp::Sum);
         let incoming = totals[self.rank()] as usize;
         let tag = self.begin_collective(CollKind::Exchange);
-        for (dest, payload) in sends {
-            self.send_internal(dest, tag, tag, payload);
+        for (dest, parts) in by_dest.into_iter().enumerate() {
+            if parts.is_empty() {
+                continue;
+            }
+            self.send_internal(dest, tag, tag, pack_exchange(parts));
         }
-        let mut out = Vec::with_capacity(incoming);
+        let mut out = Vec::new();
         for _ in 0..incoming {
-            out.push(self.recv_any_internal(tag));
+            let (src, packed) = self.recv_any_internal(tag, RecvMode::WildcardUnordered);
+            for payload in unpack_exchange(packed) {
+                out.push((src, payload));
+            }
         }
         self.end_collective();
         // Deterministic order regardless of arrival interleaving: sort by
-        // source; per-source FIFO is preserved by the stable sort.
+        // source; per-source order is already structural (one message per
+        // source), and the stable sort keeps it.
         out.sort_by_key(|&(src, _)| src);
         out
     }
+}
+
+/// Packs one exchange's payload sequence for a single destination into one
+/// wire message. Frame (all in the `u64` half of a [`Payload::Mixed`]):
+/// `[n, (variant, u64_len, f64_len) × n, u64 bodies…]`; the `f64` bodies are
+/// concatenated in the `f64` half. Variants: 0 = Empty, 1 = U64, 2 = F64,
+/// 3 = Mixed.
+fn pack_exchange(parts: Vec<Payload>) -> Payload {
+    let mut header: Vec<u64> = Vec::with_capacity(1 + 3 * parts.len());
+    header.push(parts.len() as u64);
+    let mut us: Vec<u64> = Vec::new();
+    let mut fs: Vec<f64> = Vec::new();
+    for part in parts {
+        let (variant, u, f): (u64, Vec<u64>, Vec<f64>) = match part {
+            Payload::Empty => (0, Vec::new(), Vec::new()),
+            p @ Payload::U64(_) => (1, p.into_u64(), Vec::new()),
+            p @ Payload::F64(_) => (2, Vec::new(), p.into_f64()),
+            p @ Payload::Mixed(..) => {
+                let (u, f) = p.into_mixed();
+                (3, u, f)
+            }
+        };
+        header.push(variant);
+        header.push(u.len() as u64);
+        header.push(f.len() as u64);
+        us.extend_from_slice(&u);
+        fs.extend_from_slice(&f);
+    }
+    header.append(&mut us);
+    Payload::mixed(header, fs)
+}
+
+/// Inverse of [`pack_exchange`]: splits one packed envelope back into the
+/// sender's payload sequence, in send order.
+fn unpack_exchange(packed: Payload) -> Vec<Payload> {
+    let (frame, fs) = packed.into_mixed();
+    let n = frame[0] as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut ucur = 1 + 3 * n;
+    let mut fcur = 0usize;
+    for k in 0..n {
+        let variant = frame[1 + 3 * k];
+        let ulen = frame[2 + 3 * k] as usize;
+        let flen = frame[3 + 3 * k] as usize;
+        let u = frame[ucur..ucur + ulen].to_vec();
+        let f = fs[fcur..fcur + flen].to_vec();
+        ucur += ulen;
+        fcur += flen;
+        out.push(match variant {
+            0 => Payload::Empty,
+            1 => Payload::u64s(u),
+            2 => Payload::f64s(f),
+            _ => Payload::mixed(u, f),
+        });
+    }
+    out
 }
 
 fn decode_u64_blocks(all: &[u64], p: usize) -> Vec<Vec<u64>> {
@@ -395,6 +468,47 @@ mod tests {
             .map(|(_, p)| p.clone().into_u64()[0])
             .collect();
         assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn exchange_pack_roundtrip_all_variants() {
+        let parts = vec![
+            Payload::Empty,
+            Payload::u64s(vec![1, 2, 3]),
+            Payload::f64s(vec![0.5, -1.5]),
+            Payload::mixed(vec![9], vec![2.25]),
+            Payload::u64s(vec![]),
+            Payload::f64s(vec![]),
+        ];
+        assert_eq!(unpack_exchange(pack_exchange(parts.clone())), parts);
+        // A lone payload survives too (the common single-send case).
+        let one = vec![Payload::mixed(vec![7, 8], vec![])];
+        assert_eq!(unpack_exchange(pack_exchange(one.clone())), one);
+    }
+
+    #[test]
+    fn exchange_mixed_payload_kinds_one_destination() {
+        // Regression for the packing frame: heterogeneous payload kinds from
+        // one source must arrive intact and in send order.
+        let out = Machine::run_checked(2, model(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.exchange(vec![
+                    (1, Payload::f64s(vec![1.25])),
+                    (1, Payload::Empty),
+                    (1, Payload::mixed(vec![4], vec![0.5])),
+                ])
+            } else {
+                ctx.exchange(vec![])
+            }
+        });
+        assert_eq!(
+            out.results[1],
+            vec![
+                (0, Payload::f64s(vec![1.25])),
+                (0, Payload::Empty),
+                (0, Payload::mixed(vec![4], vec![0.5])),
+            ]
+        );
     }
 
     #[test]

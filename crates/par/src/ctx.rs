@@ -3,6 +3,7 @@
 
 use crate::check::{CheckState, CollKind, LeakRecord, RankStatus};
 use crate::fault::{FaultSession, MessageFate, RankFate, FAULT_KILL_PREFIX};
+use crate::hb::{HbState, RecvMode};
 use crate::machine::MachineModel;
 use crate::payload::Payload;
 use std::collections::{BTreeMap, VecDeque};
@@ -30,6 +31,10 @@ pub struct Envelope {
     pub time: f64,
     /// Collective op piggybacked on reserved-tag traffic (order checking).
     pub coll_kind: Option<CollKind>,
+    /// Sender's vector clock at send time — the happens-before stamp the
+    /// match-order race detector compares (see [`crate::hb`]). `None` on
+    /// the zero-overhead production path.
+    pub vclock: Option<Vec<u64>>,
     /// The data.
     pub payload: Payload,
 }
@@ -107,6 +112,9 @@ pub struct Ctx {
     last_accepted_from: usize,
     /// Commcheck board; `None` on the zero-overhead production path.
     check: Option<Arc<CheckState>>,
+    /// Vector-clock + match-order race state; allocated only in checked
+    /// mode, so production runs carry no clocks (see [`crate::hb`]).
+    hb: Option<HbState>,
     /// Watchdog poll interval used by the checked receive loop.
     poll: Duration,
     /// Fault-injection session; `None` unless a plan was installed via
@@ -134,6 +142,7 @@ impl Ctx {
         poll: Duration,
         fault: Option<FaultSession>,
     ) -> Self {
+        let hb = check.is_some().then(|| HbState::new(rank, nprocs));
         Ctx {
             rank,
             nprocs,
@@ -147,6 +156,7 @@ impl Ctx {
             current_coll: None,
             last_accepted_from: usize::MAX,
             check,
+            hb,
             poll,
             fault,
             held: Vec::new(),
@@ -277,6 +287,7 @@ impl Ctx {
             tag,
             time: self.time,
             coll_kind,
+            vclock: self.hb.as_mut().map(HbState::stamp_send),
             payload,
         };
         if to == self.rank {
@@ -316,6 +327,7 @@ impl Ctx {
                     tag: env.tag,
                     time: env.time,
                     coll_kind: env.coll_kind,
+                    vclock: env.vclock.clone(),
                     payload: env.payload.clone(),
                 };
                 self.counters.messages += 1;
@@ -407,10 +419,10 @@ impl Ctx {
         {
             // lint: allow(unwrap): the position came from a search of the same deque
             let env = self.pending.remove(pos).expect("position came from iter");
-            return self.accept(env);
+            return self.accept(env, RecvMode::Directed);
         }
         if self.check.is_some() {
-            return self.recv_checked(Some(from), tag);
+            return self.recv_checked(Some(from), tag, RecvMode::Directed);
         }
         loop {
             let env = self
@@ -419,26 +431,48 @@ impl Ctx {
                 // lint: allow(unwrap): every live rank holds a sender to this channel
                 .expect("all senders hung up while waiting");
             if env.from == from && env.tag == tag {
-                return self.accept(env);
+                return self.accept(env, RecvMode::Directed);
             }
             self.pending.push_back(env);
         }
     }
 
     /// Receives the next message with the given `tag` from *any* rank,
+    /// blocking until one arrives, and returns `(source, payload)`.
+    ///
+    /// The matched source depends on arrival order, so a program whose
+    /// result depends on it is schedule-dependent. Under checked mode this
+    /// receive is treated as **order-sensitive**: the happens-before race
+    /// detector reports any pair of concurrent candidate messages for the
+    /// same `(rank, tag)` as a match-order race (see [`crate::hb`]). Callers
+    /// that canonicalize the result afterwards (like the internal sparse
+    /// all-to-all, which sorts by source) use an order-insensitive internal
+    /// variant instead.
+    pub fn recv_any(&mut self, tag: u64) -> (usize, Payload) {
+        assert!(
+            tag < Self::RESERVED_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
+        self.recv_any_internal(tag, RecvMode::Wildcard)
+    }
+
+    /// Receives the next message with the given `tag` from *any* rank,
     /// blocking until one arrives. Used by the sparse all-to-all, where the
     /// receiver knows how many messages to expect but not their order.
-    pub(crate) fn recv_any_internal(&mut self, tag: u64) -> (usize, Payload) {
+    /// `mode` declares whether the caller is order-sensitive — the race
+    /// detector flags concurrent cross-sender candidates only for
+    /// [`RecvMode::Wildcard`] consumers (see [`crate::hb`]).
+    pub(crate) fn recv_any_internal(&mut self, tag: u64, mode: RecvMode) -> (usize, Payload) {
         self.fault_point();
         self.flush_held();
         if let Some(pos) = self.pending.iter().position(|e| e.tag == tag) {
             // lint: allow(unwrap): the position came from a search of the same deque
             let env = self.pending.remove(pos).expect("position came from iter");
             let from = env.from;
-            return (from, self.accept(env));
+            return (from, self.accept(env, mode));
         }
         if self.check.is_some() {
-            let payload = self.recv_checked(None, tag);
+            let payload = self.recv_checked(None, tag, mode);
             let from = self.last_accepted_from;
             return (from, payload);
         }
@@ -450,7 +484,7 @@ impl Ctx {
                 .expect("all senders hung up while waiting");
             if env.tag == tag {
                 let from = env.from;
-                return (from, self.accept(env));
+                return (from, self.accept(env, mode));
             }
             self.pending.push_back(env);
         }
@@ -459,7 +493,7 @@ impl Ctx {
     /// The checked receive loop: publish the blocked state, poll the
     /// channel with a timeout, and run the watchdog predicate on every
     /// timeout. Panics with the commcheck report when the run is stuck.
-    fn recv_checked(&mut self, from: Option<usize>, tag: u64) -> Payload {
+    fn recv_checked(&mut self, from: Option<usize>, tag: u64, mode: RecvMode) -> Payload {
         // lint: allow(unwrap): recv_checked is only entered in checked mode
         let check = Arc::clone(self.check.as_ref().expect("checked mode"));
         check.set_status(self.rank, RankStatus::BlockedRecv { from, tag });
@@ -473,7 +507,7 @@ impl Ctx {
                         // between the two steps sees "blocked, nothing in
                         // flight" and reports a spurious deadlock.
                         check.note_drain_matched(self.rank);
-                        return self.accept(env);
+                        return self.accept(env, mode);
                     }
                     check.note_drain(self.rank);
                     self.pending.push_back(env);
@@ -493,9 +527,21 @@ impl Ctx {
         }
     }
 
-    fn accept(&mut self, env: Envelope) -> Payload {
+    fn accept(&mut self, env: Envelope, mode: RecvMode) -> Payload {
         if env.tag >= Self::RESERVED_TAG_BASE {
             self.verify_collective_kind(&env);
+        }
+        if let Some(hb) = self.hb.as_mut() {
+            let report = hb.note_accept(env.tag, env.from, env.vclock.as_deref(), mode);
+            if let Some(report) = report {
+                // A match-order race is a protocol failure like a collective
+                // mismatch: store it as the primary diagnosis and abort.
+                // lint: allow(unwrap): hb exists only when check does
+                let check = self.check.as_ref().expect("hb implies checked mode");
+                let msg = check.fail(report);
+                check.set_status(self.rank, RankStatus::Panicked);
+                panic!("{msg}");
+            }
         }
         let wire = if env.from == self.rank {
             0.0

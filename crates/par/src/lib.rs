@@ -45,6 +45,7 @@ pub mod check;
 pub mod collectives;
 pub mod ctx;
 pub mod fault;
+pub(crate) mod hb;
 pub mod machine;
 pub mod payload;
 

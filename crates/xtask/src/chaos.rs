@@ -230,7 +230,17 @@ fn run_trial(work: &str, kind: &str, seed: u64, p: usize, clean: &[u64]) -> Outc
             let recognized = annotated
                 || match kind {
                     "drop" => msg.contains("[injected drop]"),
-                    "duplicate" => msg.contains("message leak") || msg.contains("deadlock"),
+                    // A duplicate can surface three ways, all naming it: the
+                    // happens-before detector sees two envelopes with the
+                    // same send op and flags the match-order race at the
+                    // second accept; an unconsumed copy trips the leak
+                    // sweep; a consumed copy starves a later receive into
+                    // the deadlock report.
+                    "duplicate" => {
+                        msg.contains("message leak")
+                            || msg.contains("deadlock")
+                            || msg.contains("match-order race")
+                    }
                     "kill" => {
                         msg.contains("killed by fault injection") || msg.contains(FAULT_KILL_PREFIX)
                     }

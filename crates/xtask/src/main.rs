@@ -10,6 +10,10 @@
 //!   — regression gate comparing two bench reports (see [`bench::compare`]).
 //! * `cargo run -p xtask --release -- chaos [--quick]` — the seeded
 //!   fault-injection regression suite (see [`chaos`]).
+//! * `cargo run -p xtask --release -- schedcheck [--quick]` — the
+//!   bitwise-determinism sanitizer: seeded workloads re-run under
+//!   perturbed schedules must reproduce identical results and traffic
+//!   (see [`schedcheck`]).
 //!
 //! The `lint` task enforces repo-local rules that `rustc` and `clippy`
 //! (which is not guaranteed to exist in the offline toolchain) do not:
@@ -32,11 +36,24 @@
 //!   layer). Everything else must route through a `CommPlan` or a
 //!   collective, so every message is scheduled, counted, and replayable.
 //!   Escape hatch: `// lint: allow(raw-comm): <why>`.
+//! * **no-reserved-tag** — building a tag with `|`/`+`/`^`/`*` on
+//!   `RESERVED_TAG_BASE` is allowed only inside `crates/par`; the
+//!   namespace above the base belongs to the VM's collectives and
+//!   protocol traffic, and a user tag constructed there would collide
+//!   with them. Comparing against the base stays legal. Escape hatch:
+//!   `// lint: allow(reserved-tag): <why>`.
 //! * **dep-allowlist** — every `Cargo.toml` may depend only on in-repo
 //!   `pilut-*` path crates (plus `criterion`, only in the excluded
 //!   `crates/bench`). This is what keeps the tier-1 gate offline-safe.
 //! * **doc-pub-fn** — every `pub fn` in `crates/*/src` carries a doc
 //!   comment (`///` or `#[doc = ...]`).
+//!
+//! Before any source rule runs, the file goes through a small in-tree
+//! lexer ([`blank_noncode`]) that blanks line comments, doc comments,
+//! nested block comments, and the bodies of string / raw-string /
+//! byte-string / char literals while preserving line structure — so the
+//! pattern rules only ever see code, and multi-line literals cannot hide
+//! or fake a violation.
 //!
 //! A `#[test]` at the bottom runs the lint over the live workspace, so
 //! plain `cargo test` fails if a violation lands.
@@ -47,6 +64,7 @@ use std::process::ExitCode;
 
 mod bench;
 mod chaos;
+mod schedcheck;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -85,6 +103,13 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("schedcheck") => match schedcheck::run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("xtask schedcheck: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("lint") => {
             let root = workspace_root();
             let violations = run_lint(&root);
@@ -102,7 +127,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- lint | bench [flags] | bench-verify <file> \
-                 | bench-compare <new> <baseline> [--tolerance PCT] [--geomean] | chaos [--quick]"
+                 | bench-compare <new> <baseline> [--tolerance PCT] [--geomean] | chaos [--quick] \
+                 | schedcheck [--quick]"
             );
             ExitCode::FAILURE
         }
@@ -112,11 +138,12 @@ fn main() -> ExitCode {
 /// The repo root, resolved from this crate's manifest directory so the
 /// task works from any working directory.
 fn workspace_root() -> PathBuf {
-    // lint: allow(unwrap): CARGO_MANIFEST_DIR is compile-time and two levels deep
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
+        // lint: allow(unwrap): CARGO_MANIFEST_DIR is compile-time and two levels deep
         .unwrap()
         .parent()
+        // lint: allow(unwrap): CARGO_MANIFEST_DIR is compile-time and two levels deep
         .unwrap()
         .to_path_buf()
 }
@@ -256,11 +283,16 @@ fn allowed(lines: &[&str], i: usize, marker: &str) -> bool {
 fn lint_source(label: &str, content: &str, in_par: bool) -> Vec<Violation> {
     let mut out = Vec::new();
     let lines: Vec<&str> = content.lines().collect();
+    // Lex the whole file once: the pattern rules below run on the blanked
+    // text, where every comment, doc comment, and literal body is spaces,
+    // so prose can never trip a code rule. Allow markers and `///` doc
+    // detection intentionally read the *raw* lines — they live in comments.
+    let blanked = blank_noncode(content);
+    let blanked_lines: Vec<&str> = blanked.lines().collect();
     let mut in_tests = false;
     for (i, raw) in lines.iter().enumerate() {
-        let line = strip_comment_and_strings(raw);
-        let code = line.as_str();
-        if raw.contains("#[cfg(test)]") {
+        let code = blanked_lines.get(i).copied().unwrap_or("");
+        if code.contains("#[cfg(test)]") {
             // Convention in this repo: the test module is the tail of the
             // file, so everything after the marker is test code.
             in_tests = true;
@@ -311,8 +343,16 @@ fn lint_source(label: &str, content: &str, in_par: bool) -> Vec<Violation> {
                 text: raw.to_string(),
             });
         }
+        if !in_par && reserved_tag_arith(code) && !allowed(&lines, i, "reserved-tag") {
+            out.push(Violation {
+                file: label.to_string(),
+                line: i + 1,
+                rule: "no-reserved-tag",
+                text: raw.to_string(),
+            });
+        }
         if label.starts_with("crates/") {
-            if let Some(v) = missing_doc_violation(label, &lines, i) {
+            if let Some(v) = missing_doc_violation(label, &lines, i, code) {
                 out.push(v);
             }
         }
@@ -320,37 +360,208 @@ fn lint_source(label: &str, content: &str, in_par: bool) -> Vec<Violation> {
     out
 }
 
-/// Blanks out `//` comments and the contents of string literals so the
-/// pattern rules do not fire on prose. Char-literal and raw-string edge
-/// cases are handled well enough for this codebase's style.
-fn strip_comment_and_strings(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    let mut prev = '\0';
-    while let Some(c) = chars.next() {
-        if in_str {
-            if c == '"' && prev != '\\' {
-                in_str = false;
-                out.push('"');
-            } else {
+/// Detects arithmetic on `RESERVED_TAG_BASE` — `|`, `+`, `^`, or `*`
+/// adjacent to the constant builds a tag *inside* the namespace the VM
+/// keeps for its collectives and protocol traffic, which only `crates/par`
+/// may do. Comparisons (`tag >= RESERVED_TAG_BASE`) stay legal: that is
+/// how user code classifies tags. Escape hatch:
+/// `// lint: allow(reserved-tag): <why>`.
+fn reserved_tag_arith(code: &str) -> bool {
+    const NAME: &str = "RESERVED_TAG_BASE";
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(NAME) {
+        let at = start + pos;
+        // The character after the constant, skipping whitespace.
+        let next = code[at + NAME.len()..].trim_start().chars().next();
+        // The character before any path prefix (`pilut_par::Ctx::`), so
+        // `Ctx::RESERVED_TAG_BASE | x` sees the `|` on its left… which is
+        // nothing; and `x | Ctx::RESERVED_TAG_BASE` walks back over the
+        // path to find the `|`.
+        let prev = code[..at]
+            .trim_end_matches(|c: char| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            .trim_end()
+            .chars()
+            .last();
+        let arith = |c: Option<char>| matches!(c, Some('|' | '+' | '^' | '*'));
+        if arith(next) || arith(prev) {
+            return true;
+        }
+        start = at + NAME.len();
+    }
+    false
+}
+
+/// A whole-file lexer that replaces every non-code character with a space:
+/// line comments (including `///` and `//!` docs), nested block comments,
+/// and the bodies of string, raw-string, byte-string, and char literals.
+/// Newlines are preserved so the output lines up with the input
+/// line-for-line, and literal *delimiters* are kept so the blanked text
+/// still reads as shaped code. Lifetimes (`'a`) are recognized and left
+/// intact rather than being mistaken for an unterminated char literal —
+/// the failure mode that forced the old per-line stripper to ignore
+/// multi-line constructs entirely.
+fn blank_noncode(content: &str) -> String {
+    let chars: Vec<char> = content.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(content.len());
+    let blank = |out: &mut String, c: char| out.push(if c == '\n' { '\n' } else { ' ' });
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        // Line comment — blank to end of line (the newline itself is kept
+        // by the outer loop).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < n && chars[i] != '\n' {
                 out.push(' ');
+                i += 1;
             }
-            // A backslash escaping a backslash must not escape the quote after.
-            prev = if c == '\\' && prev == '\\' { '\0' } else { c };
             continue;
         }
-        match c {
-            '/' if chars.peek() == Some(&'/') => break,
-            '"' => {
-                in_str = true;
-                out.push('"');
+        // Block comment — Rust nests them.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
             }
-            _ => out.push(c),
+            continue;
         }
-        prev = c;
+        // Identifiers are consumed whole so a trailing `r`/`b`/`br` can be
+        // recognized as a literal prefix rather than the tail of some
+        // longer name (`four"…"` is not a raw string).
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let ident: String = chars[start..i].iter().collect();
+            let prefix = matches!(ident.as_str(), "r" | "b" | "br");
+            if prefix && chars.get(i).is_some_and(|&c| c == '"' || c == '#') {
+                // Raw / byte string: count the hashes, then scan for the
+                // matching `"##…` terminator. `b"…"` has zero hashes and no
+                // raw semantics, but its body is blanked the same way —
+                // escapes only matter for finding the closing quote, which
+                // the non-raw branch below handles; byte strings reuse it.
+                out.push_str(&ident);
+                if ident == "b" && chars.get(i) == Some(&'"') {
+                    i = blank_plain_string(&chars, i, &mut out);
+                    continue;
+                }
+                let mut hashes = 0usize;
+                while chars.get(i) == Some(&'#') {
+                    out.push('#');
+                    hashes += 1;
+                    i += 1;
+                }
+                if chars.get(i) != Some(&'"') {
+                    continue; // `r#ident` raw identifier, not a string
+                }
+                out.push('"');
+                i += 1;
+                while i < n {
+                    if chars[i] == '"'
+                        && chars[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&h| h == '#')
+                            .count()
+                            == hashes
+                    {
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        i += 1 + hashes;
+                        break;
+                    }
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+            } else {
+                out.push_str(&ident);
+            }
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            i = blank_plain_string(&chars, i, &mut out);
+            continue;
+        }
+        // Char literal vs lifetime/loop label.
+        if c == '\'' {
+            if chars.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: `'\n'`, `'\''`, `'\u{7f}'`, …
+                out.push('\'');
+                i += 1;
+                while i < n && chars[i] != '\'' {
+                    if chars[i] == '\\' && i + 1 < n {
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        blank(&mut out, chars[i]);
+                        i += 1;
+                    }
+                }
+                if i < n {
+                    out.push('\'');
+                    i += 1;
+                }
+            } else if chars.get(i + 2) == Some(&'\'') {
+                // Simple char literal `'x'` — including `'"'`, which is why
+                // this case is checked before anything quote-related.
+                out.push_str("' '");
+                i += 3;
+            } else {
+                // Lifetime or loop label: plain code.
+                out.push('\'');
+                i += 1;
+            }
+            continue;
+        }
+        out.push(c);
+        i += 1;
     }
     out
+}
+
+/// Blanks one `"…"` literal starting at `chars[i] == '"'`, honoring
+/// backslash escapes; returns the index one past the closing quote.
+fn blank_plain_string(chars: &[char], mut i: usize, out: &mut String) -> usize {
+    out.push('"');
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' if i + 1 < chars.len() => {
+                out.push(' ');
+                // Keep escaped newlines (line continuations) as newlines so
+                // line alignment survives.
+                out.push(if chars[i + 1] == '\n' { '\n' } else { ' ' });
+                i += 2;
+            }
+            '"' => {
+                out.push('"');
+                return i + 1;
+            }
+            c => {
+                out.push(if c == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+        }
+    }
+    i
 }
 
 /// Detects `== <float literal>` / `!= <float literal>` (either side).
@@ -407,9 +618,12 @@ fn is_float_token(tok: &str) -> bool {
     (tok.contains('.') || tok.contains(['e', 'E'])) && tok.parse::<f64>().is_ok()
 }
 
-/// Flags a `pub fn` with no doc comment or doc attribute above it.
-fn missing_doc_violation(label: &str, lines: &[&str], i: usize) -> Option<Violation> {
-    let trimmed = lines[i].trim_start();
+/// Flags a `pub fn` with no doc comment or doc attribute above it. The
+/// declaration is matched on the blanked `code` line (so the phrase inside
+/// a string can't fire), but the doc search walks the *raw* lines — doc
+/// comments are exactly what the lexer blanks out.
+fn missing_doc_violation(label: &str, lines: &[&str], i: usize, code: &str) -> Option<Violation> {
+    let trimmed = code.trim_start();
     let is_pub_fn = trimmed.starts_with("pub fn ")
         || trimmed.starts_with("pub const fn ")
         || trimmed.starts_with("pub unsafe fn ");
@@ -584,6 +798,66 @@ mod tests {
         assert!(lint_source("crates/core/src/dist/exchange.rs", src, false).is_empty());
         let allowed = "// lint: allow(raw-comm): bootstrap handshake\nfn f(ctx: &mut Ctx) { ctx.send(1, 7, p); }\n";
         assert!(lint_source("crates/core/src/a.rs", allowed, false).is_empty());
+    }
+
+    #[test]
+    fn lexer_blanks_block_comments_and_raw_strings() {
+        // Every construct the old per-line stripper could not see.
+        let src = "fn f() {\n    /* x.unwrap()\n       still comment */\n    let s = r#\"g().unwrap() == 0.0\"#;\n    let b = b\".expect(\";\n}\n";
+        assert!(lint_source("crates/fake/src/a.rs", src, false).is_empty());
+        // Nested block comments stay blanked to the outermost close.
+        let nested = "fn f() {\n    /* a /* b.unwrap() */ c.unwrap() */\n}\n";
+        assert!(lint_source("crates/fake/src/a.rs", nested, false).is_empty());
+    }
+
+    #[test]
+    fn lexer_handles_char_literals_and_lifetimes() {
+        // `'"'` must not open a string; lifetimes must not open a char
+        // literal that swallows the rest of the file.
+        let src = "fn f<'a>(x: &'a str) -> bool {\n    let q = '\"';\n    let e = '\\'';\n    x.contains(q) && g().unwrap()\n}\n";
+        assert_eq!(
+            rules(&lint_source("crates/fake/src/a.rs", src, false)),
+            vec!["no-unwrap"]
+        );
+    }
+
+    #[test]
+    fn lexer_preserves_line_numbers() {
+        let src = "line one\n\"string\nspanning\nlines\"\nlet x = 1;\n";
+        let blanked = blank_noncode(src);
+        assert_eq!(src.lines().count(), blanked.lines().count());
+        assert_eq!(blanked.lines().last(), Some("let x = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_inside_a_string_does_not_start_the_test_tail() {
+        let src = "fn f() { let s = \"#[cfg(test)]\"; }\nfn g() { h().unwrap(); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/fake/src/a.rs", src, false)),
+            vec!["no-unwrap"]
+        );
+    }
+
+    #[test]
+    fn reserved_tag_construction_is_caught_outside_par() {
+        let bad = "fn f() { let t = Ctx::RESERVED_TAG_BASE | 3; }\n";
+        assert_eq!(
+            rules(&lint_source("crates/core/src/a.rs", bad, false)),
+            vec!["no-reserved-tag"]
+        );
+        let bad2 = "fn f() { let t = 7 + pilut_par::Ctx::RESERVED_TAG_BASE; }\n";
+        assert_eq!(
+            rules(&lint_source("crates/solver/src/a.rs", bad2, false)),
+            vec!["no-reserved-tag"]
+        );
+        // crates/par implements the namespace and may build tags in it.
+        assert!(lint_source("crates/par/src/ctx.rs", bad, true).is_empty());
+        // Classifying a tag by comparison is how user code is meant to use
+        // the constant.
+        let cmp = "fn f(t: u64) -> bool { t >= Ctx::RESERVED_TAG_BASE }\n";
+        assert!(lint_source("crates/core/src/a.rs", cmp, false).is_empty());
+        let marked = "// lint: allow(reserved-tag): test rig builds a protocol tag\nfn f() { let t = Ctx::RESERVED_TAG_BASE | 1; }\n";
+        assert!(lint_source("crates/core/src/a.rs", marked, false).is_empty());
     }
 
     #[test]
