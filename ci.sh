@@ -23,19 +23,28 @@ cargo run -q -p xtask --release -- chaos --quick
 echo "==> schedcheck (bitwise-determinism sanitizer, quick)"
 cargo run -q -p xtask --release -- schedcheck --quick
 
+echo "==> modelcheck (DPOR schedule-space exploration, quick)"
+cargo run -q -p xtask --release -- modelcheck --quick
+
 # ThreadSanitizer pass over the VM crate: the logical-clock machine is the
 # only place in the workspace that touches raw threads, so it gets a real
-# data-race check when a nightly toolchain is available. Allowed-to-warn:
-# TSan needs -Z flags (nightly-only) and a std rebuilt with the sanitizer;
-# environments without that toolchain skip, and a failing run is reported
-# but does not gate — its findings land as issues, not as red CI.
-echo "==> tsan (crates/par, nightly-gated, allowed to warn)"
-if rustup toolchain list 2>/dev/null | grep -q nightly; then
+# data-race check. BLOCKING: when the pinned nightly can run it (TSan needs
+# -Z flags and a std rebuilt with the sanitizer, i.e. rust-src), any finding
+# is red CI — no allowed-to-warn fallback. Environments missing the
+# toolchain skip the stage loudly; they cannot turn a finding green.
+# Pinned: validated on rustc 1.97.0-nightly (e50aa6fba 2026-05-19); TSan's
+# -Z surface and std instrumentation drift between nightlies, so bumps to
+# TSAN_TOOLCHAIN should re-validate before landing.
+TSAN_TOOLCHAIN="${TSAN_TOOLCHAIN:-nightly}"
+tsan_src="$(rustup run "$TSAN_TOOLCHAIN" rustc --print sysroot 2>/dev/null || true)/lib/rustlib/src/rust/library/Cargo.lock"
+echo "==> tsan (crates/par, $TSAN_TOOLCHAIN, blocking when runnable)"
+if [ -f "$tsan_src" ]; then
     RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
-        cargo +nightly test -p pilut-par -Zbuild-std --target x86_64-unknown-linux-gnu -q \
-        || echo "tsan: reported findings or could not run (non-gating)"
+        cargo "+$TSAN_TOOLCHAIN" test -p pilut-par -Zbuild-std \
+        --target x86_64-unknown-linux-gnu -q
 else
-    echo "tsan: no nightly toolchain installed, skipping (non-gating)"
+    echo "tsan: $TSAN_TOOLCHAIN lacks rust-src (std cannot be instrumented); stage skipped."
+    echo "      enable with: rustup toolchain install nightly-2026-05-20 -c rust-src"
 fi
 
 echo "==> bench smoke"
@@ -48,12 +57,14 @@ cargo run -q -p xtask --release -- bench-verify target/bench_smoke.json
 # ±20-30% on medians between quiet and loaded minutes of shared hardware,
 # so this is a gross-regression tripwire; precise before/after numbers are
 # taken on a quiet machine and recorded in EXPERIMENTS.md. The baseline is
-# BENCH_pr4.json — the tree that introduced the vector-clock race detector
-# must show no production-path regression against the tree before it
-# (clocks are confined to checked mode; the bench runs unchecked).
-echo "==> bench regression vs BENCH_pr4.json (full scenarios, geomean gate)"
-cargo run -q -p xtask --release -- bench --out target/bench_compare.json --label ci
-cargo run -q -p xtask --release -- bench-compare target/bench_compare.json BENCH_pr4.json \
-    --tolerance 25 --geomean
+# BENCH_pr5.json — the tree that introduced the protocol proof layer must
+# show no production-path regression against the tree before it (plan
+# verification runs in checked mode only; note_planned is two BTreeMap
+# upserts per plan use and rides the existing ledger locks).
+echo "==> bench regression vs BENCH_pr5.json (full scenarios, geomean gate)"
+cargo run -q -p xtask --release -- bench --out target/bench_compare.json --label ci \
+    --baseline BENCH_pr5.json
+cargo run -q -p xtask --release -- bench-compare target/bench_compare.json \
+    --baseline BENCH_pr5.json --tolerance 25 --geomean
 
 echo "ci.sh: all green"

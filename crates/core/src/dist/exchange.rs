@@ -115,6 +115,26 @@ impl DistVector {
     }
 }
 
+/// The statically-predicted per-round communication cost of a plan, read
+/// off its schedules alone — no replay needed. Message counts are exact
+/// for every round kind; byte counts are exact for values-only rounds
+/// (halo replays, sweep value halves, label rounds: 8 bytes per scheduled
+/// node) and producer-defined for the generic rounds. The replay helpers
+/// feed these predictions to [`pilut_par::Ctx::note_planned`] as they run,
+/// and `xtask bench-verify` fails the build when the measured per-tag
+/// counters diverge from the accumulated predictions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanCost {
+    /// Messages this rank ships per directed replay round (one per
+    /// send-side peer).
+    pub directed_messages: u64,
+    /// Messages this rank ships per symmetric round (one per union peer).
+    pub symmetric_messages: u64,
+    /// Bytes this rank ships per values-only round: 8 per node in the send
+    /// schedule.
+    pub value_bytes: u64,
+}
+
 /// A reusable per-rank communication schedule, built collectively from
 /// "which remote nodes do I need, and who owns them".
 ///
@@ -193,13 +213,196 @@ impl CommPlan {
             .collect();
         union_peers.sort_unstable();
         union_peers.dedup();
-        CommPlan {
+        let plan = CommPlan {
             tag,
             stats_tag: tag,
             send,
             recv,
             union_peers,
             rounds: RefCell::new(HashMap::new()),
+        };
+        // In checked mode every freshly-built plan is proved consistent
+        // *before* any replay can ship a byte under it — peer symmetry,
+        // packing sizes, tag discipline, round counters (see `verify`).
+        if ctx.is_checked() {
+            if let Err(e) = plan.verify(ctx) {
+                panic!("commplan verify[{}]: {e}", tags::tag_name(tag));
+            }
+        }
+        plan
+    }
+
+    /// Structural self-checks that need no communication: schedules sorted
+    /// by peer with no duplicates or empty lists, peers in range and never
+    /// `me`, receive-side node lists strictly ascending (the order both
+    /// sides agreed on), and the union-peer list consistent with the two
+    /// directions. Every violation is a plan-construction bug, reported
+    /// before any replay can act on it.
+    pub fn verify_local(&self, me: usize, p: usize) -> Result<(), String> {
+        let check_side = |side: &str, lists: &[(usize, Vec<usize>)]| -> Result<(), String> {
+            let mut prev: Option<usize> = None;
+            for (peer, nodes) in lists {
+                if *peer >= p {
+                    return Err(format!("{side} peer {peer} out of range (p = {p})"));
+                }
+                if *peer == me {
+                    return Err(format!("{side} schedule loops back to rank {me}"));
+                }
+                if nodes.is_empty() {
+                    return Err(format!("{side} list for peer {peer} is empty"));
+                }
+                if prev.is_some_and(|q| q >= *peer) {
+                    return Err(format!("{side} peers not strictly ascending at {peer}"));
+                }
+                prev = Some(*peer);
+            }
+            Ok(())
+        };
+        check_side("send", &self.send)?;
+        check_side("recv", &self.recv)?;
+        for (peer, nodes) in &self.recv {
+            if !nodes.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!(
+                    "recv nodes from peer {peer} not strictly ascending — \
+                     the values-only wire order is ambiguous"
+                ));
+            }
+        }
+        let mut union: Vec<usize> = self
+            .send
+            .iter()
+            .map(|&(q, _)| q)
+            .chain(self.recv.iter().map(|&(q, _)| q))
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        if union != self.union_peers {
+            return Err(format!(
+                "union peers {:?} inconsistent with schedules {union:?}",
+                self.union_peers
+            ));
+        }
+        Ok(())
+    }
+
+    /// The collective cross-check (every plan participant must call this
+    /// together): after the local checks, each rank publishes a summary of
+    /// its schedules and every rank verifies the global invariants —
+    ///
+    /// * **tag discipline** — the plan runs under a named `tags::`
+    ///   protocol namespace and all ranks agree on it (wire and stats);
+    /// * **mirror symmetry** — rank `r` sends to `q` exactly when `q`
+    ///   receives from `r`;
+    /// * **packing-size agreement** — both sides of every pair schedule
+    ///   the same node count, so values-only rounds can never misalign;
+    /// * **round-count agreement** — all ranks have advanced every wire
+    ///   namespace by the same number of send and receive rounds (plans
+    ///   fresh from [`CommPlan::build`] agree trivially at zero).
+    ///
+    /// Runs automatically from `build` in checked mode; long-lived callers
+    /// may re-verify later (e.g. after replay rounds) at will.
+    pub fn verify(&self, ctx: &mut Ctx) -> Result<(), String> {
+        let me = ctx.rank();
+        let p = ctx.nprocs();
+        self.verify_local(me, p)?;
+        if self.stats_tag % tags::STRIDE != 0 || tags::tag_name(self.stats_tag) == "user" {
+            return Err(format!(
+                "stats tag {:#x} is not a named protocol namespace",
+                self.stats_tag
+            ));
+        }
+        // Summary: [tag, stats_tag, send rounds, recv rounds, n_send,
+        // n_recv, (peer, len)...]. Round counters are summed over wire
+        // namespaces — replays advance them in lockstep, so totals agree.
+        let (srounds, rrounds) = self
+            .rounds
+            .borrow()
+            .values()
+            .fold((0u64, 0u64), |(s, r), &(a, b)| (s + a, r + b));
+        let mut summary = vec![
+            self.tag,
+            self.stats_tag,
+            srounds,
+            rrounds,
+            self.send.len() as u64,
+            self.recv.len() as u64,
+        ];
+        for (peer, nodes) in self.send.iter().chain(&self.recv) {
+            summary.push(*peer as u64);
+            summary.push(nodes.len() as u64);
+        }
+        let all = ctx.all_gather_u64(&summary);
+        // Decode every rank's two sides once, then check the global mirror
+        // property on all pairs — every rank sees the same verdict.
+        let mut sides: Vec<(HashMap<usize, u64>, HashMap<usize, u64>)> = Vec::with_capacity(p);
+        for (r, enc) in all.iter().enumerate() {
+            if enc[0] != self.tag || enc[1] != self.stats_tag {
+                return Err(format!(
+                    "rank {r} runs tag ({:#x}, {:#x}) but rank {me} runs ({:#x}, {:#x})",
+                    enc[0], enc[1], self.tag, self.stats_tag
+                ));
+            }
+            if (enc[2], enc[3]) != (srounds, rrounds) {
+                return Err(format!(
+                    "round counters disagree: rank {r} at ({}, {}), rank {me} at \
+                     ({srounds}, {rrounds})",
+                    enc[2], enc[3]
+                ));
+            }
+            let n_send = enc[4] as usize;
+            let n_recv = enc[5] as usize;
+            let mut at = 6;
+            let mut decode = |k: usize| {
+                let mut m = HashMap::with_capacity(k);
+                for _ in 0..k {
+                    m.insert(enc[at] as usize, enc[at + 1]);
+                    at += 2;
+                }
+                m
+            };
+            let send = decode(n_send);
+            let recv = decode(n_recv);
+            sides.push((send, recv));
+        }
+        for (r, (send, _)) in sides.iter().enumerate() {
+            for (&q, &len) in send {
+                match sides[q].1.get(&r) {
+                    None => {
+                        return Err(format!(
+                            "peer asymmetry: rank {r} sends to {q} but {q} schedules \
+                             no receive from {r}"
+                        ));
+                    }
+                    Some(&expect) if expect != len => {
+                        return Err(format!(
+                            "packing-size disagreement: rank {r} sends {len} node(s) \
+                             to {q} but {q} expects {expect}"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        for (r, (_, recv)) in sides.iter().enumerate() {
+            for &q in recv.keys() {
+                if !sides[q].0.contains_key(&r) {
+                    return Err(format!(
+                        "peer asymmetry: rank {r} expects values from {q} but {q} \
+                         schedules no send to {r}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-round cost this plan predicts from structure alone — see
+    /// [`PlanCost`].
+    pub fn predicted_cost(&self) -> PlanCost {
+        PlanCost {
+            directed_messages: self.send.len() as u64,
+            symmetric_messages: self.union_peers.len() as u64,
+            value_bytes: 8 * self.sent_values() as u64,
         }
     }
 
@@ -310,6 +513,8 @@ impl CommPlan {
         mut make: impl FnMut(usize, &[usize]) -> Payload,
         mut take: impl FnMut(usize, &[usize], Payload),
     ) {
+        // Producer-defined payloads: predict the message count, not bytes.
+        ctx.note_planned(stats_tag, self.predicted_cost().directed_messages, 0, false);
         let send_tag = self.send_round_tag(wire_base);
         for (peer, nodes) in &self.send {
             let payload = make(*peer, nodes);
@@ -333,6 +538,7 @@ impl CommPlan {
         mut make: impl FnMut(usize) -> Payload,
         mut take: impl FnMut(usize, Payload),
     ) {
+        ctx.note_planned(tag, self.predicted_cost().symmetric_messages, 0, false);
         let send_tag = self.send_round_tag(tag);
         for &peer in &self.union_peers {
             let payload = make(peer);
@@ -349,6 +555,14 @@ impl CommPlan {
     /// schedule (one `f64` batch per peer, no node ids on the wire) and
     /// scatters the received batches into `v`'s halo.
     pub fn replay_halo(&self, ctx: &mut Ctx, local: &LocalView, v: &mut DistVector) {
+        // Values-only wire format: the byte prediction is exact.
+        let cost = self.predicted_cost();
+        ctx.note_planned(
+            self.stats_tag,
+            cost.directed_messages,
+            cost.value_bytes,
+            true,
+        );
         let send_tag = self.send_round_tag(self.tag);
         for (peer, nodes) in &self.send {
             let vals: Vec<f64> = nodes
@@ -419,6 +633,13 @@ impl CommPlan {
     /// use the halves at different loop iterations, which is why they are
     /// split.
     pub fn send_values(&self, ctx: &mut Ctx, value_of: impl Fn(usize) -> f64) {
+        let cost = self.predicted_cost();
+        ctx.note_planned(
+            self.stats_tag,
+            cost.directed_messages,
+            cost.value_bytes,
+            true,
+        );
         let send_tag = self.send_round_tag(self.tag);
         for (peer, nodes) in &self.send {
             let vals: Vec<f64> = nodes.iter().map(|&g| value_of(g)).collect();
@@ -451,6 +672,13 @@ impl CommPlan {
         ctx: &mut Ctx,
         label_of: impl Fn(usize) -> u64,
     ) -> HashMap<usize, u64> {
+        let cost = self.predicted_cost();
+        ctx.note_planned(
+            self.stats_tag,
+            cost.directed_messages,
+            cost.value_bytes,
+            true,
+        );
         let send_tag = self.send_round_tag(self.tag);
         for (peer, nodes) in &self.send {
             let labels: Vec<u64> = nodes.iter().map(|&g| label_of(g)).collect();
@@ -555,6 +783,127 @@ mod tests {
         // The empty trailing ranks have nothing scheduled.
         assert!(out.results[5..].iter().all(|&idle| idle));
         assert!(!out.results[0]);
+    }
+
+    /// A hand-built plan for white-box verification tests.
+    fn raw_plan(send: Vec<(usize, Vec<usize>)>, recv: Vec<(usize, Vec<usize>)>) -> CommPlan {
+        let mut union_peers: Vec<usize> = send
+            .iter()
+            .map(|&(q, _)| q)
+            .chain(recv.iter().map(|&(q, _)| q))
+            .collect();
+        union_peers.sort_unstable();
+        union_peers.dedup();
+        CommPlan {
+            tag: tags::SPMV,
+            stats_tag: tags::SPMV,
+            send,
+            recv,
+            union_peers,
+            rounds: RefCell::new(HashMap::new()),
+        }
+    }
+
+    #[test]
+    fn verify_local_rejects_corrupt_schedules() {
+        let ok = raw_plan(vec![(1, vec![0])], vec![(2, vec![7, 9])]);
+        assert_eq!(ok.verify_local(0, 4), Ok(()));
+        // Each corruption is named precisely.
+        let err = |p: CommPlan, me: usize, np: usize| p.verify_local(me, np).unwrap_err();
+        assert!(err(raw_plan(vec![(1, vec![0])], vec![]), 1, 4).contains("loops back"));
+        assert!(err(raw_plan(vec![(5, vec![0])], vec![]), 0, 4).contains("out of range"));
+        assert!(err(raw_plan(vec![(1, vec![])], vec![]), 0, 4).contains("is empty"));
+        assert!(
+            err(raw_plan(vec![(2, vec![0]), (1, vec![1])], vec![]), 0, 4)
+                .contains("not strictly ascending")
+        );
+        assert!(
+            err(raw_plan(vec![], vec![(1, vec![9, 7])]), 0, 4).contains("wire order is ambiguous")
+        );
+        let mut bad_union = raw_plan(vec![(1, vec![0])], vec![]);
+        bad_union.union_peers = vec![1, 2];
+        assert!(err(bad_union, 0, 4).contains("union peers"));
+    }
+
+    #[test]
+    fn collective_verify_rejects_packing_disagreement() {
+        // Rank 0 schedules two values toward rank 1; rank 1 expects one.
+        // Every rank sees the same global verdict.
+        let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
+            let plan = if ctx.rank() == 0 {
+                raw_plan(vec![(1, vec![0, 1])], vec![])
+            } else {
+                raw_plan(vec![], vec![(0, vec![0])])
+            };
+            plan.verify(ctx).unwrap_err()
+        });
+        for msg in &out.results {
+            assert!(msg.contains("packing-size disagreement"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn collective_verify_rejects_peer_asymmetry_and_unnamed_tags() {
+        let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
+            // A send with no matching receive anywhere.
+            let plan = if ctx.rank() == 0 {
+                raw_plan(vec![(1, vec![0])], vec![])
+            } else {
+                raw_plan(vec![], vec![])
+            };
+            let asym = plan.verify(ctx).unwrap_err();
+            // A tag outside every named protocol namespace.
+            let mut untagged = raw_plan(vec![], vec![]);
+            untagged.tag = 42;
+            untagged.stats_tag = 42;
+            let undisciplined = untagged.verify(ctx).unwrap_err();
+            (asym, undisciplined)
+        });
+        for (asym, undisciplined) in &out.results {
+            assert!(asym.contains("peer asymmetry"), "{asym}");
+            assert!(
+                undisciplined.contains("named protocol namespace"),
+                "{undisciplined}"
+            );
+        }
+    }
+
+    #[test]
+    fn planned_counters_match_measured_value_rounds() {
+        // Two halo replays plus a label round: all values-only, so the
+        // static prediction must agree with the measured per-tag counters
+        // to the byte, and the exact flag must survive aggregation.
+        let a = gen::laplace_2d(6, 6);
+        let n = a.n_rows();
+        let dm = DistMatrix::new(a, Distribution::block(n, 3));
+        let out = Machine::run_checked(3, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let needed = local.nodes.iter().flat_map(|&i| {
+                dm.matrix()
+                    .row(i)
+                    .0
+                    .iter()
+                    .copied()
+                    .filter(|&j| !local.owns(j))
+                    .collect::<Vec<_>>()
+            });
+            let plan = CommPlan::build(ctx, tags::SPMV, needed, |j| dm.dist().owner(j));
+            let mut v = DistVector::new(local.len(), dm.n());
+            plan.replay_halo(ctx, &local, &mut v);
+            plan.replay_halo(ctx, &local, &mut v);
+            plan.exchange_labels(ctx, |g| g as u64);
+            let cost = plan.predicted_cost();
+            assert_eq!(cost.value_bytes, 8 * plan.sent_values() as u64);
+        });
+        let (m, b) = out.stats.tag_totals(tags::SPMV);
+        assert!(m > 0, "workload must ship halo traffic");
+        let &(pm, pb, exact) = out
+            .stats
+            .planned_by_tag
+            .get(&tags::SPMV)
+            .expect("plan predictions recorded");
+        assert_eq!((m, b), (pm, pb), "prediction must match measurement");
+        assert!(exact, "values-only rounds predict exact bytes");
     }
 
     #[test]

@@ -277,6 +277,40 @@ impl Ctx {
         out.sort_by_key(|&(src, _)| src);
         out
     }
+
+    /// The pre-packing sparse all-to-all, preserved verbatim as a seeded
+    /// mutation target for `xtask modelcheck`: every payload ships in its
+    /// *own* envelope under one tag, so two payloads from one source are
+    /// concurrent same-`(sender, tag)` envelopes — exactly the match-order
+    /// race the packed [`Ctx::exchange`] removed. The model checker runs a
+    /// workload through this on purpose and asserts the race is diagnosed;
+    /// nothing else may call it.
+    #[doc(hidden)]
+    pub fn exchange_per_payload(&mut self, sends: Vec<(usize, Payload)>) -> Vec<(usize, Payload)> {
+        let p = self.nprocs();
+        let mut by_dest: Vec<Vec<Payload>> = (0..p).map(|_| Vec::new()).collect();
+        for (dest, payload) in sends {
+            assert!(dest < p, "exchange destination {dest} out of range");
+            by_dest[dest].push(payload);
+        }
+        let counts: Vec<u64> = by_dest.iter().map(|l| l.len() as u64).collect();
+        let totals = self.all_reduce_u64(counts, ReduceOp::Sum);
+        let incoming = totals[self.rank()] as usize;
+        let tag = self.begin_collective(CollKind::Exchange);
+        for (dest, parts) in by_dest.into_iter().enumerate() {
+            for payload in parts {
+                self.send_internal(dest, tag, tag, payload);
+            }
+        }
+        let mut out = Vec::new();
+        for _ in 0..incoming {
+            let (src, payload) = self.recv_any_internal(tag, RecvMode::WildcardUnordered);
+            out.push((src, payload));
+        }
+        self.end_collective();
+        out.sort_by_key(|&(src, _)| src);
+        out
+    }
 }
 
 /// Packs one exchange's payload sequence for a single destination into one

@@ -6,6 +6,7 @@ use crate::fault::{FaultSession, MessageFate, RankFate, FAULT_KILL_PREFIX};
 use crate::hb::{HbState, RecvMode};
 use crate::machine::MachineModel;
 use crate::payload::Payload;
+use crate::sched::{match_kind, SchedSession, TraceEvent};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -57,6 +58,12 @@ pub struct Counters {
     /// collective traffic (whose tags embed a per-call sequence number) is
     /// folded under the single key [`Ctx::RESERVED_TAG_BASE`].
     pub by_tag: BTreeMap<u64, (u64, u64)>,
+    /// Per-tag `(messages, bytes, exact)` *predicted* by the static plan
+    /// analysis ([`Ctx::note_planned`]) before the traffic was sent. The
+    /// flag records whether every prediction under the tag was byte-exact;
+    /// inexact tags (producer-defined payloads) predict message counts
+    /// only. The bench harness gates measured counters against this.
+    pub planned_by_tag: BTreeMap<u64, (u64, u64, bool)>,
 }
 
 impl Counters {
@@ -120,6 +127,9 @@ pub struct Ctx {
     /// Fault-injection session; `None` unless a plan was installed via
     /// [`crate::MachineBuilder::fault_plan`].
     fault: Option<FaultSession>,
+    /// Schedule-forcing session; `None` unless a plan was installed via
+    /// [`crate::MachineBuilder::schedule`] (see [`crate::sched`]).
+    sched: Option<SchedSession>,
     /// Envelopes held back by a `Reorder` fault, flushed at the next
     /// send/receive/exit so injection can never destroy liveness.
     held: Vec<Envelope>,
@@ -141,6 +151,7 @@ impl Ctx {
         check: Option<Arc<CheckState>>,
         poll: Duration,
         fault: Option<FaultSession>,
+        sched: Option<SchedSession>,
     ) -> Self {
         let hb = check.is_some().then(|| HbState::new(rank, nprocs));
         Ctx {
@@ -159,6 +170,7 @@ impl Ctx {
             hb,
             poll,
             fault,
+            sched,
             held: Vec::new(),
             killed: false,
         }
@@ -186,6 +198,13 @@ impl Ctx {
 
     pub(crate) fn check(&self) -> Option<&Arc<CheckState>> {
         self.check.as_ref()
+    }
+
+    /// Whether this run carries the commcheck verification layer. Protocol
+    /// code uses it to gate expensive self-checks (like
+    /// `CommPlan::verify`) to checked runs only.
+    pub fn is_checked(&self) -> bool {
+        self.check.is_some()
     }
 
     /// Tears the context down at rank exit, reporting any leftover
@@ -245,6 +264,25 @@ impl Ctx {
     pub fn elapse(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0);
         self.time += seconds;
+    }
+
+    /// Records a *prediction* of upcoming traffic under `stats_tag`:
+    /// `messages` sends totalling `bytes` bytes from this rank. `exact`
+    /// marks the byte count authoritative (values-only rounds whose sizes
+    /// the plan fixes); producer-defined rounds pass `exact = false` and
+    /// zero bytes, predicting message counts only. The machine aggregates
+    /// the ledger into `MachineStats::planned_by_tag`, where the bench
+    /// harness cross-checks it against the measured per-tag counters —
+    /// the runtime half of the static `CommPlan` analysis.
+    pub fn note_planned(&mut self, stats_tag: u64, messages: u64, bytes: u64, exact: bool) {
+        let slot = self
+            .counters
+            .planned_by_tag
+            .entry(stats_tag)
+            .or_insert((0, 0, true));
+        slot.0 += messages;
+        slot.1 += bytes;
+        slot.2 &= exact;
     }
 
     /// Sends `payload` to rank `to` with a user `tag`
@@ -465,14 +503,26 @@ impl Ctx {
     pub(crate) fn recv_any_internal(&mut self, tag: u64, mode: RecvMode) -> (usize, Payload) {
         self.fault_point();
         self.flush_held();
-        if let Some(pos) = self.pending.iter().position(|e| e.tag == tag) {
+        // A model-checker schedule script can pin which source this
+        // wildcard receive must match next; while an entry is pending the
+        // receive behaves as if directed at that source and every other
+        // candidate stays buffered (see [`crate::sched`]).
+        let forced = self.sched.as_ref().and_then(|s| s.forced_source(tag));
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.tag == tag && forced.is_none_or(|src| e.from == src))
+        {
             // lint: allow(unwrap): the position came from a search of the same deque
             let env = self.pending.remove(pos).expect("position came from iter");
             let from = env.from;
             return (from, self.accept(env, mode));
         }
         if self.check.is_some() {
-            let payload = self.recv_checked(None, tag, mode);
+            // `forced` narrows the channel match too; the race detector
+            // still sees the receive's true wildcard `mode`, so forcing
+            // never hides a race it would otherwise report.
+            let payload = self.recv_checked(forced, tag, mode);
             let from = self.last_accepted_from;
             return (from, payload);
         }
@@ -541,6 +591,20 @@ impl Ctx {
                 let msg = check.fail(report);
                 check.set_status(self.rank, RankStatus::Panicked);
                 panic!("{msg}");
+            }
+        }
+        if let Some(sched) = self.sched.as_mut() {
+            // Only wildcard accepts are scripted/traced: a directed match
+            // is already forced by the program and cannot branch.
+            if let Some(kind) = match_kind(mode) {
+                sched.on_wildcard_accept(TraceEvent {
+                    rank: self.rank,
+                    tag: env.tag,
+                    from: env.from,
+                    mode: kind,
+                    send_vc: env.vclock.clone().unwrap_or_default(),
+                    accept_event: self.hb.as_ref().map_or(0, HbState::local_event),
+                });
             }
         }
         let wire = if env.from == self.rank {

@@ -115,6 +115,13 @@ impl HbState {
         self.clock.clone()
     }
 
+    /// This rank's own clock component — the local index of the most
+    /// recent communication event. Read right after [`HbState::note_accept`]
+    /// it is that accept's event index (the trace recorder's use).
+    pub(crate) fn local_event(&self) -> u64 {
+        self.clock[self.me]
+    }
+
     /// Registers the accept of an envelope `(from, tag, send_vc)` matched
     /// under `mode`: joins the stamp into this rank's clock, checks the
     /// tag's accept history for a happens-before-concurrent sibling, and
@@ -301,6 +308,119 @@ mod tests {
             .is_none());
         assert!(hb
             .note_accept(3, 0, Some(&[2, 0]), RecvMode::Directed)
+            .is_none());
+    }
+
+    #[test]
+    fn per_tag_eviction_forgets_the_oldest_accept() {
+        // Documented sanitizer bound: a race separated by more than
+        // MAX_PER_TAG matched messages on one tag is missed. Set up a pair
+        // that races when adjacent, then push the earlier record out of the
+        // window and confirm the detector (by design) stays quiet.
+        let racy_a = [0u64, 1, 0, 0]; // rank 1's first send, Wildcard-matched
+        let racy_b = [0u64, 0, 1, 0]; // rank 2's first send, concurrent with A's match
+
+        let mut control = HbState::new(0, 4);
+        assert!(control
+            .note_accept(11, 1, Some(&racy_a), RecvMode::Wildcard)
+            .is_none());
+        assert!(
+            control
+                .note_accept(11, 2, Some(&racy_b), RecvMode::Directed)
+                .is_some(),
+            "adjacent in the window, the pair must be reported"
+        );
+
+        let mut hb = HbState::new(0, 4);
+        assert!(hb
+            .note_accept(11, 1, Some(&racy_a), RecvMode::Wildcard)
+            .is_none());
+        // MAX_PER_TAG order-insensitive accepts from rank 3, each stamped
+        // with the latest of rank 0's accept events so none of them races
+        // with anything still in the window.
+        for i in 0..MAX_PER_TAG as u64 {
+            let vc = [i + 1, 0, 0, i + 1];
+            assert!(hb
+                .note_accept(11, 3, Some(&vc), RecvMode::WildcardUnordered)
+                .is_none());
+        }
+        assert_eq!(hb.history[&11].len(), MAX_PER_TAG, "window stays full");
+        assert_eq!(hb.history[&11].front().unwrap().from, 3, "A was evicted");
+        assert!(
+            hb.note_accept(11, 2, Some(&racy_b), RecvMode::Directed)
+                .is_none(),
+            "the race partner left the window: missed, per the documented bound"
+        );
+    }
+
+    #[test]
+    fn tag_table_resets_wholesale_at_max_tags() {
+        let mut hb = HbState::new(1, 2);
+        for tag in 0..MAX_TAGS as u64 {
+            assert!(hb
+                .note_accept(tag, 0, Some(&[tag + 1, 0]), RecvMode::Directed)
+                .is_none());
+        }
+        assert_eq!(hb.history.len(), MAX_TAGS);
+        // An accept on a tag already tracked does not trigger the reset.
+        let revisit = MAX_TAGS as u64 / 2;
+        let after_all = [0, hb.local_event()]; // ordered after every accept so far
+        assert!(hb
+            .note_accept(revisit, 0, Some(&after_all), RecvMode::Directed)
+            .is_none());
+        assert_eq!(hb.history.len(), MAX_TAGS, "existing tag keeps the table");
+        // A genuinely new tag past the cap drops the whole table: stale
+        // per-round tags are dead weight, and forgetting them wholesale is
+        // the documented trade against unbounded growth.
+        assert!(hb
+            .note_accept(MAX_TAGS as u64 + 7, 0, Some(&[1, 0]), RecvMode::Directed)
+            .is_none());
+        assert_eq!(hb.history.len(), 1, "table reset to just the new tag");
+        assert!(hb.history.contains_key(&(MAX_TAGS as u64 + 7)));
+        // The reset also forgets would-be race partners on old tags — the
+        // same documented miss as the per-tag window.
+        assert!(hb
+            .note_accept(0, 0, Some(&[1, 0]), RecvMode::Directed)
+            .is_none());
+    }
+
+    #[test]
+    fn mixed_mode_cross_sender_edges() {
+        // A concurrent cross-sender pair races iff at least one side was an
+        // order-*sensitive* any-source match — whichever side it is.
+        let a = [0u64, 1, 0];
+        let b = [0u64, 0, 1];
+        let cases = [
+            (RecvMode::Wildcard, RecvMode::Directed, true),
+            (RecvMode::Directed, RecvMode::Wildcard, true),
+            (RecvMode::Wildcard, RecvMode::WildcardUnordered, true),
+            (RecvMode::WildcardUnordered, RecvMode::Wildcard, true),
+            (RecvMode::Directed, RecvMode::WildcardUnordered, false),
+            (RecvMode::WildcardUnordered, RecvMode::Directed, false),
+        ];
+        for (first, second, expect_race) in cases {
+            let mut hb = HbState::new(0, 3);
+            assert!(hb.note_accept(9, 1, Some(&a), first).is_none());
+            let report = hb.note_accept(9, 2, Some(&b), second);
+            assert_eq!(
+                report.is_some(),
+                expect_race,
+                "first={first:?} second={second:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unstamped_envelopes_are_ignored() {
+        // Envelopes without a clock (not sent inside this checked run) carry
+        // no evidence: nothing joins, nothing is recorded, nothing races.
+        let mut hb = HbState::new(1, 2);
+        assert!(hb.note_accept(7, 0, None, RecvMode::Wildcard).is_none());
+        assert!(hb.history.is_empty());
+        assert_eq!(hb.local_event(), 0, "no event was charged");
+        // A later stamped pair still gets a clean first-accept baseline.
+        assert!(hb
+            .note_accept(7, 0, Some(&[1, 0]), RecvMode::Directed)
             .is_none());
     }
 

@@ -3,6 +3,7 @@
 use crate::check::{collective_divergence, CheckState, LeakRecord, SECONDARY_ABORT};
 use crate::ctx::{Ctx, Envelope, RankExit, DEFAULT_CHECK_POLL};
 use crate::fault::{FaultPlan, FaultSession, FaultShared, InjectedFault, FAULT_KILL_PREFIX};
+use crate::sched::{SchedHandle, SchedSession};
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -83,6 +84,11 @@ pub struct MachineStats {
     /// their literal value; all collective traffic is folded under
     /// [`crate::Ctx::RESERVED_TAG_BASE`] (see [`crate::ctx::Counters::by_tag`]).
     pub by_tag: std::collections::BTreeMap<u64, (u64, u64)>,
+    /// Per-tag `(messages, bytes, exact)` totals *predicted* by the static
+    /// plan analysis before the traffic was sent (see
+    /// [`crate::Ctx::note_planned`]). The flag is true only when every
+    /// rank's predictions under the tag were byte-exact.
+    pub planned_by_tag: std::collections::BTreeMap<u64, (u64, u64, bool)>,
     /// Per-rank final logical clocks.
     pub rank_times: Vec<f64>,
 }
@@ -125,6 +131,7 @@ pub struct MachineBuilder {
     checked: bool,
     watchdog_poll: Duration,
     fault_plan: Option<FaultPlan>,
+    sched: Option<SchedHandle>,
 }
 
 impl MachineBuilder {
@@ -157,6 +164,14 @@ impl MachineBuilder {
         self
     }
 
+    /// Installs a schedule-forcing/tracing handle (see [`crate::sched`]);
+    /// implies `checked` — forcing and tracing both need the vector
+    /// clocks that only checked mode stamps on envelopes.
+    pub fn schedule(mut self, handle: SchedHandle) -> Self {
+        self.sched = Some(handle);
+        self
+    }
+
     /// Runs `f` on `p` ranks with this configuration.
     ///
     /// # Panics
@@ -168,10 +183,18 @@ impl MachineBuilder {
         F: Fn(&mut Ctx) -> R + Sync,
     {
         assert!(p > 0, "need at least one rank");
-        let checked = self.checked || self.fault_plan.is_some();
+        let checked = self.checked || self.fault_plan.is_some() || self.sched.is_some();
         let check = checked.then(|| Arc::new(CheckState::new(p)));
         let fault = self.fault_plan.map(|plan| Arc::new(FaultShared::new(plan)));
-        Machine::run_impl(p, self.model, check, fault, self.watchdog_poll, f)
+        Machine::run_impl(
+            p,
+            self.model,
+            check,
+            fault,
+            self.sched,
+            self.watchdog_poll,
+            f,
+        )
     }
 }
 
@@ -216,7 +239,7 @@ impl Machine {
         R: Send,
         F: Fn(&mut Ctx) -> R + Sync,
     {
-        Self::run_impl(p, model, None, None, DEFAULT_CHECK_POLL, f)
+        Self::run_impl(p, model, None, None, None, DEFAULT_CHECK_POLL, f)
     }
 
     /// Starts a configurable run: checked mode, watchdog poll interval,
@@ -227,6 +250,7 @@ impl Machine {
             checked: false,
             watchdog_poll: default_watchdog_poll(),
             fault_plan: None,
+            sched: None,
         }
     }
 
@@ -261,6 +285,7 @@ impl Machine {
             model,
             Some(Arc::new(CheckState::new(p))),
             None,
+            None,
             default_watchdog_poll(),
             f,
         )
@@ -271,6 +296,7 @@ impl Machine {
         model: MachineModel,
         check: Option<Arc<CheckState>>,
         fault: Option<Arc<FaultShared>>,
+        sched: Option<SchedHandle>,
         poll: Duration,
         f: F,
     ) -> RunOutput<R>
@@ -303,8 +329,10 @@ impl Machine {
                 let session = fault
                     .as_ref()
                     .map(|shared| FaultSession::new(Arc::clone(shared), rank));
+                let ssched = sched.as_ref().map(|h| SchedSession::new(h, rank));
                 scope.spawn(move || {
-                    let mut ctx = Ctx::new(rank, p, model, senders, rx, check, poll, session);
+                    let mut ctx =
+                        Ctx::new(rank, p, model, senders, rx, check, poll, session, ssched);
                     match std::panic::catch_unwind(AssertUnwindSafe(|| fref(&mut ctx))) {
                         Ok(r) => {
                             *rslot = Some(r);
@@ -349,6 +377,12 @@ impl Machine {
                 let slot = stats.by_tag.entry(tag).or_insert((0, 0));
                 slot.0 += m;
                 slot.1 += b;
+            }
+            for (&tag, &(m, b, exact)) in &exit.counters.planned_by_tag {
+                let slot = stats.planned_by_tag.entry(tag).or_insert((0, 0, true));
+                slot.0 += m;
+                slot.1 += b;
+                slot.2 &= exact;
             }
             per_rank_collectives.push(exit.counters.collectives);
             stats.rank_times.push(exit.time);

@@ -69,6 +69,12 @@ struct Measurement {
     /// Per-tag breakdown, `"name:messages/bytes"` space-separated (empty
     /// for serial scenarios). Names come from `tags::tag_name`.
     comm_tags: String,
+    /// Per-tag *predicted* traffic from the static `CommPlan` analysis
+    /// (`MachineStats::planned_by_tag`): `"name:messages/bytes"` when the
+    /// byte prediction is exact, `"name:messages/~"` for producer-defined
+    /// rounds that predict message counts only. `bench-verify` gates the
+    /// measured counters against this.
+    comm_planned: String,
 }
 
 impl Measurement {
@@ -92,6 +98,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut quick = false;
     let mut out_path = String::from("BENCH.json");
     let mut label = String::from("local");
+    let mut baseline = String::from("none");
     let mut only: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -107,6 +114,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 label = it
                     .next()
                     .ok_or_else(|| "--label needs a value".to_string())?
+                    .clone();
+            }
+            "--baseline" => {
+                baseline = it
+                    .next()
+                    .ok_or_else(|| "--baseline needs a filename".to_string())?
                     .clone();
             }
             "--scenario" => {
@@ -164,22 +177,35 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if results.is_empty() {
         return Err("no scenario matched the --scenario filter".to_string());
     }
-    let json = render_json(&label, quick, &results);
+    let json = render_json(&label, &baseline, quick, &results);
     std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("bench: wrote {} scenario(s) to {out_path}", results.len());
     Ok(())
 }
 
 /// Folds a machine run's stats into the measurement's comm fields: the
-/// aggregate message/byte totals plus a per-tag breakdown string.
-fn comm_fields(stats: &MachineStats) -> (u64, u64, String) {
+/// aggregate message/byte totals, the per-tag breakdown string, and the
+/// per-tag prediction string from the static plan analysis.
+fn comm_fields(stats: &MachineStats) -> (u64, u64, String, String) {
     let detail = stats
         .by_tag
         .iter()
         .map(|(&tag, &(m, b))| format!("{}:{m}/{b}", tags::tag_name(tag)))
         .collect::<Vec<_>>()
         .join(" ");
-    (stats.messages, stats.bytes, detail)
+    let planned = stats
+        .planned_by_tag
+        .iter()
+        .map(|(&tag, &(m, b, exact))| {
+            if exact {
+                format!("{}:{m}/{b}", tags::tag_name(tag))
+            } else {
+                format!("{}:{m}/~", tags::tag_name(tag))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    (stats.messages, stats.bytes, detail, planned)
 }
 
 // ---------------------------------------------------------------------------
@@ -236,6 +262,7 @@ fn bench_serial_ilut(cfg: &Cfg) -> Measurement {
         comm_messages: 0,
         comm_bytes: 0,
         comm_tags: String::new(),
+        comm_planned: String::new(),
     }
 }
 
@@ -259,6 +286,7 @@ fn bench_serial_ilut_unbounded(cfg: &Cfg) -> Measurement {
         comm_messages: 0,
         comm_bytes: 0,
         comm_tags: String::new(),
+        comm_planned: String::new(),
     }
 }
 
@@ -285,6 +313,7 @@ fn bench_trisolve_serial(cfg: &Cfg) -> Measurement {
         comm_messages: 0,
         comm_bytes: 0,
         comm_tags: String::new(),
+        comm_planned: String::new(),
     }
 }
 
@@ -309,6 +338,7 @@ fn bench_spmv(cfg: &Cfg) -> Measurement {
         comm_messages: 0,
         comm_bytes: 0,
         comm_tags: String::new(),
+        comm_planned: String::new(),
     }
 }
 
@@ -340,6 +370,7 @@ fn bench_gmres(cfg: &Cfg) -> Measurement {
         comm_messages: 0,
         comm_bytes: 0,
         comm_tags: String::new(),
+        comm_planned: String::new(),
     }
 }
 
@@ -375,7 +406,7 @@ fn bench_par_ilut(name: &'static str, cfg: &Cfg, p: usize, opts: IlutOptions) ->
         std::hint::black_box(&rf);
     })
     .stats;
-    let (comm_messages, comm_bytes, comm_tags) = comm_fields(&stats);
+    let (comm_messages, comm_bytes, comm_tags, comm_planned) = comm_fields(&stats);
     Measurement {
         name,
         n,
@@ -387,6 +418,7 @@ fn bench_par_ilut(name: &'static str, cfg: &Cfg, p: usize, opts: IlutOptions) ->
         comm_messages,
         comm_bytes,
         comm_tags,
+        comm_planned,
     }
 }
 
@@ -449,7 +481,7 @@ fn bench_dist_trisolve_p4(cfg: &Cfg) -> Measurement {
         });
         (out.results.into_iter().sum::<usize>(), out.stats)
     };
-    let (comm_messages, comm_bytes, comm_tags) = comm_fields(&stats);
+    let (comm_messages, comm_bytes, comm_tags, comm_planned) = comm_fields(&stats);
     Measurement {
         name: "dist_trisolve_p4",
         n,
@@ -461,24 +493,27 @@ fn bench_dist_trisolve_p4(cfg: &Cfg) -> Measurement {
         comm_messages,
         comm_bytes,
         comm_tags,
+        comm_planned,
     }
 }
 
 // ---------------------------------------------------------------------------
 // JSON.
 
-fn render_json(label: &str, quick: bool, results: &[Measurement]) -> String {
+fn render_json(label: &str, baseline: &str, quick: bool, results: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"pilut-bench-v1\",\n");
     out.push_str(&format!("  \"label\": \"{label}\",\n"));
+    out.push_str(&format!("  \"baseline\": \"{baseline}\",\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"scenarios\": [\n");
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"n\": {}, \"nnz\": {}, \"reps\": {}, \"inner\": {}, \
              \"median_ns\": {}, \"min_ns\": {}, \"mnnz_per_s\": {:.2}, \
-             \"comm_messages\": {}, \"comm_bytes\": {}, \"comm_tags\": \"{}\"}}{}\n",
+             \"comm_messages\": {}, \"comm_bytes\": {}, \"comm_tags\": \"{}\", \
+             \"comm_planned\": \"{}\"}}{}\n",
             m.name,
             m.n,
             m.nnz,
@@ -490,6 +525,7 @@ fn render_json(label: &str, quick: bool, results: &[Measurement]) -> String {
             m.comm_messages,
             m.comm_bytes,
             m.comm_tags,
+            m.comm_planned,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -497,11 +533,39 @@ fn render_json(label: &str, quick: bool, results: &[Measurement]) -> String {
     out
 }
 
-/// Entry point for `xtask bench-verify <file>`: structural well-formedness
-/// check of a bench JSON report, used by the CI smoke run. Verifies the
-/// schema marker, that at least one scenario is present, and that every
-/// scenario line carries the required numeric fields with positive timings.
-pub fn verify(path: &str) -> Result<(), String> {
+/// Entry point for `xtask bench-verify <file> [--slack PCT]`: structural
+/// well-formedness check of a bench JSON report plus the planned-vs-
+/// measured traffic gate, used by the CI smoke run. Verifies the schema
+/// marker, that at least one scenario is present, that every scenario line
+/// carries the required numeric fields with positive timings — and that
+/// every machine scenario's measured per-tag counters agree with the
+/// static `CommPlan` predictions it recorded: message counts exactly,
+/// byte counts within `--slack` percent (default 0 — the values-only wire
+/// format is deterministic, so the exact predictions must hold to the
+/// byte; the flag exists for future payloads with platform-dependent
+/// encodings). Measured traffic on a protocol tag no plan predicted is a
+/// data-plane escape and always fails.
+pub fn verify(args: &[String]) -> Result<(), String> {
+    let mut path: Option<&String> = None;
+    let mut slack_pct = 0.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--slack" => {
+                slack_pct = it
+                    .next()
+                    .ok_or_else(|| "--slack needs a percentage".to_string())?
+                    .parse()
+                    .map_err(|e| format!("bad --slack value: {e}"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown bench-verify flag {other}"));
+            }
+            _ if path.is_none() => path = Some(arg),
+            other => return Err(format!("unexpected bench-verify argument {other}")),
+        }
+    }
+    let path = path.ok_or_else(|| "usage: bench-verify <file.json> [--slack PCT]".to_string())?;
     let content =
         std::fs::read_to_string(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
     if !content.contains("\"schema\": \"pilut-bench-v1\"") {
@@ -544,11 +608,97 @@ pub fn verify(path: &str) -> Result<(), String> {
                 "{path}: scenario {scenarios} has implausible timings (median {median}, min {min})"
             ));
         }
+        let measured = field_str(line, "\"comm_tags\":").unwrap_or_default();
+        let planned = field_str(line, "\"comm_planned\":").unwrap_or_default();
+        check_planned(&measured, &planned, slack_pct)
+            .map_err(|e| format!("{path}: scenario {scenarios}: {e}"))?;
     }
     if scenarios == 0 {
         return Err(format!("{path}: no scenarios recorded"));
     }
-    println!("bench-verify: {path} ok ({scenarios} scenario(s))");
+    println!("bench-verify: {path} ok ({scenarios} scenario(s), slack {slack_pct}%)");
+    Ok(())
+}
+
+/// Parses a `"name:messages/bytes"` breakdown string into a map; a `~`
+/// byte field (inexact prediction) parses as `None`.
+fn parse_breakdown(s: &str) -> Result<Vec<(String, u64, Option<u64>)>, String> {
+    let mut out = Vec::new();
+    for entry in s.split_whitespace() {
+        let (name, counts) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed breakdown entry {entry}"))?;
+        let (m, b) = counts
+            .split_once('/')
+            .ok_or_else(|| format!("malformed breakdown entry {entry}"))?;
+        let messages: u64 = m
+            .parse()
+            .map_err(|e| format!("bad count in {entry}: {e}"))?;
+        let bytes = if b == "~" {
+            None
+        } else {
+            Some(
+                b.parse()
+                    .map_err(|e| format!("bad bytes in {entry}: {e}"))?,
+            )
+        };
+        out.push((name.to_string(), messages, bytes));
+    }
+    Ok(out)
+}
+
+/// The planned-vs-measured gate of `bench-verify`: every prediction the
+/// scenario's plans recorded must agree with what the machine measured —
+/// message counts exactly, exact byte predictions within `slack_pct`
+/// percent — and every measured protocol tag must have a prediction
+/// (collective traffic, which no `CommPlan` owns, is exempt). Scenarios
+/// with no predictions (serial, or reports predating the analysis) pass
+/// vacuously.
+fn check_planned(measured: &str, planned: &str, slack_pct: f64) -> Result<(), String> {
+    let planned = parse_breakdown(planned)?;
+    if planned.is_empty() {
+        return Ok(());
+    }
+    let measured = parse_breakdown(measured)?;
+    for (name, pm, pb) in &planned {
+        let Some((_, mm, mb)) = measured.iter().find(|(n, _, _)| n == name) else {
+            return Err(format!(
+                "tag {name}: planned {pm} message(s) but none measured"
+            ));
+        };
+        if mm != pm {
+            return Err(format!(
+                "tag {name}: planned {pm} message(s), measured {mm}"
+            ));
+        }
+        if let (Some(pb), Some(mb)) = (pb, mb) {
+            let diverge_pct = if *pb == 0 {
+                if *mb == 0 {
+                    0.0
+                } else {
+                    100.0
+                }
+            } else {
+                (*mb as f64 - *pb as f64).abs() * 100.0 / *pb as f64
+            };
+            if diverge_pct > slack_pct {
+                return Err(format!(
+                    "tag {name}: predicted {pb} byte(s), measured {mb} \
+                     ({diverge_pct:.2}% > {slack_pct}% slack)"
+                ));
+            }
+        }
+    }
+    for (name, mm, _) in &measured {
+        if name == "coll" {
+            continue;
+        }
+        if !planned.iter().any(|(n, _, _)| n == name) {
+            return Err(format!(
+                "tag {name}: {mm} measured message(s) bypassed the planned data plane"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -579,6 +729,7 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     let mut paths: Vec<&String> = Vec::new();
     let mut tolerance_pct = 5.0f64;
     let mut geomean = false;
+    let mut baseline_flag: Option<&String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -590,13 +741,27 @@ pub fn compare(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("bad --tolerance value: {e}"))?;
             }
             "--geomean" => geomean = true,
+            "--baseline" => {
+                baseline_flag = Some(
+                    it.next()
+                        .ok_or_else(|| "--baseline needs a path".to_string())?,
+                );
+            }
             _ => paths.push(arg),
         }
     }
-    let [new_path, base_path] = paths[..] else {
-        return Err(
-            "usage: bench-compare <new.json> <baseline.json> [--tolerance PCT] [--geomean]".into(),
-        );
+    // The baseline names itself either positionally (second path) or via
+    // the explicit `--baseline <path>` flag; mixing both is ambiguous.
+    let (new_path, base_path) = match (&paths[..], baseline_flag) {
+        ([new], Some(base)) => (*new, base),
+        ([new, base], None) => (*new, *base),
+        _ => {
+            return Err(
+                "usage: bench-compare <new.json> [<baseline.json> | --baseline <path>] \
+                 [--tolerance PCT] [--geomean]"
+                    .into(),
+            );
+        }
     };
     let new = read_scenarios(new_path)?;
     let base = read_scenarios(base_path)?;
@@ -737,22 +902,60 @@ mod tests {
             comm_messages: 12,
             comm_bytes: 4096,
             comm_tags: "spmv:12/4096".to_string(),
+            comm_planned: "spmv:12/4096".to_string(),
         }]
+    }
+
+    fn verify_file(name: &str, json: &str) -> Result<(), String> {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, json).unwrap();
+        verify(&[path.to_str().unwrap().to_string()])
     }
 
     #[test]
     fn json_roundtrips_through_verify() {
-        let json = render_json("test", true, &fake());
-        let dir = std::env::temp_dir().join("pilut_bench_test.json");
-        std::fs::write(&dir, &json).unwrap();
-        verify(dir.to_str().unwrap()).unwrap();
+        let json = render_json("test", "none", true, &fake());
+        assert!(json.contains("\"baseline\": \"none\""));
+        verify_file("pilut_bench_test.json", &json).unwrap();
     }
 
     #[test]
     fn verify_rejects_garbage() {
-        let dir = std::env::temp_dir().join("pilut_bench_bad.json");
-        std::fs::write(&dir, "{\"schema\": \"other\"}").unwrap();
-        assert!(verify(dir.to_str().unwrap()).is_err());
+        assert!(verify_file("pilut_bench_bad.json", "{\"schema\": \"other\"}").is_err());
+    }
+
+    #[test]
+    fn verify_gates_planned_against_measured() {
+        // Exact byte prediction off by one fails at zero slack, passes
+        // under a generous slack; message mismatches never pass; measured
+        // protocol traffic with no prediction never passes.
+        let mut m = fake();
+        m[0].comm_planned = "spmv:12/4000".to_string();
+        let json = render_json("test", "none", true, &m);
+        let err = verify_file("pilut_bench_gate.json", &json).unwrap_err();
+        assert!(err.contains("slack"), "{err}");
+        let path = std::env::temp_dir().join("pilut_bench_gate.json");
+        verify(&[
+            path.to_str().unwrap().to_string(),
+            "--slack".into(),
+            "5".into(),
+        ])
+        .unwrap();
+        m[0].comm_planned = "spmv:11/~".to_string();
+        let err = verify_file(
+            "pilut_bench_gate2.json",
+            &render_json("t", "none", true, &m),
+        )
+        .unwrap_err();
+        assert!(err.contains("planned 11 message(s), measured 12"), "{err}");
+        m[0].comm_tags = "spmv:12/4096 fwd:3/24".to_string();
+        m[0].comm_planned = "spmv:12/4096".to_string();
+        let err = verify_file(
+            "pilut_bench_gate3.json",
+            &render_json("t", "none", true, &m),
+        )
+        .unwrap_err();
+        assert!(err.contains("bypassed the planned data plane"), "{err}");
     }
 
     #[test]

@@ -22,15 +22,13 @@
 //! trial per (fault class, workload) at p = 4 (the CI configuration).
 
 use std::panic::AssertUnwindSafe;
-use std::time::Duration;
 
+use crate::sweep::{checked_builder, dist_matrix, ilut_options, mix};
 use pilut_core::dist::op::{DistCsr, DistOperator};
 use pilut_core::dist::DistMatrix;
-use pilut_core::options::IlutOptions;
 use pilut_core::parallel::par_ilut;
 use pilut_core::trisolve::{dist_solve, TrisolvePlan};
-use pilut_par::{FaultAction, FaultPlan, FaultRule, Machine, MachineModel, FAULT_KILL_PREFIX};
-use pilut_sparse::gen;
+use pilut_par::{FaultAction, FaultPlan, FaultRule, FAULT_KILL_PREFIX};
 
 /// The six fault classes, cycled over seeds so every class is exercised at
 /// every process count.
@@ -41,16 +39,6 @@ const WORKLOADS: &[&str] = &["factor", "replay"];
 
 fn is_benign(kind: &str) -> bool {
     matches!(kind, "delay" | "reorder" | "stall")
-}
-
-/// splitmix64 — same mixer the fault layer uses, so plan parameters are
-/// well spread without any external RNG crate.
-fn mix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 /// Builds the deterministic plan for one trial. Destructive rules fire
@@ -110,9 +98,7 @@ enum Outcome {
 
 /// Builds the machine for one trial, with or without a fault plan.
 fn trial_machine(plan: Option<FaultPlan>) -> pilut_par::MachineBuilder {
-    let mut builder = Machine::builder(MachineModel::cray_t3d())
-        .checked(true)
-        .watchdog_poll(Duration::from_millis(2));
+    let mut builder = checked_builder();
     if let Some(plan) = plan {
         builder = builder.fault_plan(plan);
     }
@@ -133,7 +119,7 @@ fn workload(name: &str, dm: &DistMatrix, p: usize, plan: Option<FaultPlan>) -> V
 /// reduced to one checksum per rank (the sum of owned pivots) so benign
 /// trials can be compared bit-for-bit against a clean run.
 fn factor_workload(dm: &DistMatrix, p: usize, plan: Option<FaultPlan>) -> Vec<u64> {
-    let opts = IlutOptions::new(5, 1e-4);
+    let opts = ilut_options();
     let out = trial_machine(plan).run(p, |ctx| {
         let local = dm.local_view(ctx.rank());
         // lint: allow(unwrap): the workload matrix factors cleanly; a corrupted run dies in the VM's diagnosis
@@ -159,7 +145,7 @@ fn factor_workload(dm: &DistMatrix, p: usize, plan: Option<FaultPlan>) -> Vec<u6
 /// fault `after_op` offsets land inside the replays rather than the plan
 /// builds, which is exactly the coverage the factor workload lacks.
 fn replay_workload(dm: &DistMatrix, p: usize, plan: Option<FaultPlan>) -> Vec<u64> {
-    let opts = IlutOptions::new(5, 1e-4);
+    let opts = ilut_options();
     let out = trial_machine(plan).run(p, |ctx| {
         let local = dm.local_view(ctx.rank());
         // lint: allow(unwrap): the workload matrix factors cleanly; a corrupted run dies in the VM's diagnosis
@@ -211,15 +197,7 @@ fn run_trial(work: &str, kind: &str, seed: u64, p: usize, clean: &[u64]) -> Outc
             }
         }
         Err(payload) => {
-            let msg = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| {
-                    payload
-                        .downcast_ref::<&'static str>()
-                        .map(|s| s.to_string())
-                })
-                .unwrap_or_else(|| "<non-string panic payload>".into());
+            let msg = crate::sweep::panic_text(payload);
             if is_benign(kind) {
                 return Outcome::Fail(format!("benign fault crashed the run: {msg}"));
             }
@@ -253,12 +231,6 @@ fn run_trial(work: &str, kind: &str, seed: u64, p: usize, clean: &[u64]) -> Outc
             }
         }
     }
-}
-
-/// The trial matrix: big enough that every rank owns interior rows at
-/// p = 8, small enough that a full sweep stays in seconds.
-fn dist_matrix(p: usize) -> DistMatrix {
-    DistMatrix::from_matrix(gen::laplace_2d(12, 12), p, 17)
 }
 
 /// Entry point for `xtask chaos`. Returns `Err(message)` on bad usage or

@@ -64,7 +64,9 @@ use std::process::ExitCode;
 
 mod bench;
 mod chaos;
+mod modelcheck;
 mod schedcheck;
+mod sweep;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,19 +78,13 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Some("bench-verify") => {
-            let Some(path) = args.get(1) else {
-                eprintln!("usage: cargo run -p xtask -- bench-verify <file.json>");
-                return ExitCode::FAILURE;
-            };
-            match bench::verify(path) {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("xtask bench-verify: {e}");
-                    ExitCode::FAILURE
-                }
+        Some("bench-verify") => match bench::verify(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("xtask bench-verify: {e}");
+                ExitCode::FAILURE
             }
-        }
+        },
         Some("bench-compare") => match bench::compare(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -110,6 +106,13 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("modelcheck") => match modelcheck::run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("xtask modelcheck: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("lint") => {
             let root = workspace_root();
             let violations = run_lint(&root);
@@ -126,9 +129,9 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint | bench [flags] | bench-verify <file> \
+                "usage: cargo run -p xtask -- lint | bench [flags] | bench-verify <file> [--slack PCT] \
                  | bench-compare <new> <baseline> [--tolerance PCT] [--geomean] | chaos [--quick] \
-                 | schedcheck [--quick]"
+                 | schedcheck [--quick] | modelcheck [--quick]"
             );
             ExitCode::FAILURE
         }
@@ -357,7 +360,85 @@ fn lint_source(label: &str, content: &str, in_par: bool) -> Vec<Violation> {
             }
         }
     }
+    // The tag-discipline rule runs over the whole blanked text rather than
+    // per line: a call's argument list regularly spans lines.
+    if !in_par {
+        out.extend(untagged_send_violations(label, &lines, &blanked));
+    }
     out
+}
+
+/// The `no-untagged-send` rule: every `ctx.send` / `ctx.send_as` call site
+/// outside `crates/par` must pass a *named* tag — a `tags::` constant or a
+/// value derived from one — never a bare integer literal. Literal tags
+/// bypass the protocol-namespace discipline the static `CommPlan` analysis
+/// and the per-tag counters are built on (two protocols colliding on tag
+/// `3` is exactly the class of bug the namespace scheme exists to prevent).
+/// For `send_as`, both the wire tag and the stats tag are checked.
+fn untagged_send_violations(label: &str, lines: &[&str], blanked: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let blanked_lines: Vec<&str> = blanked.lines().collect();
+    // Same convention as the per-line rules: the test module is the tail.
+    let cutoff = blanked_lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(usize::MAX);
+    for (call, tag_args) in [("ctx.send(", &[1usize][..]), ("ctx.send_as(", &[1, 2][..])] {
+        let mut start = 0;
+        while let Some(pos) = blanked[start..].find(call) {
+            let at = start + pos;
+            start = at + call.len();
+            let line_idx = blanked[..at].bytes().filter(|&b| b == b'\n').count();
+            if line_idx >= cutoff || allowed(lines, line_idx, "untagged-send") {
+                continue;
+            }
+            let args = &blanked[at + call.len()..];
+            for &k in tag_args {
+                let literal = nth_top_level_arg(args, k)
+                    .is_some_and(|a| a.trim().starts_with(|c: char| c.is_ascii_digit()));
+                if literal {
+                    out.push(Violation {
+                        file: label.to_string(),
+                        line: line_idx + 1,
+                        rule: "no-untagged-send",
+                        text: lines.get(line_idx).copied().unwrap_or("").to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Argument `k` (0-based) of a call whose argument list starts at the
+/// beginning of `s` (just past the opening paren): splits on top-level
+/// commas, tracking bracket depth so nested calls and literals don't
+/// confuse the count. `None` when the list ends first.
+fn nth_top_level_arg(s: &str, k: usize) -> Option<&str> {
+    let mut depth = 0usize;
+    let mut arg_start = 0usize;
+    let mut idx = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => {
+                if depth == 0 {
+                    return (idx == k).then(|| &s[arg_start..i]);
+                }
+                depth -= 1;
+            }
+            ',' if depth == 0 => {
+                if idx == k {
+                    return Some(&s[arg_start..i]);
+                }
+                idx += 1;
+                arg_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Detects arithmetic on `RESERVED_TAG_BASE` — `|`, `+`, `^`, or `*`
@@ -789,15 +870,46 @@ mod tests {
 
     #[test]
     fn raw_comm_confined_to_par_and_exchange() {
-        let src = "fn f(ctx: &mut Ctx) { ctx.send(1, 7, p); let _ = ctx.recv(0, 7); }\n";
+        let src =
+            "fn f(ctx: &mut Ctx) { ctx.send(1, tags::SPMV, p); let _ = ctx.recv(0, tags::SPMV); }\n";
         assert_eq!(
             rules(&lint_source("crates/core/src/dist/spmv.rs", src, false)),
             vec!["no-raw-comm"; 1]
         );
         assert!(lint_source("crates/par/src/ctx.rs", src, true).is_empty());
         assert!(lint_source("crates/core/src/dist/exchange.rs", src, false).is_empty());
-        let allowed = "// lint: allow(raw-comm): bootstrap handshake\nfn f(ctx: &mut Ctx) { ctx.send(1, 7, p); }\n";
+        let allowed = "// lint: allow(raw-comm): bootstrap handshake\nfn f(ctx: &mut Ctx) { ctx.send(1, tags::SPMV, p); }\n";
         assert!(lint_source("crates/core/src/a.rs", allowed, false).is_empty());
+    }
+
+    #[test]
+    fn untagged_send_is_caught_outside_par() {
+        // A literal tag defeats the namespace discipline even where raw
+        // comm itself is legal — and the scan crosses line breaks.
+        let bad = "fn f(ctx: &mut Ctx) {\n    ctx.send(peer,\n        7,\n        p);\n}\n";
+        let got = lint_source("crates/core/src/dist/exchange.rs", bad, false);
+        assert_eq!(rules(&got), vec!["no-untagged-send"]);
+        assert_eq!(got[0].line, 2, "reported at the call line");
+        // `send_as` checks the stats tag too, not just the wire tag.
+        let bad_as = "fn f(ctx: &mut Ctx) { ctx.send_as(peer, wire, 42, p); }\n";
+        assert_eq!(
+            rules(&lint_source(
+                "crates/core/src/dist/exchange.rs",
+                bad_as,
+                false
+            )),
+            vec!["no-untagged-send"]
+        );
+        // Named constants and tags derived from them pass; nested calls in
+        // earlier arguments don't shift the argument count.
+        let good = "fn f(ctx: &mut Ctx) {\n    ctx.send(peer, tags::SPMV, p);\n    ctx.send_as(dest(q, 1), base + round, tags::FWD, p);\n}\n";
+        assert!(lint_source("crates/core/src/dist/exchange.rs", good, false).is_empty());
+        // The VM crate is exempt; the marker and the test tail opt out.
+        assert!(lint_source("crates/par/src/a.rs", bad, true).is_empty());
+        let marked = "// lint: allow(untagged-send): loopback probe\nfn f(ctx: &mut Ctx) { ctx.send(peer, 7, p); }\n";
+        assert!(lint_source("crates/core/src/dist/exchange.rs", marked, false).is_empty());
+        let tail = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(ctx: &mut Ctx) { ctx.send(0, 9, p); }\n}\n";
+        assert!(lint_source("crates/core/src/dist/exchange.rs", tail, false).is_empty());
     }
 
     #[test]

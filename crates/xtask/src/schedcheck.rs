@@ -27,23 +27,19 @@
 //! race report would mean the detector has a hole; that pairing is exactly
 //! the acceptance contract of this sanitizer.
 //!
+//! This suite *samples* the schedule space; `xtask modelcheck` walks the
+//! DPOR-reduced space *exhaustively* for small configs (see DESIGN §12).
+//! The fingerprints, workloads, and shrink loop are shared via
+//! [`crate::sweep`].
+//!
 //! Full mode sweeps 20 schedules × p ∈ {2, 4, 8} × three workloads
 //! (`factor`, `trisolve`, `gmres`); `--quick` runs 3 schedules at
 //! p ∈ {2, 4} (the CI configuration).
 
-use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
-use std::time::Duration;
 
-use pilut_core::dist::op::{DistCsr, DistOperator};
-use pilut_core::dist::DistMatrix;
-use pilut_core::options::IlutOptions;
-use pilut_core::parallel::par_ilut;
-use pilut_core::trisolve::{dist_solve, TrisolvePlan};
-use pilut_par::{FaultAction, FaultPlan, FaultRule, Machine, MachineModel};
-use pilut_solver::dist_gmres::{dist_gmres, DistIlu};
-use pilut_solver::gmres::GmresOptions;
-use pilut_sparse::gen;
+use crate::sweep::{checked_builder, dist_matrix, mix, panic_text, shrink, Fingerprint};
+use pilut_par::{FaultAction, FaultPlan, FaultRule};
 
 /// The three workloads swept per process count: plan-construction traffic
 /// (`factor`), the steady-state data plane (`trisolve`), and the full
@@ -53,66 +49,6 @@ const WORKLOADS: &[&str] = &["factor", "trisolve", "gmres"];
 /// Human names for the perturbation's rules, indexed by bit in the subset
 /// mask used during minimization.
 const RULE_NAMES: &[&str] = &["delay", "reorder", "stall"];
-
-/// splitmix64 — the same mixer the fault layer uses; also the fold step of
-/// the result checksums.
-fn mix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Folds one word into a running checksum (order-sensitive).
-fn fold(h: &mut u64, v: u64) {
-    *h = *h ^ v;
-    *h = mix(h);
-}
-
-/// Everything a deterministic run must reproduce bit-for-bit.
-#[derive(Debug, PartialEq, Eq)]
-struct Fingerprint {
-    /// One checksum per rank over the rank's full result (factor entries or
-    /// solution components, in deterministic order, via `f64::to_bits`).
-    rank_sums: Vec<u64>,
-    /// Total messages across all ranks.
-    messages: u64,
-    /// Total bytes across all ranks.
-    bytes: u64,
-    /// Per-tag `(messages, bytes)` totals.
-    by_tag: BTreeMap<u64, (u64, u64)>,
-}
-
-impl Fingerprint {
-    /// Describes the first component where `self` and `other` differ, or
-    /// `None` when identical. One line, precise enough to aim a debugger.
-    fn diff(&self, other: &Fingerprint) -> Option<String> {
-        for (r, (a, b)) in self.rank_sums.iter().zip(&other.rank_sums).enumerate() {
-            if a != b {
-                return Some(format!("rank {r} checksum {a:#018x} != {b:#018x}"));
-            }
-        }
-        if self.messages != other.messages || self.bytes != other.bytes {
-            return Some(format!(
-                "traffic totals ({}, {} bytes) != ({}, {} bytes)",
-                self.messages, self.bytes, other.messages, other.bytes
-            ));
-        }
-        for (tag, a) in &self.by_tag {
-            let b = other.by_tag.get(tag);
-            if b != Some(a) {
-                return Some(format!("tag {tag:#x} counters {a:?} != {b:?}"));
-            }
-        }
-        for tag in other.by_tag.keys() {
-            if !self.by_tag.contains_key(tag) {
-                return Some(format!("tag {tag:#x} present only in the perturbed run"));
-            }
-        }
-        None
-    }
-}
 
 /// Builds the perturbation for `(seed, p)`, restricted to the rules whose
 /// bits are set in `mask` (bit order matches [`RULE_NAMES`]). Rules are
@@ -158,101 +94,15 @@ fn mask_names(mask: u8) -> String {
     names.join("+")
 }
 
-/// The sweep matrix — same Laplacian the chaos suite uses, so every rank
-/// owns interior rows at p = 8 while a full sweep stays in seconds.
-fn dist_matrix(p: usize) -> DistMatrix {
-    DistMatrix::from_matrix(gen::laplace_2d(12, 12), p, 17)
-}
-
-fn ilut_options() -> IlutOptions {
-    IlutOptions::new(5, 1e-4)
-}
-
-/// Checksums one rank's full factorization: every retained entry of L, the
-/// pivot, and every retained entry of U, in global row order.
-fn factor_checksum(rf: &pilut_core::parallel::RankFactors) -> u64 {
-    let mut rows: Vec<usize> = rf.rows.keys().copied().collect();
-    rows.sort_unstable();
-    let mut h = 0x5eed_0001u64;
-    for g in rows {
-        let row = &rf.rows[&g];
-        fold(&mut h, g as u64);
-        for &(c, v) in &row.l {
-            fold(&mut h, c as u64);
-            fold(&mut h, v.to_bits());
-        }
-        fold(&mut h, row.diag.to_bits());
-        for &(c, v) in &row.u {
-            fold(&mut h, c as u64);
-            fold(&mut h, v.to_bits());
-        }
-    }
-    h
-}
-
-/// Checksums a local vector component-wise (local-view order is
-/// deterministic per rank).
-fn vector_checksum(x: &[f64]) -> u64 {
-    let mut h = 0x5eed_0002u64;
-    for v in x {
-        fold(&mut h, v.to_bits());
-    }
-    h
-}
-
 /// Runs one workload under an optional perturbation and returns its
 /// fingerprint. Panics propagate to the caller for classification.
 fn run_workload(work: &str, p: usize, plan: Option<FaultPlan>) -> Fingerprint {
     let dm = dist_matrix(p);
-    let mut builder = Machine::builder(MachineModel::cray_t3d())
-        .checked(true)
-        .watchdog_poll(Duration::from_millis(2));
+    let mut builder = checked_builder();
     if let Some(plan) = plan {
         builder = builder.fault_plan(plan);
     }
-    let opts = ilut_options();
-    let out = builder.run(p, |ctx| {
-        let local = dm.local_view(ctx.rank());
-        // lint: allow(unwrap): the sweep matrix factors cleanly; corrupted runs die in the VM's diagnosis
-        let rf = par_ilut(ctx, &dm, &local, &opts).expect("schedcheck workload must factor");
-        match work {
-            "factor" => factor_checksum(&rf),
-            "trisolve" => {
-                let tplan = TrisolvePlan::build(ctx, &dm, &local, &rf);
-                let mut op = DistCsr::new(ctx, &dm, &local);
-                // Chain matvec + two-sweep solves so any divergence
-                // compounds instead of cancelling.
-                let mut x = vec![1.0; local.len()];
-                for _ in 0..3 {
-                    let y = op.apply(ctx, &x);
-                    x = dist_solve(ctx, &local, &rf, &tplan, &y);
-                }
-                vector_checksum(&x)
-            }
-            "gmres" => {
-                let mut op = DistCsr::new(ctx, &dm, &local);
-                let mut pre = DistIlu::new(ctx, &dm, &local, rf);
-                let b = vec![1.0; local.len()];
-                let gopts = GmresOptions {
-                    restart: 10,
-                    rtol: 1e-8,
-                    max_matvecs: 60,
-                };
-                let r = dist_gmres(ctx, &mut op, &local, &mut pre, &b, &gopts);
-                let mut h = vector_checksum(&r.x_local);
-                fold(&mut h, r.matvecs as u64);
-                fold(&mut h, u64::from(r.converged));
-                h
-            }
-            other => unreachable!("unknown schedcheck workload {other}"),
-        }
-    });
-    Fingerprint {
-        rank_sums: out.results,
-        messages: out.stats.messages,
-        bytes: out.stats.bytes,
-        by_tag: out.stats.by_tag,
-    }
+    crate::sweep::run_workload(work, &dm, p, builder)
 }
 
 /// How one perturbed trial related to its clean fingerprint.
@@ -265,18 +115,6 @@ enum Trial {
     /// Died; the string is the panic message (a happens-before race report
     /// when the detector fired).
     Panicked(String),
-}
-
-fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
-    payload
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| {
-            payload
-                .downcast_ref::<&'static str>()
-                .map(|s| s.to_string())
-        })
-        .unwrap_or_else(|| "<non-string panic payload>".into())
 }
 
 /// Runs one `(work, p, seed, mask)` trial and classifies it.
@@ -296,15 +134,16 @@ fn run_trial(work: &str, p: usize, seed: u64, mask: u8, clean: &Fingerprint) -> 
 fn minimize(work: &str, p: usize, seed: u64, clean: &Fingerprint) -> (u8, Trial) {
     let mut masks: Vec<u8> = (1u8..8).collect();
     masks.sort_by_key(|m| m.count_ones());
-    for mask in masks {
-        match run_trial(work, p, seed, mask, clean) {
-            Trial::Identical => continue,
-            outcome => return (mask, outcome),
-        }
+    let failing = shrink(&masks, |mask| match run_trial(work, p, seed, mask, clean) {
+        Trial::Identical => None,
+        outcome => Some(outcome),
+    });
+    match failing {
+        Some((mask, outcome)) => (mask, outcome),
+        // The full plan failed once but no subset reproduces (a flaky
+        // host-side interleaving): report the full plan.
+        None => (7, run_trial(work, p, seed, 7, clean)),
     }
-    // The full plan failed once but no subset reproduces (a flaky host-side
-    // interleaving): report the full plan.
-    (7, run_trial(work, p, seed, 7, clean))
 }
 
 /// Entry point for `xtask schedcheck`. Returns `Err(message)` on bad usage
@@ -399,33 +238,6 @@ mod tests {
         assert_eq!(sub.rules().len(), 1);
         // The reorder rule keeps its victim when regenerated as a subset.
         assert_eq!(full.rules()[1].rank, sub.rules()[0].rank);
-    }
-
-    #[test]
-    fn fingerprint_diff_locates_first_divergence() {
-        let a = Fingerprint {
-            rank_sums: vec![1, 2],
-            messages: 10,
-            bytes: 80,
-            by_tag: BTreeMap::new(),
-        };
-        let mut b = Fingerprint {
-            rank_sums: vec![1, 2],
-            messages: 10,
-            bytes: 80,
-            by_tag: BTreeMap::new(),
-        };
-        assert_eq!(a.diff(&b), None);
-        b.rank_sums[1] = 3;
-        // lint: allow(unwrap): diff is Some by construction
-        assert!(a.diff(&b).expect("diff").contains("rank 1"), "rank diff");
-        b.rank_sums[1] = 2;
-        b.by_tag.insert(5, (1, 8));
-        assert!(
-            // lint: allow(unwrap): diff is Some by construction
-            a.diff(&b).expect("diff").contains("only in the perturbed"),
-            "tag diff"
-        );
     }
 
     #[test]
