@@ -47,9 +47,14 @@ else
     echo "      enable with: rustup toolchain install nightly-2026-05-20 -c rust-src"
 fi
 
-echo "==> bench smoke"
-cargo run -q -p xtask --release -- bench --quick --out target/bench_smoke.json
-cargo run -q -p xtask --release -- bench-verify target/bench_smoke.json
+# The smoke pass also exercises the scaling sweep end to end (tiny
+# two-point curves) so the JSON writer's scaling section and its
+# bench-verify validation stay covered; --slack 0 is the default but is
+# spelled out because it is the contract — the delta-protocol byte
+# predictions are exact, so zero divergence is the gate, not a wish.
+echo "==> bench smoke (incl. scaling curves)"
+cargo run -q -p xtask --release -- bench --quick --scaling --out target/bench_smoke.json
+cargo run -q -p xtask --release -- bench-verify target/bench_smoke.json --slack 0
 
 # Full-size re-run of every scenario, gated on the geometric mean of the
 # min-time ratios. Tolerance is sized to the environment, not to ambition:
@@ -57,14 +62,14 @@ cargo run -q -p xtask --release -- bench-verify target/bench_smoke.json
 # ±20-30% on medians between quiet and loaded minutes of shared hardware,
 # so this is a gross-regression tripwire; precise before/after numbers are
 # taken on a quiet machine and recorded in EXPERIMENTS.md. The baseline is
-# BENCH_pr5.json — the tree that introduced the protocol proof layer must
-# show no production-path regression against the tree before it (plan
-# verification runs in checked mode only; note_planned is two BTreeMap
-# upserts per plan use and rides the existing ledger locks).
-echo "==> bench regression vs BENCH_pr5.json (full scenarios, geomean gate)"
+# BENCH_pr6.json — the tree that put the MIS rounds on the delta protocol
+# must show no production-path regression against the tree before it (the
+# protocol strictly removes wire bytes; the only new steady-state work is
+# the per-round liveness scan over the agreed node lists).
+echo "==> bench regression vs BENCH_pr6.json (full scenarios, geomean gate)"
 cargo run -q -p xtask --release -- bench --out target/bench_compare.json --label ci \
-    --baseline BENCH_pr5.json
+    --baseline BENCH_pr6.json
 cargo run -q -p xtask --release -- bench-compare target/bench_compare.json \
-    --baseline BENCH_pr5.json --tolerance 25 --geomean
+    --baseline BENCH_pr6.json --tolerance 25 --geomean
 
 echo "ci.sh: all green"

@@ -32,7 +32,7 @@
 use crate::dist::LocalView;
 use pilut_par::{Ctx, Payload};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The user-tag namespace of every planned protocol in the repository.
 ///
@@ -119,10 +119,13 @@ impl DistVector {
 /// off its schedules alone — no replay needed. Message counts are exact
 /// for every round kind; byte counts are exact for values-only rounds
 /// (halo replays, sweep value halves, label rounds: 8 bytes per scheduled
-/// node) and producer-defined for the generic rounds. The replay helpers
-/// feed these predictions to [`pilut_par::Ctx::note_planned`] as they run,
-/// and `xtask bench-verify` fails the build when the measured per-tag
-/// counters diverge from the accumulated predictions.
+/// node) and for exact-framed rounds ([`PlanCost::exact_round`], whose
+/// byte totals are computed from the frames about to ship). Only the
+/// generic producer-defined rounds predict message counts alone. The
+/// replay helpers feed these predictions to
+/// [`pilut_par::Ctx::note_planned`] as they run, and `xtask bench-verify`
+/// fails the build when the measured per-tag counters diverge from the
+/// accumulated predictions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlanCost {
     /// Messages this rank ships per directed replay round (one per
@@ -133,6 +136,23 @@ pub struct PlanCost {
     /// Bytes this rank ships per values-only round: 8 per node in the send
     /// schedule.
     pub value_bytes: u64,
+}
+
+impl PlanCost {
+    /// The ledger entry for one **exact-framed** round: the message count
+    /// of the chosen round kind (directed or symmetric) paired with a byte
+    /// total the caller computed from the frames it is about to ship. The
+    /// delta-MIS replays route every prediction through here, which is
+    /// what turns their `comm_planned` entries exact (gated byte-for-byte
+    /// by `bench-verify --slack 0`) instead of message-count-only (`~`).
+    pub fn exact_round(&self, symmetric: bool, frame_bytes: u64) -> (u64, u64) {
+        let messages = if symmetric {
+            self.symmetric_messages
+        } else {
+            self.directed_messages
+        };
+        (messages, frame_bytes)
+    }
 }
 
 /// A reusable per-rank communication schedule, built collectively from
@@ -527,6 +547,142 @@ impl CommPlan {
         }
     }
 
+    /// One directed replay round with an **exact** byte prediction: every
+    /// send-side frame is built *before* any byte ships, the frame sizes
+    /// are summed, and the ledger records `(messages, bytes)` with the
+    /// exact flag set — `bench-verify --slack 0` then gates the tag
+    /// byte-for-byte. This is the replay the delta-MIS rounds run on;
+    /// producer-defined rounds whose sizes the caller cannot commit to up
+    /// front keep using [`CommPlan::replay_tagged`].
+    pub fn replay_exact_tagged(
+        &self,
+        ctx: &mut Ctx,
+        tag: u64,
+        mut make: impl FnMut(usize, &[usize]) -> Payload,
+        mut take: impl FnMut(usize, &[usize], Payload),
+    ) {
+        let frames: Vec<Payload> = self
+            .send
+            .iter()
+            .map(|(peer, nodes)| make(*peer, nodes))
+            .collect();
+        let bytes: u64 = frames.iter().map(|f| f.bytes() as u64).sum();
+        let (messages, bytes) = self.predicted_cost().exact_round(false, bytes);
+        ctx.note_planned(tag, messages, bytes, true);
+        let send_tag = self.send_round_tag(tag);
+        for ((peer, _), frame) in self.send.iter().zip(frames) {
+            ctx.send_as(*peer, send_tag, tag, frame);
+        }
+        let recv_tag = self.recv_round_tag(tag);
+        for (peer, nodes) in &self.recv {
+            let payload = ctx.recv(*peer, recv_tag);
+            take(*peer, nodes, payload);
+        }
+    }
+
+    /// The symmetric counterpart of [`CommPlan::replay_exact_tagged`]: one
+    /// exactly-predicted message to every union peer, frames built and
+    /// summed before any byte ships.
+    pub fn replay_symmetric_exact_tagged(
+        &self,
+        ctx: &mut Ctx,
+        tag: u64,
+        mut make: impl FnMut(usize) -> Payload,
+        mut take: impl FnMut(usize, Payload),
+    ) {
+        let frames: Vec<Payload> = self.union_peers.iter().map(|&peer| make(peer)).collect();
+        let bytes: u64 = frames.iter().map(|f| f.bytes() as u64).sum();
+        let (messages, bytes) = self.predicted_cost().exact_round(true, bytes);
+        ctx.note_planned(tag, messages, bytes, true);
+        let send_tag = self.send_round_tag(tag);
+        for (&peer, frame) in self.union_peers.iter().zip(frames) {
+            ctx.send_as(peer, send_tag, tag, frame);
+        }
+        let recv_tag = self.recv_round_tag(tag);
+        for &peer in &self.union_peers {
+            let payload = ctx.recv(peer, recv_tag);
+            take(peer, payload);
+        }
+    }
+
+    /// [`CommPlan::replay_exact_tagged`] over a round-dependent **live
+    /// subset** of the plan's links: peers absent from `live_send` get no
+    /// frame this round, peers absent from `live_recv` are not received
+    /// from, and the ledger records the surviving traffic exactly. The two
+    /// sets must be mirror-consistent across ranks (`q ∈ live_send` on rank
+    /// `r` iff `r ∈ live_recv` on rank `q`); callers derive them from state
+    /// both endpoints provably share — the delta-MIS rounds use the
+    /// shipped-state view, which owner and referencer update in lockstep —
+    /// otherwise the replay deadlocks, which checked runs diagnose. Round
+    /// tags advance exactly as in the dense replay, whether or not any link
+    /// is live, so sparse and dense rounds stay aligned across ranks.
+    pub fn replay_exact_sparse_tagged(
+        &self,
+        ctx: &mut Ctx,
+        tag: u64,
+        live_send: &HashSet<usize>,
+        live_recv: &HashSet<usize>,
+        mut make: impl FnMut(usize, &[usize]) -> Payload,
+        mut take: impl FnMut(usize, &[usize], Payload),
+    ) {
+        let sends: Vec<&(usize, Vec<usize>)> = self
+            .send
+            .iter()
+            .filter(|(peer, _)| live_send.contains(peer))
+            .collect();
+        let frames: Vec<Payload> = sends
+            .iter()
+            .map(|(peer, nodes)| make(*peer, nodes))
+            .collect();
+        let bytes: u64 = frames.iter().map(|f| f.bytes() as u64).sum();
+        ctx.note_planned(tag, sends.len() as u64, bytes, true);
+        let send_tag = self.send_round_tag(tag);
+        for ((peer, _), frame) in sends.into_iter().zip(frames) {
+            ctx.send_as(*peer, send_tag, tag, frame);
+        }
+        let recv_tag = self.recv_round_tag(tag);
+        for (peer, nodes) in &self.recv {
+            if !live_recv.contains(peer) {
+                continue;
+            }
+            let payload = ctx.recv(*peer, recv_tag);
+            take(*peer, nodes, payload);
+        }
+    }
+
+    /// The symmetric counterpart of
+    /// [`CommPlan::replay_exact_sparse_tagged`]: one exactly-predicted
+    /// message to every union peer in `live`, which must be agreed by both
+    /// endpoints of each pair (`q ∈ live` on rank `r` iff `r ∈ live` on
+    /// rank `q`).
+    pub fn replay_symmetric_exact_sparse_tagged(
+        &self,
+        ctx: &mut Ctx,
+        tag: u64,
+        live: &HashSet<usize>,
+        mut make: impl FnMut(usize) -> Payload,
+        mut take: impl FnMut(usize, Payload),
+    ) {
+        let peers: Vec<usize> = self
+            .union_peers
+            .iter()
+            .copied()
+            .filter(|peer| live.contains(peer))
+            .collect();
+        let frames: Vec<Payload> = peers.iter().map(|&peer| make(peer)).collect();
+        let bytes: u64 = frames.iter().map(|f| f.bytes() as u64).sum();
+        ctx.note_planned(tag, peers.len() as u64, bytes, true);
+        let send_tag = self.send_round_tag(tag);
+        for (&peer, frame) in peers.iter().zip(frames) {
+            ctx.send_as(peer, send_tag, tag, frame);
+        }
+        let recv_tag = self.recv_round_tag(tag);
+        for &peer in &peers {
+            let payload = ctx.recv(peer, recv_tag);
+            take(peer, payload);
+        }
+    }
+
     /// One symmetric replay round: every rank pair in the *union* of the two
     /// plan directions exchanges exactly one message (used by MIS step 3,
     /// where confirmations flow owner→referencer but kills flow the other
@@ -904,6 +1060,44 @@ mod tests {
             .expect("plan predictions recorded");
         assert_eq!((m, b), (pm, pb), "prediction must match measurement");
         assert!(exact, "values-only rounds predict exact bytes");
+    }
+
+    #[test]
+    fn exact_replays_predict_measured_bytes_exactly() {
+        // Directed and symmetric exact-framed rounds with data-dependent
+        // frame sizes: the ledger must match the measured counters to the
+        // byte and keep the exact flag through aggregation.
+        let dist = Distribution::block(4, 4);
+        let out = Machine::run_checked(4, MachineModel::cray_t3d(), |ctx| {
+            let me = ctx.rank();
+            // Ring of directed needs: rank r references rank r+1's node.
+            let needed = vec![(me + 1) % 4];
+            let plan = CommPlan::build(ctx, tags::MIS_KEYS, needed, |j| dist.owner(j));
+            // Frame sizes vary by rank (me words) — nothing values-only
+            // could have predicted statically.
+            plan.replay_exact_tagged(
+                ctx,
+                tags::MIS_KEYS,
+                |_, _| Payload::u64s(vec![7; me]),
+                |peer, _, payload| assert_eq!(payload.into_u64(), vec![7; peer]),
+            );
+            plan.replay_symmetric_exact_tagged(
+                ctx,
+                tags::MIS_CONF,
+                |_| Payload::u64s(vec![9; me + 1]),
+                |peer, payload| assert_eq!(payload.into_u64(), vec![9; peer + 1]),
+            );
+        });
+        for tag in [tags::MIS_KEYS, tags::MIS_CONF] {
+            let (m, b) = out.stats.tag_totals(tag);
+            let &(pm, pb, exact) = out
+                .stats
+                .planned_by_tag
+                .get(&tag)
+                .expect("exact replays record predictions");
+            assert_eq!((m, b), (pm, pb), "tag {}", tags::tag_name(tag));
+            assert!(exact, "exact-framed rounds keep the exact flag");
+        }
     }
 
     #[test]

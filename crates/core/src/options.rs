@@ -189,6 +189,17 @@ pub enum FactorError {
         /// Human-readable description of the rejected value.
         what: String,
     },
+    /// A framed wire message failed to decode: the payload violates the
+    /// protocol's framing invariants (an out-of-range index or an unknown
+    /// state code). Corrupted traffic — e.g. a chaos-injected duplicate
+    /// consumed as a later round's frame — surfaces here as a structured
+    /// error instead of an index panic inside the decoder.
+    Protocol {
+        /// Name of the protocol tag the malformed frame arrived under.
+        tag: &'static str,
+        /// What the decoder rejected.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for FactorError {
@@ -205,6 +216,9 @@ impl std::fmt::Display for FactorError {
                 write!(f, "local factorization failed on rank {rank}")
             }
             FactorError::InvalidOptions { what } => write!(f, "invalid options: {what}"),
+            FactorError::Protocol { tag, what } => {
+                write!(f, "protocol error on {tag}: {what}")
+            }
         }
     }
 }

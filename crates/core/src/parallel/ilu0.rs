@@ -188,7 +188,7 @@ pub fn par_ilu0_with(
             })
             .collect();
         let plan = build_level_links(ctx, dm.dist(), &pat);
-        let mis = dist_mis(ctx, &plan, &pat, 0xC0105, level_idx, 5);
+        let mis = dist_mis(ctx, &plan, &pat, 0xC0105, level_idx, 5)?;
         for &v in &mis.my_in {
             remaining.remove(&v);
         }

@@ -302,7 +302,7 @@ pub fn par_ilut(
             opts.seed,
             level_idx,
             opts.mis_rounds,
-        );
+        )?;
 
         // Factor my I_l rows: independence means only rule-2 dropping.
         for &v in &mis.my_in {

@@ -21,8 +21,14 @@ pub enum ReduceOp {
 impl Ctx {
     /// Opens a collective: allocates its reserved tag, marks the op as the
     /// one currently executing (piggybacked on every reserved-tag envelope
-    /// for commcheck's order verification), and logs it on the board.
-    fn begin_collective(&mut self, kind: CollKind) -> u64 {
+    /// for commcheck's order verification), logs it on the board, and
+    /// records `planned_sends` — the exact number of point-to-point
+    /// messages this rank is about to send for the collective — in the
+    /// planned-traffic ledger (under the shared reserved key, message
+    /// counts only: payload sizes are caller-defined, so `coll` stays an
+    /// inexact `~` tag).
+    fn begin_collective(&mut self, kind: CollKind, planned_sends: u64) -> u64 {
+        self.note_planned(Self::RESERVED_TAG_BASE, planned_sends, 0, false);
         let tag = Self::RESERVED_TAG_BASE | self.coll_seq;
         self.coll_seq += 1;
         self.counters.collectives += 1;
@@ -31,6 +37,13 @@ impl Ctx {
             check.log_collective(self.rank(), kind);
         }
         tag
+    }
+
+    /// Messages this rank sends during one reduce + broadcast pair (every
+    /// tree collective is exactly that): each nonzero rank forwards one
+    /// combined payload up, then every rank feeds its broadcast children.
+    fn tree_collective_sends(&self) -> u64 {
+        u64::from(self.rank() != 0) + Self::bcast_children(self.rank(), self.nprocs()).len() as u64
     }
 
     /// Closes the collective opened by [`Ctx::begin_collective`].
@@ -74,6 +87,29 @@ impl Ctx {
         Some(acc)
     }
 
+    /// Children of `r` in the binomial broadcast tree over `p` ranks,
+    /// farthest first so the far half of the tree starts as early as
+    /// possible. The single source of truth for both [`Ctx::tree_bcast`]'s
+    /// send loop and the planned `coll` message counts — they cannot drift.
+    fn bcast_children(r: usize, p: usize) -> Vec<usize> {
+        // Children: r + 2^j for j below the parent-bit.
+        let t = if r == 0 {
+            usize::BITS as usize
+        } else {
+            Self::lowbit(r).trailing_zeros() as usize
+        };
+        let mut children = Vec::new();
+        let mut j = t;
+        while j > 0 {
+            j -= 1;
+            let child = r + (1usize << j);
+            if child < p && (r != 0 || (1usize << j) < p) {
+                children.push(child);
+            }
+        }
+        children
+    }
+
     /// Broadcast from rank 0 along the binomial tree.
     fn tree_bcast(&mut self, tag: u64, data: Option<Payload>) -> Payload {
         let (r, p) = (self.rank(), self.nprocs());
@@ -84,20 +120,8 @@ impl Ctx {
             let parent = r - Self::lowbit(r);
             self.recv_internal(parent, tag)
         };
-        // Children: r + 2^j for j below the parent-bit, largest first so the
-        // far half of the tree starts as early as possible.
-        let t = if r == 0 {
-            usize::BITS as usize
-        } else {
-            Self::lowbit(r).trailing_zeros() as usize
-        };
-        let mut j = t;
-        while j > 0 {
-            j -= 1;
-            let child = r + (1usize << j);
-            if child < p && (r != 0 || (1usize << j) < p) {
-                self.send_internal(child, tag, tag, data.clone());
-            }
+        for child in Self::bcast_children(r, p) {
+            self.send_internal(child, tag, tag, data.clone());
         }
         data
     }
@@ -106,7 +130,7 @@ impl Ctx {
     /// the maximum entry clock plus the barrier's modelled cost
     /// (`2·⌈log2 p⌉` message latencies — an up-sweep and a down-sweep).
     pub fn barrier(&mut self) {
-        let tag = self.begin_collective(CollKind::Barrier);
+        let tag = self.begin_collective(CollKind::Barrier, self.tree_collective_sends());
         let entry = self.time();
         let root = self.tree_reduce(
             tag,
@@ -127,7 +151,7 @@ impl Ctx {
 
     /// Element-wise all-reduce over `f64` vectors (same length on all ranks).
     pub fn all_reduce_f64(&mut self, data: Vec<f64>, op: ReduceOp) -> Vec<f64> {
-        let tag = self.begin_collective(CollKind::AllReduceF64);
+        let tag = self.begin_collective(CollKind::AllReduceF64, self.tree_collective_sends());
         let combine = move |acc: &mut Vec<f64>, got: Vec<f64>| {
             assert_eq!(acc.len(), got.len(), "all_reduce length mismatch");
             for (a, g) in acc.iter_mut().zip(got) {
@@ -146,7 +170,7 @@ impl Ctx {
 
     /// Element-wise all-reduce over `u64` vectors.
     pub fn all_reduce_u64(&mut self, data: Vec<u64>, op: ReduceOp) -> Vec<u64> {
-        let tag = self.begin_collective(CollKind::AllReduceU64);
+        let tag = self.begin_collective(CollKind::AllReduceU64, self.tree_collective_sends());
         let combine = move |acc: &mut Vec<u64>, got: Vec<u64>| {
             assert_eq!(acc.len(), got.len(), "all_reduce length mismatch");
             for (a, g) in acc.iter_mut().zip(got) {
@@ -181,7 +205,7 @@ impl Ctx {
     /// Gathers each rank's (variable-length) `u64` vector; every rank
     /// receives all of them, indexed by rank.
     pub fn all_gather_u64(&mut self, local: &[u64]) -> Vec<Vec<u64>> {
-        let tag = self.begin_collective(CollKind::AllGatherU64);
+        let tag = self.begin_collective(CollKind::AllGatherU64, self.tree_collective_sends());
         // Encoding: repeated [rank, len, data...]. The tree reduce simply
         // concatenates encodings.
         let mut enc = Vec::with_capacity(local.len() + 2);
@@ -202,7 +226,7 @@ impl Ctx {
 
     /// Gathers each rank's (variable-length) `f64` vector.
     pub fn all_gather_f64(&mut self, local: &[f64]) -> Vec<Vec<f64>> {
-        let tag = self.begin_collective(CollKind::AllGatherF64);
+        let tag = self.begin_collective(CollKind::AllGatherF64, self.tree_collective_sends());
         let enc = (vec![self.rank() as u64, local.len() as u64], local.to_vec());
         let root = self.tree_reduce(
             tag,
@@ -256,7 +280,10 @@ impl Ctx {
         // After the sum-reduce, slot `me` holds how many messages I receive.
         let totals = self.all_reduce_u64(counts, ReduceOp::Sum);
         let incoming = totals[self.rank()] as usize;
-        let tag = self.begin_collective(CollKind::Exchange);
+        // One packed envelope per non-empty destination — countable before
+        // anything ships (the count-learning all-reduce planned itself).
+        let outgoing = by_dest.iter().filter(|l| !l.is_empty()).count() as u64;
+        let tag = self.begin_collective(CollKind::Exchange, outgoing);
         for (dest, parts) in by_dest.into_iter().enumerate() {
             if parts.is_empty() {
                 continue;
@@ -296,7 +323,8 @@ impl Ctx {
         let counts: Vec<u64> = by_dest.iter().map(|l| l.len() as u64).collect();
         let totals = self.all_reduce_u64(counts, ReduceOp::Sum);
         let incoming = totals[self.rank()] as usize;
-        let tag = self.begin_collective(CollKind::Exchange);
+        let outgoing = by_dest.iter().map(|l| l.len() as u64).sum();
+        let tag = self.begin_collective(CollKind::Exchange, outgoing);
         for (dest, parts) in by_dest.into_iter().enumerate() {
             for payload in parts {
                 self.send_internal(dest, tag, tag, payload);
@@ -543,6 +571,38 @@ mod tests {
                 (0, Payload::mixed(vec![4], vec![0.5])),
             ]
         );
+    }
+
+    #[test]
+    fn planned_collective_messages_match_measured() {
+        // Every collective predicts its exact point-to-point message count
+        // before sending; the reserved-tag bucket must agree with the
+        // measured counters at every rank count (bytes stay unpredicted —
+        // the `coll` tag is inexact by design).
+        for p in [1, 2, 3, 5, 8] {
+            let out = Machine::run_checked(p, model(), |ctx| {
+                ctx.barrier();
+                ctx.all_reduce_sum(ctx.rank() as f64);
+                ctx.all_reduce_sum_u64(3);
+                ctx.all_gather_u64(&[ctx.rank() as u64]);
+                ctx.all_gather_f64(&[1.0; 2]);
+                let me = ctx.rank();
+                let mut sends = vec![((me + 1) % p, Payload::u64s(vec![me as u64]))];
+                if me == 0 {
+                    sends.push((p - 1, Payload::Empty));
+                }
+                ctx.exchange(sends);
+            });
+            let (measured, _) = out.stats.tag_totals(Ctx::RESERVED_TAG_BASE);
+            let &(planned, planned_bytes, exact) = out
+                .stats
+                .planned_by_tag
+                .get(&Ctx::RESERVED_TAG_BASE)
+                .expect("collectives record planned message counts");
+            assert_eq!(planned, measured, "p={p}");
+            assert_eq!(planned_bytes, 0, "p={p}");
+            assert!(!exact, "coll bytes are not predicted, p={p}");
+        }
     }
 
     #[test]

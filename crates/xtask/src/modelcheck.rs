@@ -50,9 +50,10 @@
 //! (`Ctx::exchange_per_payload`) and asserts the checker diagnoses its
 //! match-order race — the regression this subsystem exists to prevent.
 //!
-//! Full mode explores `spmv`, `trisolve`, and `factor` at p ∈ {2, 3, 4};
-//! `--quick` (the CI stage) explores `spmv` and `trisolve` at p ∈ {2, 3}
-//! plus the mutation stage.
+//! Full mode explores `spmv`, `mis` (the delta-protocol MIS rounds with
+//! their sparse, round-varying message shapes), `trisolve`, and `factor`
+//! at p ∈ {2, 3, 4}; `--quick` (the CI stage) explores `spmv` and
+//! `trisolve` at p ∈ {2, 3} plus the mutation stage.
 
 use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
@@ -321,7 +322,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let workloads: &[&'static str] = if quick {
         &["spmv", "trisolve"]
     } else {
-        &["spmv", "trisolve", "factor"]
+        &["spmv", "mis", "trisolve", "factor"]
     };
     let procs: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4] };
     let mut failures: Vec<String> = Vec::new();

@@ -32,8 +32,8 @@
 //! The fingerprints, workloads, and shrink loop are shared via
 //! [`crate::sweep`].
 //!
-//! Full mode sweeps 20 schedules × p ∈ {2, 4, 8} × three workloads
-//! (`factor`, `trisolve`, `gmres`); `--quick` runs 3 schedules at
+//! Full mode sweeps 20 schedules × p ∈ {2, 4, 8} × four workloads
+//! (`mis`, `factor`, `trisolve`, `gmres`); `--quick` runs 3 schedules at
 //! p ∈ {2, 4} (the CI configuration).
 
 use std::panic::AssertUnwindSafe;
@@ -41,10 +41,12 @@ use std::panic::AssertUnwindSafe;
 use crate::sweep::{checked_builder, dist_matrix, mix, panic_text, shrink, Fingerprint};
 use pilut_par::{FaultAction, FaultPlan, FaultRule};
 
-/// The three workloads swept per process count: plan-construction traffic
-/// (`factor`), the steady-state data plane (`trisolve`), and the full
-/// preconditioned iteration with its reduction traffic (`gmres`).
-const WORKLOADS: &[&str] = &["factor", "trisolve", "gmres"];
+/// The workloads swept per process count: the delta-protocol MIS rounds in
+/// isolation (`mis` — sparse per-round message shapes, dead links going
+/// silent mid-run), plan-construction traffic (`factor`), the steady-state
+/// data plane (`trisolve`), and the full preconditioned iteration with its
+/// reduction traffic (`gmres`).
+const WORKLOADS: &[&str] = &["mis", "factor", "trisolve", "gmres"];
 
 /// Human names for the perturbation's rules, indexed by bit in the subset
 /// mask used during minimization.

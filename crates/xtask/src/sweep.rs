@@ -4,12 +4,13 @@
 //! extraction, and the generic first-failing shrink loop. Each suite keeps
 //! only its own sweep policy (what to perturb, how to classify outcomes).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
 use pilut_core::dist::op::{DistCsr, DistOperator};
 use pilut_core::dist::{DistMatrix, Distribution};
 use pilut_core::options::IlutOptions;
+use pilut_core::parallel::dist_mis::{build_level_links, dist_mis};
 use pilut_core::parallel::par_ilut;
 use pilut_core::trisolve::{dist_solve, TrisolvePlan};
 use pilut_par::{Machine, MachineBuilder, MachineModel};
@@ -162,6 +163,9 @@ pub fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 /// fingerprint. Panics propagate to the caller for classification.
 ///
 /// * `spmv` — plan-build plus repeated matvec replay (no factorization);
+/// * `mis` — the delta-protocol MIS rounds in isolation (link build,
+///   baseline exceptions, tentative/confirm/kill framing, dead-link
+///   pruning), checksummed over both selection vectors;
 /// * `factor` — the parallel ILUT factorization, checksummed entry-wise;
 /// * `trisolve` — factor, then chained matvec + two-sweep solves;
 /// * `gmres` — the preconditioned iteration with its reduction traffic.
@@ -176,6 +180,30 @@ pub fn run_workload(work: &str, dm: &DistMatrix, p: usize, builder: MachineBuild
                 x = op.apply(ctx, &x);
             }
             return vector_checksum(&x);
+        }
+        if work == "mis" {
+            // The MIS kernel on the raw matrix adjacency of my owned rows
+            // — the same call sequence the factorization's level loop
+            // makes, without the elimination around it, so schedule and
+            // fault perturbations aim squarely at the delta protocol.
+            let reduced_cols: HashMap<usize, Vec<usize>> = dm
+                .dist()
+                .rows_of(ctx.rank())
+                .iter()
+                .map(|&g| (g, dm.matrix().row(g).0.to_vec()))
+                .collect();
+            let plan = build_level_links(ctx, dm.dist(), &reduced_cols);
+            let mis = dist_mis(ctx, &plan, &reduced_cols, 0x5eed, 0, 5)
+                // lint: allow(unwrap): sweep frames are well-formed by construction; a protocol error here is a real bug
+                .expect("sweep MIS must decode its own frames");
+            let mut h = 0x5eed_0003u64;
+            for v in &mis.my_in {
+                fold(&mut h, *v as u64);
+            }
+            for v in &mis.remote_in {
+                fold(&mut h, *v as u64);
+            }
+            return h;
         }
         // lint: allow(unwrap): the sweep matrices factor cleanly; corrupted runs die in the VM's diagnosis
         let rf = par_ilut(ctx, dm, &local, &opts).expect("sweep workload must factor");
@@ -285,5 +313,15 @@ mod tests {
         let b = run_workload("spmv", &dm, p, checked_builder());
         assert_eq!(a, b);
         assert!(a.messages > 0, "spmv must exchange halo traffic");
+    }
+
+    #[test]
+    fn mis_workload_fingerprints_deterministically() {
+        let p = 2;
+        let dm = dist_matrix(p);
+        let a = run_workload("mis", &dm, p, checked_builder());
+        let b = run_workload("mis", &dm, p, checked_builder());
+        assert_eq!(a, b);
+        assert!(a.messages > 0, "MIS must ship cross-rank deltas");
     }
 }
