@@ -65,6 +65,14 @@ pub mod tags {
     pub const MIS_CONF: u64 = 7 * STRIDE;
     /// U-row shipping of the parallel ILU(0) numeric levels.
     pub const U0: u64 = 8 * STRIDE;
+    /// Reliable-delivery protocol traffic (acks, nacks, resends) of the
+    /// `pilut-par` VM. The numeric value is pinned to `pilut_par::ACK_TAG`
+    /// by a test: `par` cannot depend on this crate, so the constant is
+    /// duplicated there.
+    pub const ACK: u64 = 9 * STRIDE;
+    /// Rank-loss recovery agreement ring (`Ctx::recover_sync`), pinned to
+    /// `pilut_par::RECOVER_TAG` the same way.
+    pub const RECOVER: u64 = 10 * STRIDE;
 
     /// Human-readable name of a counter tag (the collectives' reserved
     /// namespace reports as `"coll"`, unknown user tags as `"user"`).
@@ -78,6 +86,8 @@ pub mod tags {
             MIS_TENT => "mis_tent",
             MIS_CONF => "mis_conf",
             U0 => "u0",
+            ACK => "ack",
+            RECOVER => "recover",
             t if t >= pilut_par::Ctx::RESERVED_TAG_BASE => "coll",
             _ => "user",
         }
@@ -356,6 +366,14 @@ impl CommPlan {
         // property on all pairs — every rank sees the same verdict.
         let mut sides: Vec<(HashMap<usize, u64>, HashMap<usize, u64>)> = Vec::with_capacity(p);
         for (r, enc) in all.iter().enumerate() {
+            if enc.is_empty() {
+                // A rank lost in an earlier epoch contributes nothing to the
+                // gather and owns no plan side to mirror — a shrunk-world
+                // plan must never pair a live side with it, which the empty
+                // maps below enforce.
+                sides.push((HashMap::new(), HashMap::new()));
+                continue;
+            }
             if enc[0] != self.tag || enc[1] != self.stats_tag {
                 return Err(format!(
                     "rank {r} runs tag ({:#x}, {:#x}) but rank {me} runs ({:#x}, {:#x})",
@@ -859,6 +877,17 @@ mod tests {
     use crate::dist::{DistMatrix, Distribution};
     use pilut_par::{Machine, MachineModel};
     use pilut_sparse::gen;
+
+    /// `pilut-par` cannot depend on this crate, so the reliability and
+    /// recovery stats tags are defined in both places; this is the pin
+    /// that keeps the duplicated constants (and their names) in sync.
+    #[test]
+    fn par_protocol_tags_are_pinned_to_the_namespace() {
+        assert_eq!(tags::ACK, pilut_par::ACK_TAG);
+        assert_eq!(tags::RECOVER, pilut_par::RECOVER_TAG);
+        assert_eq!(tags::tag_name(tags::ACK), "ack");
+        assert_eq!(tags::tag_name(tags::RECOVER), "recover");
+    }
 
     /// Builds a plan over a block-distributed grid where every rank needs
     /// the off-rank columns of its rows.

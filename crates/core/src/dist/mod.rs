@@ -15,6 +15,7 @@
 
 pub mod exchange;
 pub mod op;
+pub mod recover;
 pub mod spmv;
 
 use pilut_graph::{partition_kway, Graph, PartitionOptions};

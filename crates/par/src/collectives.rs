@@ -1,9 +1,15 @@
 //! Collective operations over all ranks.
 //!
-//! Everything is built from point-to-point messages along binomial trees
-//! rooted at rank 0, so the logical-clock cost model charges the realistic
-//! `O(log p)` latency depth automatically. The SPMD contract applies: every
-//! rank must call each collective in the same program order.
+//! Everything is built from point-to-point messages along binomial trees,
+//! so the logical-clock cost model charges the realistic `O(log p)` latency
+//! depth automatically. The SPMD contract applies: every rank must call each
+//! collective in the same program order.
+//!
+//! Trees are laid out in **slot space**: the sorted list of currently-alive
+//! ranks, with the tree rooted at slot 0 (the lowest alive rank). In epoch 0
+//! slots and ranks coincide and nothing changes; after a rank loss
+//! ([`crate::MachineBuilder::recovery`]) the same code runs the collectives
+//! over the shrunk world with no holes in the tree.
 
 use crate::check::CollKind;
 use crate::ctx::Ctx;
@@ -39,11 +45,25 @@ impl Ctx {
         tag
     }
 
+    /// This rank's position in the compacted surviving world: its slot index
+    /// and the sorted list of alive ranks. Slot `i` maps to rank `alive[i]`;
+    /// in epoch 0 (nobody lost) the map is the identity.
+    fn slots(&self) -> (usize, Vec<usize>) {
+        let alive: Vec<usize> = (0..self.nprocs()).filter(|&r| self.alive[r]).collect();
+        let slot = alive
+            .iter()
+            .position(|&r| r == self.rank())
+            // lint: allow(unwrap): a rank that reached a collective is alive
+            .expect("a lost rank cannot run a collective");
+        (slot, alive)
+    }
+
     /// Messages this rank sends during one reduce + broadcast pair (every
-    /// tree collective is exactly that): each nonzero rank forwards one
-    /// combined payload up, then every rank feeds its broadcast children.
+    /// tree collective is exactly that): each non-root slot forwards one
+    /// combined payload up, then every slot feeds its broadcast children.
     fn tree_collective_sends(&self) -> u64 {
-        u64::from(self.rank() != 0) + Self::bcast_children(self.rank(), self.nprocs()).len() as u64
+        let (slot, alive) = self.slots();
+        u64::from(slot != 0) + Self::bcast_children(slot, alive.len()).len() as u64
     }
 
     /// Closes the collective opened by [`Ctx::begin_collective`].
@@ -51,14 +71,15 @@ impl Ctx {
         self.current_coll = None;
     }
 
-    /// Lowest set bit of `r` (its parent distance in the binomial tree).
-    fn lowbit(r: usize) -> usize {
-        r & r.wrapping_neg()
+    /// Lowest set bit of `s` (its parent distance in the binomial tree).
+    fn lowbit(s: usize) -> usize {
+        s & s.wrapping_neg()
     }
 
-    /// Reduce-to-root along the binomial tree, combining with `combine`.
-    /// `to_payload` consumes the accumulator (a rank sends exactly once,
-    /// right before leaving the reduction), so no copy is taken.
+    /// Reduce-to-root along the binomial tree over the alive slots,
+    /// combining with `combine`. `to_payload` consumes the accumulator (a
+    /// slot sends exactly once, right before leaving the reduction), so no
+    /// copy is taken. Returns `Some` only at slot 0 (the lowest alive rank).
     fn tree_reduce<T, C>(
         &mut self,
         tag: u64,
@@ -70,16 +91,17 @@ impl Ctx {
     where
         C: Fn(&mut T, T),
     {
-        let (r, p) = (self.rank(), self.nprocs());
+        let (s, alive) = self.slots();
+        let p = alive.len();
         let mut bit = 1usize;
         while bit < p {
-            if r & bit != 0 {
+            if s & bit != 0 {
                 let payload = to_payload(acc);
-                self.send_internal(r - bit, tag, tag, payload);
+                self.send_internal(alive[s - bit], tag, tag, payload);
                 return None;
             }
-            if r + bit < p {
-                let got = from_payload(self.recv_internal(r + bit, tag));
+            if s + bit < p {
+                let got = from_payload(self.recv_internal(alive[s + bit], tag));
                 combine(&mut acc, got);
             }
             bit <<= 1;
@@ -87,41 +109,42 @@ impl Ctx {
         Some(acc)
     }
 
-    /// Children of `r` in the binomial broadcast tree over `p` ranks,
+    /// Children of slot `s` in the binomial broadcast tree over `p` slots,
     /// farthest first so the far half of the tree starts as early as
     /// possible. The single source of truth for both [`Ctx::tree_bcast`]'s
     /// send loop and the planned `coll` message counts — they cannot drift.
-    fn bcast_children(r: usize, p: usize) -> Vec<usize> {
-        // Children: r + 2^j for j below the parent-bit.
-        let t = if r == 0 {
+    fn bcast_children(s: usize, p: usize) -> Vec<usize> {
+        // Children: s + 2^j for j below the parent-bit.
+        let t = if s == 0 {
             usize::BITS as usize
         } else {
-            Self::lowbit(r).trailing_zeros() as usize
+            Self::lowbit(s).trailing_zeros() as usize
         };
         let mut children = Vec::new();
         let mut j = t;
         while j > 0 {
             j -= 1;
-            let child = r + (1usize << j);
-            if child < p && (r != 0 || (1usize << j) < p) {
+            let child = s + (1usize << j);
+            if child < p && (s != 0 || (1usize << j) < p) {
                 children.push(child);
             }
         }
         children
     }
 
-    /// Broadcast from rank 0 along the binomial tree.
+    /// Broadcast from slot 0 (the lowest alive rank) along the binomial tree.
     fn tree_bcast(&mut self, tag: u64, data: Option<Payload>) -> Payload {
-        let (r, p) = (self.rank(), self.nprocs());
-        let data = if r == 0 {
+        let (s, alive) = self.slots();
+        let p = alive.len();
+        let data = if s == 0 {
             // lint: allow(unwrap): tree_bcast is only called with Some at the root
             data.expect("root must provide the broadcast payload")
         } else {
-            let parent = r - Self::lowbit(r);
-            self.recv_internal(parent, tag)
+            let parent = s - Self::lowbit(s);
+            self.recv_internal(alive[parent], tag)
         };
-        for child in Self::bcast_children(r, p) {
-            self.send_internal(child, tag, tag, data.clone());
+        for child in Self::bcast_children(s, p) {
+            self.send_internal(alive[child], tag, tag, data.clone());
         }
         data
     }
@@ -140,7 +163,7 @@ impl Ctx {
             |acc, got| acc[0] = acc[0].max(got[0]),
         );
         let max_entry = self.tree_bcast(tag, root.map(Payload::f64s)).into_f64()[0];
-        let levels = self.nprocs().next_power_of_two().trailing_zeros() as f64;
+        let levels = self.n_alive().next_power_of_two().trailing_zeros() as f64;
         // Each sweep hop moves one 8-byte clock stamp.
         let hop = self.model().latency + 8.0 * self.model().inv_bandwidth;
         let aligned = max_entry + 2.0 * levels * hop;

@@ -1,11 +1,12 @@
 //! Per-rank execution context: point-to-point messaging and the logical
 //! clock.
 
-use crate::check::{CheckState, CollKind, LeakRecord, RankStatus};
+use crate::check::{CheckState, CollKind, LeakRecord, RankLost, RankStatus, RunFlags};
 use crate::fault::{FaultSession, MessageFate, RankFate, FAULT_KILL_PREFIX};
 use crate::hb::{HbState, RecvMode};
 use crate::machine::MachineModel;
 use crate::payload::Payload;
+use crate::rel::{Ingress, RelState, ACK_TAG, RECOVER_TAG};
 use crate::sched::{match_kind, SchedSession, TraceEvent};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -19,8 +20,31 @@ use std::time::Duration;
 /// environment variable.
 pub(crate) const DEFAULT_CHECK_POLL: Duration = Duration::from_millis(1);
 
+/// Idle watchdog polls before a blocked reliable receiver sends its first
+/// NACK round asking senders to re-ship what it is missing.
+const NACK_START_POLLS: u32 = 4;
+
+/// NACK rounds per blocked-receive episode, with exponential backoff
+/// between rounds. Once the budget is exhausted the episode is marked on
+/// the board and the deadlock watchdog is allowed to fire: a sender that
+/// is alive answers a NACK within about one poll, so an exhausted budget
+/// means the frame was never sent — a genuine protocol deadlock.
+const MAX_NACKS: u32 = 5;
+
+/// Control-frame kinds for the reliable-delivery protocol: a cumulative
+/// acknowledgement ("everything up to seq arrived") and a resend request
+/// ("re-ship from seq").
+const CTRL_ACK: u64 = 0;
+const CTRL_NACK: u64 = 1;
+
+/// Wire tag of reliability control frames (ACK/NACK). Lives in the
+/// reserved range so user tags can never collide; bit 47 keeps it clear of
+/// the collective sequence-number namespace (which stays far below 2^47
+/// even with the recovery epoch folded in).
+pub(crate) const CTRL_TAG: u64 = Ctx::RESERVED_TAG_BASE | (1 << 47);
+
 /// One message in flight.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Envelope {
     /// Sending rank.
     pub from: usize,
@@ -36,6 +60,14 @@ pub struct Envelope {
     /// match-order race detector compares (see [`crate::hb`]). `None` on
     /// the zero-overhead production path.
     pub vclock: Option<Vec<u64>>,
+    /// Per-link sequence number under reliable delivery (see
+    /// [`crate::rel`]); `None` for self-sends, control frames, and
+    /// unreliable runs.
+    pub seq: Option<u64>,
+    /// Sender's recovery epoch at send time. Receivers discard frames from
+    /// older epochs (a world that no longer exists) and park frames from
+    /// newer ones until they adopt the loss themselves.
+    pub epoch: u64,
     /// The data.
     pub payload: Payload,
 }
@@ -86,6 +118,14 @@ impl Counters {
 pub(crate) struct RankExit {
     pub counters: Counters,
     pub time: f64,
+    /// Under reliable delivery, the next expected sequence number per
+    /// source at exit — lets the machine's late leak sweep tell an
+    /// absorbed retransmission (seq below expected) from a genuinely
+    /// undelivered frame.
+    pub rel_expected: Option<Vec<u64>>,
+    /// The rank's recovery epoch at exit; late frames from older epochs
+    /// are not leaks.
+    pub epoch: u64,
     /// The rank's channel, kept alive so the machine can sweep late
     /// arrivals after every rank has finished. Buffered-but-unmatched
     /// envelopes were already reported to the board by `into_exit`.
@@ -136,6 +176,24 @@ pub struct Ctx {
     /// Set when this rank was killed by injection, so exit reporting can
     /// publish `Killed` instead of a plain panic.
     killed: bool,
+    /// Static run configuration: reliable delivery and rank-loss recovery.
+    flags: RunFlags,
+    /// Per-link sequence/stash/retention state; `Some` iff reliable
+    /// delivery is enabled (see [`crate::rel`]).
+    rel: Option<RelState>,
+    /// Liveness per rank in the current epoch. All-true until a rank loss
+    /// is adopted in recovery mode.
+    pub(crate) alive: Vec<bool>,
+    /// Recovery epoch, equal to the number of adopted rank losses. Stamped
+    /// on every envelope so frames from a dead world are discarded at
+    /// ingress.
+    epoch: u64,
+    /// The ranks this rank has adopted as dead.
+    dead: Vec<usize>,
+    /// Frames that arrived stamped with a *future* epoch (their sender
+    /// adopted a loss this rank has not yet detected); replayed through
+    /// ingress once `adopt_world` resets to the new epoch.
+    future_frames: Vec<Envelope>,
 }
 
 impl Ctx {
@@ -152,8 +210,18 @@ impl Ctx {
         poll: Duration,
         fault: Option<FaultSession>,
         sched: Option<SchedSession>,
+        flags: RunFlags,
     ) -> Self {
-        let hb = check.is_some().then(|| HbState::new(rank, nprocs));
+        assert!(
+            (!flags.reliable && !flags.recovery) || check.is_some(),
+            "reliable delivery and rank-loss recovery require checked mode"
+        );
+        let mut hb = check.is_some().then(|| HbState::new(rank, nprocs));
+        if let (Some(hb), true) = (hb.as_mut(), flags.reliable) {
+            // Reliable links are FIFO per (sender, receiver): same-sender
+            // match order is fixed, so it is no longer a race.
+            hb.set_fifo(true);
+        }
         Ctx {
             rank,
             nprocs,
@@ -173,6 +241,12 @@ impl Ctx {
             sched,
             held: Vec::new(),
             killed: false,
+            flags,
+            rel: flags.reliable.then(|| RelState::new(nprocs)),
+            alive: vec![true; nprocs],
+            epoch: 0,
+            dead: Vec::new(),
+            future_frames: Vec::new(),
         }
     }
 
@@ -207,6 +281,34 @@ impl Ctx {
         self.check.is_some()
     }
 
+    /// True when this rank was killed by fault injection. A recovery
+    /// driver that catches the kill unwind uses this to tell "I am the
+    /// victim" from "a peer died".
+    pub fn killed(&self) -> bool {
+        self.killed
+    }
+
+    /// The current recovery epoch: the number of rank losses this rank has
+    /// adopted.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether rank `r` is alive in the current epoch.
+    pub fn is_alive(&self, r: usize) -> bool {
+        self.alive[r]
+    }
+
+    /// Number of ranks alive in the current epoch.
+    pub fn n_alive(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// The ranks this rank has adopted as dead, ascending.
+    pub fn dead_ranks(&self) -> &[usize] {
+        &self.dead
+    }
+
     /// Tears the context down at rank exit, reporting any leftover
     /// envelopes to the commcheck board. `panicked` records whether the
     /// rank closure unwound instead of returning.
@@ -214,12 +316,39 @@ impl Ctx {
         // Release any reorder-held envelopes so the injector never turns a
         // benign reorder into a lost message.
         self.flush_held();
+        // Exit flush: when faults are being injected, a frame may have been
+        // dropped after the receiver's last NACK window — and once this
+        // rank's thread is gone, no resend can ever happen. Re-ship the
+        // whole unacknowledged tail (receivers dedup what they already
+        // delivered). Skipped on fault-free runs, where nothing is ever
+        // lost, so the steady-state overhead stays zero.
+        if !panicked && !self.killed && self.fault.is_some() {
+            if let Some(rel) = &self.rel {
+                for env in rel.unacked() {
+                    self.resend(env);
+                }
+            }
+        }
         // Drain the channel so late-but-already-sent envelopes are visible.
+        let ingress = self.rel.is_some() || self.flags.recovery;
         while let Ok(env) = self.receiver.try_recv() {
             if let Some(check) = &self.check {
                 check.note_drain(self.rank);
             }
-            self.pending.push_back(env);
+            if ingress {
+                // Honour late control frames (a peer's NACK can still
+                // trigger a resend here) and dedup late retransmissions.
+                let (ready, _) = self.ingress_frame(env);
+                self.pending.extend(ready);
+            } else {
+                self.pending.push_back(env);
+            }
+        }
+        // Frames still parked behind a sequence gap were never delivered:
+        // surface them to the leak sweep.
+        if let Some(rel) = self.rel.as_mut() {
+            let parked = rel.drain_stash();
+            self.pending.extend(parked);
         }
         if let Some(check) = &self.check {
             check.record_leaks(self.pending.iter().map(|e| LeakRecord {
@@ -241,6 +370,8 @@ impl Ctx {
         RankExit {
             counters: self.counters,
             time: self.time,
+            rel_expected: self.rel.as_ref().map(RelState::expected_snapshot),
+            epoch: self.epoch,
             receiver: self.receiver,
         }
     }
@@ -310,7 +441,12 @@ impl Ctx {
 
     pub(crate) fn send_internal(&mut self, to: usize, tag: u64, stats_tag: u64, payload: Payload) {
         assert!(to < self.nprocs, "rank {to} out of range");
+        self.check_rank_loss();
         self.fault_point();
+        assert!(
+            self.alive[to],
+            "send to rank {to}, which was lost in a previous epoch"
+        );
         self.counters.messages += 1;
         self.counters.bytes += payload.bytes() as u64;
         self.counters.note_tag(stats_tag, payload.bytes() as u64);
@@ -326,6 +462,8 @@ impl Ctx {
             time: self.time,
             coll_kind,
             vclock: self.hb.as_mut().map(HbState::stamp_send),
+            seq: None,
+            epoch: self.epoch,
             payload,
         };
         if to == self.rank {
@@ -333,6 +471,13 @@ impl Ctx {
             // injection (message faults model the wire).
             self.pending.push_back(env);
             return;
+        }
+        if let Some(rel) = self.rel.as_mut() {
+            // Sequence the frame and retain a clone until the link's
+            // cumulative ACK passes it — even a Drop fate consumes the
+            // sequence number, so the receiver sees a gap and NACKs.
+            env.seq = Some(rel.assign(to));
+            rel.retain(env.clone());
         }
         let fate = match self.fault.as_mut() {
             Some(f) => f.on_send(to, tag),
@@ -359,15 +504,9 @@ impl Ctx {
                 return;
             }
             MessageFate::Duplicate => {
-                let dup = Envelope {
-                    from: env.from,
-                    to: env.to,
-                    tag: env.tag,
-                    time: env.time,
-                    coll_kind: env.coll_kind,
-                    vclock: env.vclock.clone(),
-                    payload: env.payload.clone(),
-                };
+                // The duplicate carries the same sequence number, so a
+                // reliable receiver discards it at ingress.
+                let dup = env.clone();
                 self.counters.messages += 1;
                 self.counters.bytes += dup.payload.bytes() as u64;
                 self.counters.note_tag(dup.tag, dup.payload.bytes() as u64);
@@ -401,6 +540,288 @@ impl Ctx {
     fn flush_held(&mut self) {
         for env in std::mem::take(&mut self.held) {
             self.ship(env);
+        }
+    }
+
+    /// Sends one reliability control frame (ACK or NACK). Control traffic
+    /// bypasses fault injection — the protocol's own frames are the
+    /// mechanism that absorbs injected faults, so injecting into them
+    /// would only lengthen recovery, never change the outcome — and is
+    /// counted (and exactly priced) under [`ACK_TAG`].
+    fn send_ctrl(&mut self, to: usize, kind: u64, val: u64) {
+        let payload = Payload::u64s(vec![kind, val]);
+        let bytes = payload.bytes() as u64;
+        self.counters.messages += 1;
+        self.counters.bytes += bytes;
+        self.counters.note_tag(ACK_TAG, bytes);
+        self.note_planned(ACK_TAG, 1, bytes, true);
+        let env = Envelope {
+            from: self.rank,
+            to,
+            tag: CTRL_TAG,
+            time: self.time,
+            coll_kind: None,
+            vclock: None,
+            seq: None,
+            epoch: self.epoch,
+            payload,
+        };
+        self.ship(env);
+    }
+
+    /// Re-ships a retained frame in answer to a NACK (or in the exit
+    /// flush). Bypasses fault injection for the same reason control frames
+    /// do; the extra traffic is counted and exactly priced under
+    /// [`ACK_TAG`] (the original send already paid under its own tag).
+    fn resend(&mut self, env: Envelope) {
+        let bytes = env.payload.bytes() as u64;
+        self.counters.messages += 1;
+        self.counters.bytes += bytes;
+        self.counters.note_tag(ACK_TAG, bytes);
+        self.note_planned(ACK_TAG, 1, bytes, true);
+        self.ship(env);
+    }
+
+    /// One NACK round from a blocked receive: ask the most suspicious
+    /// senders to re-ship from the first missing sequence number. Sources
+    /// with a parked gap are asked first (the gap names the exact missing
+    /// frame); a directed receive falls back to its source, a wildcard to
+    /// every live peer. A spurious NACK (the frame is merely slow) is
+    /// harmless: the sender retains nothing at or past the requested
+    /// sequence and resends nothing, or resends frames the receiver then
+    /// discards as duplicates.
+    fn send_nacks(&mut self, from: Option<usize>) {
+        let Some(rel) = self.rel.as_ref() else { return };
+        let gapped = rel.gapped_sources();
+        let targets: Vec<usize> = if gapped.is_empty() {
+            match from {
+                Some(f) if f != self.rank => vec![f],
+                Some(_) => Vec::new(),
+                None => (0..self.nprocs).filter(|&r| r != self.rank).collect(),
+            }
+        } else {
+            gapped
+        };
+        let wants: Vec<(usize, u64)> = targets
+            .iter()
+            .filter(|&&t| self.alive[t])
+            .map(|&t| (t, rel.delivered_upto(t) + 1))
+            .collect();
+        for (t, want) in wants {
+            self.send_ctrl(t, CTRL_NACK, want);
+        }
+    }
+
+    /// Classifies one frame read off the channel against the reliability
+    /// and recovery layers. Returns the frames now deliverable, in link
+    /// order, plus a progress flag: `true` when the frame carried new data
+    /// (delivered or parked a gap), `false` for control frames, absorbed
+    /// duplicates, and stale-epoch traffic. The caller uses the flag to
+    /// decide whether a blocked receive's idle clock resets — control
+    /// chatter between two deadlocked ranks must not suppress the
+    /// watchdog forever.
+    fn ingress_frame(&mut self, env: Envelope) -> (Vec<Envelope>, bool) {
+        if env.tag == CTRL_TAG {
+            if env.epoch == self.epoch {
+                self.handle_ctrl(&env);
+            }
+            return (Vec::new(), false);
+        }
+        if env.epoch < self.epoch {
+            // A frame from a world that no longer exists.
+            return (Vec::new(), false);
+        }
+        if env.epoch > self.epoch {
+            // The sender already adopted a rank loss this rank has not
+            // detected yet; park the frame until `adopt_world` catches up.
+            self.future_frames.push(env);
+            return (Vec::new(), false);
+        }
+        let verdict = match self.rel.as_mut() {
+            None => return (vec![env], true),
+            Some(rel) => rel.ingress(&env),
+        };
+        match verdict {
+            Ingress::Deliver => {
+                let from = env.from;
+                let mut out = vec![env];
+                let ack = {
+                    // lint: allow(unwrap): verdict came from the same Some(rel)
+                    let rel = self.rel.as_mut().expect("rel present");
+                    out.extend(rel.release(from));
+                    rel.ack_due(from).then(|| rel.delivered_upto(from))
+                };
+                if let Some(upto) = ack {
+                    self.send_ctrl(from, CTRL_ACK, upto);
+                }
+                (out, true)
+            }
+            Ingress::Duplicate => (Vec::new(), false),
+            Ingress::Stashed => {
+                // lint: allow(unwrap): verdict came from the same Some(rel)
+                self.rel.as_mut().expect("rel present").park(env);
+                (Vec::new(), true)
+            }
+        }
+    }
+
+    /// Processes one ACK/NACK control frame.
+    fn handle_ctrl(&mut self, env: &Envelope) {
+        let body = match &env.payload {
+            Payload::U64(v) => v.as_slice(),
+            other => panic!("malformed reliability control frame: {other:?}"),
+        };
+        let (kind, val) = (body[0], body[1]);
+        match kind {
+            CTRL_ACK => {
+                if let Some(rel) = self.rel.as_mut() {
+                    rel.on_ack(env.from, val);
+                }
+            }
+            CTRL_NACK => {
+                let frames = self
+                    .rel
+                    .as_ref()
+                    .map(|rel| rel.resend_from(env.from, val))
+                    .unwrap_or_default();
+                for f in frames {
+                    self.resend(f);
+                }
+            }
+            other => panic!("unknown reliability control kind {other}"),
+        }
+    }
+
+    /// Rank-loss detection point, hit at the head of every communication
+    /// op and on every blocked-receive timeout. When the board shows more
+    /// kills than this rank has adopted, unwinds with a typed
+    /// [`RankLost`] so a recovery driver can catch it, call
+    /// [`Ctx::adopt_world`], and re-plan on the shrunk world.
+    fn check_rank_loss(&mut self) {
+        if !self.flags.recovery {
+            return;
+        }
+        let Some(check) = &self.check else { return };
+        if check.killed_count() as usize <= self.dead.len() {
+            return;
+        }
+        let dead = check.killed_ranks();
+        // Go back to Running while unwinding: the survivors' registration
+        // barrier must see this rank as live-and-recovering, and the
+        // watchdog must not treat the unwind window as a blocked state.
+        check.set_status(self.rank, RankStatus::Running);
+        std::panic::panic_any(RankLost {
+            epoch: dead.len() as u64,
+            dead,
+        });
+    }
+
+    /// Adopts the current set of killed ranks and re-synchronizes with the
+    /// other survivors: resets every piece of in-flight state (pending
+    /// frames, reliability links, vector clocks, collective sequence) to
+    /// the new epoch, then waits on a registration barrier until every
+    /// other live rank has adopted the same epoch. Returns the dead set.
+    ///
+    /// Called by a recovery driver after catching a [`RankLost`] unwind.
+    /// If another rank dies while waiting, the adoption restarts with the
+    /// larger dead set, so sequential losses fold into one barrier.
+    pub fn adopt_world(&mut self) -> Vec<usize> {
+        assert!(self.flags.recovery, "adopt_world requires recovery mode");
+        // lint: allow(unwrap): recovery mode implies checked mode (asserted at construction)
+        let check = Arc::clone(self.check.as_ref().expect("recovery implies checked"));
+        check.set_status(self.rank, RankStatus::Running);
+        loop {
+            let dead = check.killed_ranks();
+            self.reset_for_epoch(&dead);
+            check.register_epoch(self.rank, self.epoch);
+            loop {
+                if check.killed_count() as usize > dead.len() {
+                    break; // another rank died: restart with the larger set
+                }
+                if check.all_registered(self.epoch) {
+                    return dead;
+                }
+                std::thread::sleep(self.poll);
+            }
+        }
+    }
+
+    /// Confirmation ring after [`Ctx::adopt_world`]: every survivor passes
+    /// `(epoch, hash(dead set))` to its successor on the ring of live
+    /// ranks and checks the value it receives from its predecessor. All
+    /// ranks compute the dead set from the same shared board, so a
+    /// neighbour check suffices; the ring's real job is to be a
+    /// synchronization point proving every survivor has re-entered normal
+    /// messaging in the new epoch. Traffic is counted and exactly priced
+    /// under the `recover` stats tag.
+    pub fn recover_sync(&mut self) {
+        assert!(self.flags.recovery, "recover_sync requires recovery mode");
+        let alive: Vec<usize> = (0..self.nprocs).filter(|&r| self.alive[r]).collect();
+        if alive.len() <= 1 {
+            return;
+        }
+        let slot = alive
+            .iter()
+            .position(|&r| r == self.rank)
+            // lint: allow(unwrap): a dead rank cannot call recover_sync
+            .expect("caller is alive");
+        let succ = alive[(slot + 1) % alive.len()];
+        let pred = alive[(slot + alive.len() - 1) % alive.len()];
+        let wire = RECOVER_TAG + self.epoch;
+        let mut h = 0xcbf2_9ce4_8422_2325_u64 ^ self.epoch;
+        for &d in &self.dead {
+            h = h.wrapping_mul(0x1_0000_0001_b3).wrapping_add(d as u64 + 1);
+        }
+        let payload = Payload::u64s(vec![self.epoch, h]);
+        self.note_planned(RECOVER_TAG, 1, payload.bytes() as u64, true);
+        self.send_internal(succ, wire, RECOVER_TAG, payload);
+        let got = self.recv_internal(pred, wire).into_u64();
+        if got != [self.epoch, h] {
+            // lint: allow(unwrap): recovery mode implies checked mode
+            let check = Arc::clone(self.check.as_ref().expect("recovery implies checked"));
+            let msg = check.fail(format!(
+                "recovery agreement mismatch at epoch {}: rank {} disagrees with rank {} about the dead set {:?}",
+                self.epoch, self.rank, pred, self.dead
+            ));
+            check.set_status(self.rank, RankStatus::Panicked);
+            panic!("{msg}");
+        }
+    }
+
+    /// Resets all in-flight state to a new epoch with the given dead set.
+    fn reset_for_epoch(&mut self, dead: &[usize]) {
+        self.epoch = dead.len() as u64;
+        self.dead = dead.to_vec();
+        for a in &mut self.alive {
+            *a = true;
+        }
+        for &r in dead {
+            self.alive[r] = false;
+        }
+        // Everything buffered belongs to the old world. Pending frames
+        // were already drained off the board; held frames never reached
+        // the wire (no in-flight count to repair).
+        self.pending.clear();
+        self.held.clear();
+        if let Some(rel) = self.rel.as_mut() {
+            rel.reset();
+        }
+        if let Some(hb) = self.hb.as_mut() {
+            hb.reset();
+        }
+        // Namespace the collective sequence by epoch so a straggling
+        // old-epoch collective frame can never alias a new one (the epoch
+        // filter at ingress already discards them; this is belt and
+        // braces), and resync the sequence across survivors that had
+        // executed different numbers of collectives when the kill hit.
+        self.coll_seq = self.epoch << 32;
+        self.current_coll = None;
+        // Frames from senders that reached this epoch first were parked;
+        // replay them now that the link state is reset.
+        let future = std::mem::take(&mut self.future_frames);
+        for env in future {
+            let (ready, _) = self.ingress_frame(env);
+            self.pending.extend(ready);
         }
     }
 
@@ -445,6 +866,7 @@ impl Ctx {
     }
 
     pub(crate) fn recv_internal(&mut self, from: usize, tag: u64) -> Payload {
+        self.check_rank_loss();
         self.fault_point();
         // About to (possibly) block: release reorder-held envelopes so the
         // injector cannot manufacture a deadlock of its own.
@@ -501,6 +923,7 @@ impl Ctx {
     /// detector flags concurrent cross-sender candidates only for
     /// [`RecvMode::Wildcard`] consumers (see [`crate::hb`]).
     pub(crate) fn recv_any_internal(&mut self, tag: u64, mode: RecvMode) -> (usize, Payload) {
+        self.check_rank_loss();
         self.fault_point();
         self.flush_held();
         // A model-checker schedule script can pin which source this
@@ -543,26 +966,77 @@ impl Ctx {
     /// The checked receive loop: publish the blocked state, poll the
     /// channel with a timeout, and run the watchdog predicate on every
     /// timeout. Panics with the commcheck report when the run is stuck.
+    ///
+    /// Under reliable delivery a timeout also drives the NACK schedule: a
+    /// receiver idle for [`NACK_START_POLLS`] polls asks the likely
+    /// senders to re-ship, backing off exponentially for up to
+    /// [`MAX_NACKS`] rounds before conceding the episode to the watchdog.
     fn recv_checked(&mut self, from: Option<usize>, tag: u64, mode: RecvMode) -> Payload {
         // lint: allow(unwrap): recv_checked is only entered in checked mode
         let check = Arc::clone(self.check.as_ref().expect("checked mode"));
+        let reliable = self.rel.is_some();
+        let ingress = reliable || self.flags.recovery;
+        if reliable {
+            // A fresh blocked episode gets a fresh NACK budget; the board
+            // suppresses deadlock verdicts until the budget is spent.
+            check.nack_reset(self.rank);
+        }
         check.set_status(self.rank, RankStatus::BlockedRecv { from, tag });
+        let mut idle_polls: u32 = 0;
+        let mut nacks_left: u32 = if reliable { MAX_NACKS } else { 0 };
+        let mut backoff: u32 = NACK_START_POLLS;
+        let mut next_nack: u32 = NACK_START_POLLS;
         loop {
             match self.receiver.recv_timeout(self.poll) {
                 Ok(env) => {
-                    let matches = env.tag == tag && from.is_none_or(|f| env.from == f);
-                    if matches {
-                        // One board transition: decrement in-flight and go
-                        // back to Running atomically, or a watchdog polling
-                        // between the two steps sees "blocked, nothing in
-                        // flight" and reports a spurious deadlock.
+                    if !ingress {
+                        let matches = env.tag == tag && from.is_none_or(|f| env.from == f);
+                        if matches {
+                            // One board transition: decrement in-flight and go
+                            // back to Running atomically, or a watchdog polling
+                            // between the two steps sees "blocked, nothing in
+                            // flight" and reports a spurious deadlock.
+                            check.note_drain_matched(self.rank);
+                            return self.accept(env, mode);
+                        }
+                        check.note_drain(self.rank);
+                        self.pending.push_back(env);
+                        continue;
+                    }
+                    // Reliability/recovery path: linearize the frame first
+                    // (dedup, gap parking, epoch filter, control frames),
+                    // then match whatever became deliverable.
+                    let (ready, progress) = self.ingress_frame(env);
+                    if progress {
+                        idle_polls = 0;
+                    }
+                    let mut hit: Option<Envelope> = None;
+                    for e in ready {
+                        if hit.is_none() && e.tag == tag && from.is_none_or(|f| e.from == f) {
+                            hit = Some(e);
+                        } else {
+                            self.pending.push_back(e);
+                        }
+                    }
+                    if let Some(e) = hit {
                         check.note_drain_matched(self.rank);
-                        return self.accept(env, mode);
+                        return self.accept(e, mode);
                     }
                     check.note_drain(self.rank);
-                    self.pending.push_back(env);
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    self.check_rank_loss();
+                    idle_polls = idle_polls.saturating_add(1);
+                    if nacks_left > 0 && idle_polls >= next_nack {
+                        self.send_nacks(from);
+                        nacks_left -= 1;
+                        backoff *= 2;
+                        next_nack = idle_polls + backoff;
+                        if nacks_left == 0 {
+                            check.nack_exhausted(self.rank);
+                        }
+                        continue;
+                    }
                     if let Some(report) = check.check_stuck(self.rank) {
                         check.set_status(self.rank, RankStatus::Panicked);
                         panic!("{report}");

@@ -17,6 +17,33 @@
 //! seeded per rank from the plan seed, so a given `(plan, program, p)`
 //! triple always injects the same faults. Fault plans require checked mode;
 //! [`crate::MachineBuilder`] enables it automatically.
+//!
+//! # Rule grammar
+//!
+//! A [`FaultRule`] is an action plus a conjunction of filters; a rule fires
+//! at an injection point iff **every** filter on it matches (unset filters
+//! match everything) and the seeded coin ([`FaultRule::probability`]) comes
+//! up. Rules are tried in plan order; the first firing rule wins.
+//!
+//! ```text
+//! rule      := action filter*
+//! action    := delay(s) | reorder | duplicate | drop     (message actions)
+//!            | stall(ms) | kill                          (rank actions)
+//! filter    := sender(r)    — message actions: the sending rank
+//!            | receiver(r)  — message actions: the destination rank
+//!            | rank(r)      — rank actions: the victim
+//!                             (for message actions, alias of sender)
+//!            | tag(t)       — message actions: exact wire tag
+//!            | after_op(n)  — armed from the acting rank's n-th comm op
+//!            | probability(p) | max_fires(n)
+//! ```
+//!
+//! `sender`/`receiver` make a rule **link-scoped**: `drop.sender(1).receiver(3)`
+//! perturbs only the 1→3 link, leaving every other link clean — the shape
+//! chaos sweeps use to aim faults at one exchange edge. Under reliable
+//! delivery ([`crate::MachineBuilder::reliable`]) the protocol's control
+//! frames and retransmissions bypass injection: faults model a lossy link,
+//! and the recovery traffic is the remedy, not another casualty.
 
 use std::sync::Mutex;
 
@@ -123,6 +150,19 @@ impl FaultRule {
     pub fn to(mut self, dest: usize) -> Self {
         self.to = Some(dest);
         self
+    }
+
+    /// Link-scoping alias of [`FaultRule::rank`] for message rules: the
+    /// sending side of the perturbed link (see the module-level grammar).
+    pub fn sender(self, r: usize) -> Self {
+        self.rank(r)
+    }
+
+    /// Link-scoping alias of [`FaultRule::to`]: the receiving side of the
+    /// perturbed link. `sender(a).receiver(b)` scopes a message rule to
+    /// exactly the `a → b` link.
+    pub fn receiver(self, dest: usize) -> Self {
+        self.to(dest)
     }
 
     /// Restricts a message rule to one exact tag.
@@ -442,6 +482,19 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].rank, 2);
         assert_eq!(log[0].kind, "kill");
+    }
+
+    #[test]
+    fn link_scoped_rule_hits_only_its_link() {
+        let plan = FaultPlan::new(5).with(FaultRule::new(FaultAction::Drop).sender(1).receiver(3));
+        let shared = Arc::new(FaultShared::new(plan));
+        let mut s1 = FaultSession::new(Arc::clone(&shared), 1);
+        let mut s2 = FaultSession::new(Arc::clone(&shared), 2);
+        s1.tick();
+        s2.tick();
+        assert_eq!(s1.on_send(3, 7), MessageFate::Drop, "the scoped link");
+        assert_eq!(s1.on_send(2, 7), MessageFate::Deliver, "other receiver");
+        assert_eq!(s2.on_send(3, 7), MessageFate::Deliver, "other sender");
     }
 
     #[test]

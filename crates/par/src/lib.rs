@@ -40,6 +40,21 @@
 //! delays, reorders, duplicates, or drops messages and stalls or kills
 //! ranks at their communication ops — with commcheck asserting the right
 //! diagnosis for each (see [`fault`]).
+//!
+//! # Reliable delivery and rank-loss recovery
+//!
+//! Two opt-in robustness layers ride on the same machinery:
+//!
+//! * [`MachineBuilder::reliable`] puts every link on a sequence/ack/retry
+//!   protocol (see [`rel`]): injected drops, duplicates, and reorders are
+//!   absorbed transparently — the program sees exactly the fault-free
+//!   delivery order and produces bitwise-identical results.
+//! * [`MachineBuilder::recovery`] arms rank-loss detection: when a rank is
+//!   killed, survivors observe a [`RankLost`] unwind instead of a watchdog
+//!   abort, and a recovery driver (e.g. `pilut_solver::dist_solve_robust`)
+//!   calls [`Ctx::adopt_world`] / [`Ctx::recover_sync`] to agree on the
+//!   shrunk world and resume; collectives re-root themselves over the
+//!   surviving ranks automatically.
 
 pub mod check;
 pub mod collectives;
@@ -48,11 +63,13 @@ pub mod fault;
 pub(crate) mod hb;
 pub mod machine;
 pub mod payload;
+pub mod rel;
 pub mod sched;
 
-pub use check::{CollKind, LeakRecord, RankStatus};
+pub use check::{CollKind, LeakRecord, RankLost, RankStatus, RunFlags};
 pub use ctx::Ctx;
 pub use fault::{FaultAction, FaultPlan, FaultRule, InjectedFault, FAULT_KILL_PREFIX};
 pub use machine::{Machine, MachineBuilder, MachineModel, MachineStats, RunOutput};
 pub use payload::Payload;
+pub use rel::{ACK_TAG, RECOVER_TAG};
 pub use sched::{MatchKind, SchedHandle, SchedulePlan, TraceEvent};

@@ -1,7 +1,9 @@
 //! The virtual machine: model constants, thread launch, and run statistics.
 
-use crate::check::{collective_divergence, CheckState, LeakRecord, SECONDARY_ABORT};
-use crate::ctx::{Ctx, Envelope, RankExit, DEFAULT_CHECK_POLL};
+use crate::check::{
+    collective_divergence, CheckState, LeakRecord, RankLost, RunFlags, SECONDARY_ABORT,
+};
+use crate::ctx::{Ctx, Envelope, RankExit, CTRL_TAG, DEFAULT_CHECK_POLL};
 use crate::fault::{FaultPlan, FaultSession, FaultShared, InjectedFault, FAULT_KILL_PREFIX};
 use crate::sched::{SchedHandle, SchedSession};
 use std::panic::AssertUnwindSafe;
@@ -132,6 +134,7 @@ pub struct MachineBuilder {
     watchdog_poll: Duration,
     fault_plan: Option<FaultPlan>,
     sched: Option<SchedHandle>,
+    flags: RunFlags,
 }
 
 impl MachineBuilder {
@@ -172,6 +175,28 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables per-link reliable delivery (see [`crate::rel`]): frames are
+    /// sequenced, deduplicated, and retransmitted on demand, so injected
+    /// `drop`/`duplicate`/`reorder` faults are absorbed transparently
+    /// instead of stranding a receiver until the watchdog fires. Implies
+    /// `checked`. The protocol's own traffic is counted under the `ack`
+    /// stats tag with exact planned pricing.
+    pub fn reliable(mut self, on: bool) -> Self {
+        self.flags.reliable = on;
+        self
+    }
+
+    /// Enables rank-loss recovery: an injected `Kill` raises a typed
+    /// [`RankLost`] unwind on every survivor instead of a terminal
+    /// deadlock diagnosis. A recovery driver (see
+    /// `pilut_solver::dist_solve_robust`) catches it, calls
+    /// [`Ctx::adopt_world`] / [`Ctx::recover_sync`], and resumes on the
+    /// shrunk world. Implies `checked`.
+    pub fn recovery(mut self, on: bool) -> Self {
+        self.flags.recovery = on;
+        self
+    }
+
     /// Runs `f` on `p` ranks with this configuration.
     ///
     /// # Panics
@@ -183,8 +208,12 @@ impl MachineBuilder {
         F: Fn(&mut Ctx) -> R + Sync,
     {
         assert!(p > 0, "need at least one rank");
-        let checked = self.checked || self.fault_plan.is_some() || self.sched.is_some();
-        let check = checked.then(|| Arc::new(CheckState::new(p)));
+        let checked = self.checked
+            || self.fault_plan.is_some()
+            || self.sched.is_some()
+            || self.flags.reliable
+            || self.flags.recovery;
+        let check = checked.then(|| Arc::new(CheckState::new(p, self.flags)));
         let fault = self.fault_plan.map(|plan| Arc::new(FaultShared::new(plan)));
         Machine::run_impl(
             p,
@@ -193,6 +222,7 @@ impl MachineBuilder {
             fault,
             self.sched,
             self.watchdog_poll,
+            self.flags,
             f,
         )
     }
@@ -239,7 +269,16 @@ impl Machine {
         R: Send,
         F: Fn(&mut Ctx) -> R + Sync,
     {
-        Self::run_impl(p, model, None, None, None, DEFAULT_CHECK_POLL, f)
+        Self::run_impl(
+            p,
+            model,
+            None,
+            None,
+            None,
+            DEFAULT_CHECK_POLL,
+            RunFlags::default(),
+            f,
+        )
     }
 
     /// Starts a configurable run: checked mode, watchdog poll interval,
@@ -251,6 +290,7 @@ impl Machine {
             watchdog_poll: default_watchdog_poll(),
             fault_plan: None,
             sched: None,
+            flags: RunFlags::default(),
         }
     }
 
@@ -283,14 +323,16 @@ impl Machine {
         Self::run_impl(
             p,
             model,
-            Some(Arc::new(CheckState::new(p))),
+            Some(Arc::new(CheckState::new(p, RunFlags::default()))),
             None,
             None,
             default_watchdog_poll(),
+            RunFlags::default(),
             f,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_impl<R, F>(
         p: usize,
         model: MachineModel,
@@ -298,6 +340,7 @@ impl Machine {
         fault: Option<Arc<FaultShared>>,
         sched: Option<SchedHandle>,
         poll: Duration,
+        flags: RunFlags,
         f: F,
     ) -> RunOutput<R>
     where
@@ -331,8 +374,9 @@ impl Machine {
                     .map(|shared| FaultSession::new(Arc::clone(shared), rank));
                 let ssched = sched.as_ref().map(|h| SchedSession::new(h, rank));
                 scope.spawn(move || {
-                    let mut ctx =
-                        Ctx::new(rank, p, model, senders, rx, check, poll, session, ssched);
+                    let mut ctx = Ctx::new(
+                        rank, p, model, senders, rx, check, poll, session, ssched, flags,
+                    );
                     match std::panic::catch_unwind(AssertUnwindSafe(|| fref(&mut ctx))) {
                         Ok(r) => {
                             *rslot = Some(r);
@@ -363,9 +407,17 @@ impl Machine {
         let mut results = Vec::with_capacity(p);
         let mut stats = MachineStats::default();
         let mut per_rank_collectives = Vec::with_capacity(p);
-        for (rslot, eslot) in result_slots.into_iter().zip(exit_slots) {
-            // lint: allow(unwrap): the thread scope joined every rank
-            let r = rslot.expect("rank did not finish");
+        for (rank, (rslot, eslot)) in result_slots.into_iter().zip(exit_slots).enumerate() {
+            let Some(r) = rslot else {
+                // Only reachable when a panic slot was suppressed without a
+                // result: under recovery the driver must catch the injected
+                // kill on the victim itself and return a tombstone result.
+                panic!(
+                    "rank {rank} finished without a result — under MachineBuilder::recovery \
+                     the workload driver must catch the kill panic on the victim (check \
+                     Ctx::killed()) and return a tombstone value instead of re-raising"
+                )
+            };
             // lint: allow(unwrap): the thread scope joined every rank
             let exit = eslot.expect("rank exit not recorded");
             results.push(r);
@@ -387,13 +439,23 @@ impl Machine {
             per_rank_collectives.push(exit.counters.collectives);
             stats.rank_times.push(exit.time);
         }
-        let total_collectives: u64 = per_rank_collectives.iter().sum();
-        assert!(
-            total_collectives % p as u64 == 0,
-            "ranks disagree on collective participation (per-rank counts: \
-             {per_rank_collectives:?}) — rerun under Machine::run_checked for a diagnosis"
-        );
-        stats.collectives = total_collectives / p as u64;
+        let ranks_lost = check
+            .as_ref()
+            .is_some_and(|c| flags.recovery && c.killed_count() > 0);
+        if ranks_lost {
+            // After a recovered rank loss the counts legitimately differ:
+            // the victim stopped early and the survivors re-ran work on the
+            // shrunk world. Report the survivors' count.
+            stats.collectives = per_rank_collectives.iter().copied().max().unwrap_or(0);
+        } else {
+            let total_collectives: u64 = per_rank_collectives.iter().sum();
+            assert!(
+                total_collectives % p as u64 == 0,
+                "ranks disagree on collective participation (per-rank counts: \
+                 {per_rank_collectives:?}) — rerun under Machine::run_checked for a diagnosis"
+            );
+            stats.collectives = total_collectives / p as u64;
+        }
         let sim_time = stats.rank_times.iter().copied().fold(0.0, f64::max);
         RunOutput {
             results,
@@ -411,14 +473,33 @@ impl Machine {
         exit_slots: &[Option<RankExit>],
         fired: &[crate::fault::InjectedFault],
     ) {
+        let flags = check.flags();
+        let killed = check.killed_ranks();
         // Late leak sweep: envelopes that arrived after a rank's own exit
         // drain are still sitting in its (kept-alive) channel.
         let mut leaks: Vec<LeakRecord> = check.take_leaks();
-        for exit in exit_slots.iter().flatten() {
+        for (to, exit) in exit_slots.iter().enumerate() {
+            let Some(exit) = exit else { continue };
             while let Ok(env) = exit.receiver.try_recv() {
+                // Reliability control frames are bookkeeping, not data.
+                if env.tag == CTRL_TAG {
+                    continue;
+                }
+                // A frame from a world older than the receiver's exit
+                // epoch was deliberately discarded, not lost.
+                if env.epoch < exit.epoch {
+                    continue;
+                }
+                // A retransmission of something already delivered (seq
+                // below the receiver's expectation at exit) was absorbed.
+                if let (Some(expected), Some(seq)) = (exit.rel_expected.as_ref(), env.seq) {
+                    if seq < expected[env.from] {
+                        continue;
+                    }
+                }
                 leaks.push(LeakRecord {
                     from: env.from,
-                    to: env.to,
+                    to,
                     tag: env.tag,
                     bytes: env.payload.bytes(),
                     injected: false,
@@ -426,8 +507,18 @@ impl Machine {
             }
         }
         // Envelopes the fault injector discarded join the leak sweep: a
-        // run that completed despite a drop still lost a message.
-        leaks.extend(check.take_injected_drops());
+        // run that completed despite a drop still lost a message. Under
+        // reliable delivery the drop was absorbed by a retransmission, so
+        // it is no longer a loss.
+        let injected_drops = check.take_injected_drops();
+        if !flags.reliable {
+            leaks.extend(injected_drops);
+        }
+        // Under recovery, traffic stranded at (or buffered by) a killed
+        // rank is the expected wreckage of the loss, not a protocol error.
+        if flags.recovery {
+            leaks.retain(|l| !killed.contains(&l.to));
+        }
         let failure = check.take_failure();
         // Drop secondary aborts and the primary's own unwind payload: the
         // stored report carries the diagnosis. User panics stay.
@@ -447,16 +538,39 @@ impl Machine {
             // An injected kill is the *cause* of the stored diagnosis (the
             // survivors deadlocked on the dead rank); the report, which
             // names the killed rank, is the better message. Without a
-            // stored failure the kill panic itself propagates below.
-            let is_fault_kill = |payload: &Box<dyn std::any::Any + Send>| {
-                payload
-                    .downcast_ref::<String>()
-                    .is_some_and(|m| m.starts_with(FAULT_KILL_PREFIX))
-            };
-            for slot in panic_slots.iter_mut() {
-                if slot.as_ref().is_some_and(is_fault_kill) {
+            // stored failure the kill panic itself propagates below. The
+            // board's status — not the panic-message prefix — identifies
+            // the kill: the prefix check is only a fallback for payloads
+            // that never reached the board.
+            for (r, slot) in panic_slots.iter_mut().enumerate() {
+                if killed.contains(&r) {
+                    *slot = None;
+                    continue;
+                }
+                let is_fault_kill = slot.as_ref().is_some_and(|payload| {
+                    payload
+                        .downcast_ref::<String>()
+                        .is_some_and(|m| m.starts_with(FAULT_KILL_PREFIX))
+                });
+                if is_fault_kill {
                     *slot = None;
                 }
+            }
+        }
+        // A RankLost unwind that nothing caught means recovery was enabled
+        // but no recovery driver was wrapped around the workload; turn the
+        // typed payload into an actionable message.
+        for (r, slot) in panic_slots.iter_mut().enumerate() {
+            let Some(payload) = slot.as_ref() else {
+                continue;
+            };
+            if let Some(lost) = payload.downcast_ref::<RankLost>() {
+                *slot = Some(Box::new(format!(
+                    "rank {r} observed the loss of rank(s) {:?} (epoch {}) but no recovery \
+                     driver caught the RankLost unwind — wrap the workload in a driver that \
+                     calls Ctx::adopt_world / Ctx::recover_sync and re-plans",
+                    lost.dead, lost.epoch
+                )));
             }
         }
         let user_panicked = panic_slots.iter().any(Option::is_some);
@@ -516,9 +630,15 @@ impl Machine {
         // Backstop: collective sequences must agree even when traffic
         // happened to pair up (e.g. trailing collectives that never
         // exchanged a message at p == 1 cannot occur, but truncated
-        // sequences at matching kinds can).
-        if let Some(divergence) = collective_divergence(&check.coll_logs()) {
-            panic!("commcheck: {divergence}");
+        // sequences at matching kinds can). Not applicable after a
+        // recovered rank loss: the victim's log stops mid-sequence and
+        // each survivor re-logs the collectives it aborted and re-ran, so
+        // the logs legitimately differ per rank (epoch-tagged wire tags
+        // already enforce agreement within each epoch).
+        if !(flags.recovery && !killed.is_empty()) {
+            if let Some(divergence) = collective_divergence(&check.coll_logs()) {
+                panic!("commcheck: {divergence}");
+            }
         }
     }
 }

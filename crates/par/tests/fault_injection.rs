@@ -178,7 +178,14 @@ fn kill_is_named_in_the_wait_for_graph() {
             }
         }
     });
-    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(
+        msg.contains("killed by fault injection and recovery not enabled"),
+        "{msg}"
+    );
+    assert!(
+        msg.contains("MachineBuilder::recovery(true)"),
+        "the report must point at the remedy: {msg}"
+    );
     assert!(msg.contains("rank 1: killed by fault injection"), "{msg}");
     assert!(
         msg.contains("rank 0 waits on rank 1, which was killed by fault injection"),

@@ -159,15 +159,42 @@ pub fn dist_gmres(
     b: &[f64],
     opts: &GmresOptions,
 ) -> DistGmresResult {
+    dist_gmres_from(ctx, op, local, precond, b, opts, None, None)
+}
+
+/// [`dist_gmres`] with a warm start and a checkpoint hook — the entry point
+/// of the self-healing solve ladder (`crate::dist_robust`).
+///
+/// `x0` seeds the iterate (zeros when `None`); `ckpt`, when supplied, is
+/// overwritten with the current iterate at the end of **every outer restart
+/// cycle**. Because the write happens between collectives, a rank-loss
+/// unwind anywhere inside the next cycle leaves `ckpt` holding a complete,
+/// consistent iterate from at most one restart ago — the recovery driver
+/// re-seeds the shrunk-world solve from it instead of starting over.
+/// Checkpoint cadence is therefore the restart length; see DESIGN §14.
+#[allow(clippy::too_many_arguments)]
+pub fn dist_gmres_from(
+    ctx: &mut Ctx,
+    op: &mut dyn DistOperator,
+    local: &LocalView,
+    precond: &mut dyn DistPrecond,
+    b: &[f64],
+    opts: &GmresOptions,
+    x0: Option<Vec<f64>>,
+    mut ckpt: Option<&mut Vec<f64>>,
+) -> DistGmresResult {
     let nl = local.len();
     assert_eq!(b.len(), nl);
     assert_eq!(op.local_len(), nl);
-    let mut x = vec![0.0; nl];
+    let mut x = x0.unwrap_or_else(|| vec![0.0; nl]);
+    assert_eq!(x.len(), nl, "warm start must be in local-view order");
     let b_norm = dnorm(ctx, b);
     // lint: allow(float-eq): exact zero-RHS short-circuit
     if b_norm == 0.0 {
+        // The exact solution of `A x = 0` is zero regardless of any warm
+        // start: return zeros, not `x0`.
         return DistGmresResult {
-            x_local: x,
+            x_local: vec![0.0; nl],
             converged: true,
             matvecs: 0,
             rel_residual: 0.0,
@@ -299,6 +326,13 @@ pub fn dist_gmres(
             breakdown.get_or_insert(Breakdown::NonFinite { at: matvecs });
         }
         ctx.work(nl as f64);
+        // End of the restart cycle: the iterate is consistent on every rank
+        // (the correction above was applied under a collective verdict), so
+        // this is the safe point to checkpoint for rank-loss recovery.
+        if let Some(c) = ckpt.as_deref_mut() {
+            c.clear();
+            c.extend_from_slice(&x);
+        }
         if breakdown.is_some() || matvecs >= opts.max_matvecs {
             break 'outer;
         }
@@ -449,5 +483,105 @@ mod tests {
         );
         assert!(!conv);
         assert!(mv <= 6);
+    }
+
+    #[test]
+    fn warm_start_at_the_solution_converges_immediately() {
+        let a = gen::laplace_2d(8, 8);
+        let n = a.n_rows();
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let b_global = a.spmv_owned(&x_true);
+        let dm = DistMatrix::from_matrix(a, 3, 23);
+        let out = Machine::run_checked(3, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let mut op = DistCsr::new(ctx, &dm, &local);
+            let b: Vec<f64> = local.nodes.iter().map(|&g| b_global[g]).collect();
+            let x0: Vec<f64> = local.nodes.iter().map(|&g| x_true[g]).collect();
+            let mut pre = DistIdentity;
+            let r = dist_gmres_from(
+                ctx,
+                &mut op,
+                &local,
+                &mut pre,
+                &b,
+                &GmresOptions::default(),
+                Some(x0),
+                None,
+            );
+            (r.converged, r.matvecs)
+        });
+        for (conv, mv) in out.results {
+            assert!(conv);
+            assert_eq!(mv, 1, "an exact warm start costs one residual matvec");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_returns_zeros_not_the_warm_start() {
+        let a = gen::laplace_2d(6, 6);
+        let dm = DistMatrix::from_matrix(a, 2, 23);
+        let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let mut op = DistCsr::new(ctx, &dm, &local);
+            let b = vec![0.0; local.len()];
+            let x0 = vec![7.5; local.len()];
+            let mut pre = DistIdentity;
+            let r = dist_gmres_from(
+                ctx,
+                &mut op,
+                &local,
+                &mut pre,
+                &b,
+                &GmresOptions::default(),
+                Some(x0),
+                None,
+            );
+            (r.converged, r.x_local)
+        });
+        for (conv, x) in out.results {
+            assert!(conv);
+            assert!(x.iter().all(|&v| v == 0.0), "Ax = 0 has the zero solution");
+        }
+    }
+
+    #[test]
+    fn checkpoint_holds_the_iterate_of_a_completed_cycle() {
+        // Force at least one full restart cycle (tiny restart length), then
+        // check the checkpoint matches the final iterate: the last completed
+        // cycle's x is exactly what convergence was declared on.
+        let a = gen::laplace_2d(8, 8);
+        let n = a.n_rows();
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let b_global = a.spmv_owned(&x_true);
+        let dm = DistMatrix::from_matrix(a, 2, 23);
+        let out = Machine::run_checked(2, MachineModel::cray_t3d(), |ctx| {
+            let local = dm.local_view(ctx.rank());
+            let mut op = DistCsr::new(ctx, &dm, &local);
+            let b: Vec<f64> = local.nodes.iter().map(|&g| b_global[g]).collect();
+            let mut pre = DistDiagonal::new(&dm, &local);
+            let mut ckpt = Vec::new();
+            let r = dist_gmres_from(
+                ctx,
+                &mut op,
+                &local,
+                &mut pre,
+                &b,
+                &GmresOptions {
+                    restart: 5,
+                    ..Default::default()
+                },
+                None,
+                Some(&mut ckpt),
+            );
+            (r.converged, r.x_local, ckpt)
+        });
+        for (conv, x, ckpt) in out.results {
+            assert!(conv);
+            assert_eq!(
+                x, ckpt,
+                "convergence is detected at the top of a cycle, so the last \
+                 checkpoint and the returned iterate coincide"
+            );
+        }
     }
 }

@@ -18,14 +18,23 @@
 //! unpreconditioned) and returns a structured [`SolveReport`] naming the
 //! rung that produced the answer.
 
+//! Rank-loss recovery: [`dist_solve_robust`] wraps the distributed solve in
+//! the lost-rank rung — a kill mid-solve (under `MachineBuilder::recovery`)
+//! shrinks the world, rebuilds plans and factors, warm-starts GMRES from a
+//! per-restart-cycle checkpoint, and records the recovery in the report.
+
 pub mod cg;
 pub mod dist_gmres;
+pub mod dist_robust;
 pub mod gmres;
 pub mod report;
 pub mod robust;
 
 pub use cg::{cg, CgOptions, CgResult, IcPreconditioner};
-pub use dist_gmres::{dist_gmres, DistDiagonal, DistIdentity, DistIlu, DistPrecond};
+pub use dist_gmres::{
+    dist_gmres, dist_gmres_from, DistDiagonal, DistGmresResult, DistIdentity, DistIlu, DistPrecond,
+};
+pub use dist_robust::{dist_solve_robust, DistSolveReport, SolveError};
 pub use gmres::{gmres, GmresOptions, GmresResult};
-pub use report::{AttemptOutcome, AttemptRecord, Breakdown, SolveReport};
+pub use report::{AttemptOutcome, AttemptRecord, Breakdown, RecoveryRecord, SolveReport};
 pub use robust::solve_robust;

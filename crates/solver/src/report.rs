@@ -73,6 +73,32 @@ pub struct AttemptRecord {
     pub outcome: AttemptOutcome,
 }
 
+/// One survived rank loss: when it happened, who died, and how long the
+/// agreement round took. Recorded by the distributed self-healing driver
+/// ([`crate::dist_robust::dist_solve_robust`]); serial solves never populate
+/// these.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryRecord {
+    /// Recovery epoch entered (1 = first loss this solve adopted).
+    pub epoch: u64,
+    /// The *cumulative* dead set at adoption, ascending.
+    pub lost: Vec<usize>,
+    /// Simulated seconds from catching the loss to the agreed new world
+    /// (world adoption + the recovery agreement round; re-planning and
+    /// re-factorisation are charged to the resumed solve itself).
+    pub time_to_recover: f64,
+}
+
+impl std::fmt::Display for RecoveryRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {}: lost rank(s) {:?}, recovered in {:.3e}s",
+            self.epoch, self.lost, self.time_to_recover
+        )
+    }
+}
+
 /// The structured outcome of a robust solve: which rungs were tried, which
 /// one produced the answer, and how good that answer is.
 #[derive(Clone, Debug)]
@@ -87,6 +113,9 @@ pub struct SolveReport {
     pub attempts: Vec<AttemptRecord>,
     /// Index into `attempts` of the rung that produced `x`.
     pub chosen: usize,
+    /// Rank losses survived on the way to `x` (always empty for serial
+    /// solves).
+    pub recoveries: Vec<RecoveryRecord>,
 }
 
 impl SolveReport {
@@ -136,6 +165,10 @@ impl SolveReport {
             .collect();
         if !skipped.is_empty() {
             s.push_str(&format!(" after [{}]", skipped.join("; ")));
+        }
+        if !self.recoveries.is_empty() {
+            let named: Vec<String> = self.recoveries.iter().map(|r| r.to_string()).collect();
+            s.push_str(&format!(" surviving [{}]", named.join("; ")));
         }
         s
     }

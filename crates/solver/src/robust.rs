@@ -75,6 +75,7 @@ pub fn solve_robust(
                     rel_residual: r.rel_residual,
                     attempts: std::mem::take(attempts),
                     chosen: idx,
+                    recoveries: Vec::new(),
                 })
             }
             Ok(r) => {
@@ -151,6 +152,7 @@ pub fn solve_robust(
             rel_residual: r.rel_residual,
             attempts,
             chosen: idx,
+            recoveries: Vec::new(),
         },
         None => SolveReport {
             x: vec![0.0; a.n_rows()],
@@ -158,6 +160,7 @@ pub fn solve_robust(
             rel_residual: f64::INFINITY,
             chosen: attempts.len() - 1,
             attempts,
+            recoveries: Vec::new(),
         },
     }
 }

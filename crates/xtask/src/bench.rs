@@ -25,6 +25,17 @@
 //! * `par_ilut_star_p4` / `par_ilut_star_p8` — same with ILUT\*(10, 1e-4, 2).
 //! * `dist_trisolve_p4` — the distributed forward/backward solves (paper
 //!   §5) with a prebuilt communication plan, p = 4.
+//! * `dist_solve_robust_p4` — the self-healing solve with reliable delivery
+//!   *and* rank-loss recovery armed but **no faults fired**: the
+//!   steady-state overhead of the robustness layers, which must be free
+//!   (the protocol state machines only pay when faults fire), and whose
+//!   ack/recover tags `bench-verify` gates at zero slack.
+//! * `recovery_p4` — the same solve with a deterministic mid-solve kill:
+//!   the wall time covers detection, world adoption, re-planning,
+//!   re-factorization, and the checkpoint-warm-started re-solve — the
+//!   end-to-end time-to-recover. Its planned-traffic column is
+//!   deliberately blank: a killed epoch abandons planned rounds mid-
+//!   flight, so planned-vs-measured is a fault-free-path contract only.
 //!
 //! Every scenario reports the median and minimum wall time per operation
 //! over `reps` samples (each sample averages `inner` back-to-back
@@ -52,14 +63,14 @@ use std::path::Path;
 use std::time::Instant;
 
 use pilut_core::dist::exchange::tags;
-use pilut_core::dist::DistMatrix;
+use pilut_core::dist::{DistMatrix, Distribution};
 use pilut_core::options::IlutOptions;
 use pilut_core::parallel::par_ilut;
 use pilut_core::precond::IluPreconditioner;
 use pilut_core::serial::ilut;
 use pilut_core::trisolve::{dist_solve, TrisolvePlan};
-use pilut_par::{Machine, MachineModel, MachineStats};
-use pilut_solver::{gmres, GmresOptions};
+use pilut_par::{FaultAction, FaultPlan, FaultRule, Machine, MachineModel, MachineStats};
+use pilut_solver::{dist_solve_robust, gmres, GmresOptions};
 use pilut_sparse::gen;
 
 /// One scenario's measurement.
@@ -167,6 +178,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
             ("par_ilut_star_p4", bench_par_ilut_star_p4),
             ("par_ilut_star_p8", bench_par_ilut_star_p8),
             ("dist_trisolve_p4", bench_dist_trisolve_p4),
+            ("dist_solve_robust_p4", bench_dist_solve_robust_p4),
+            ("recovery_p4", bench_recovery_p4),
         ]
     };
     let mut results = Vec::new();
@@ -531,6 +544,147 @@ fn bench_dist_trisolve_p4(cfg: &Cfg) -> Measurement {
         comm_bytes,
         comm_tags,
         comm_planned,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness scenarios: the self-healing solve with and without a kill.
+
+/// Shared setup for the robustness scenarios: matrix, known-solution RHS,
+/// and partitioned distribution at p = 4.
+fn robust_setup(cfg: &Cfg) -> (pilut_sparse::CsrMatrix, Vec<f64>, Distribution) {
+    let dim = if cfg.quick { 12 } else { 32 };
+    let a = gen::laplace_2d(dim, dim);
+    let n = a.n_rows();
+    let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+    let b = a.spmv_owned(&x_true);
+    let dist = Distribution::from_matrix(&a, 4, 17);
+    (a, b, dist)
+}
+
+fn robust_gmres_opts() -> GmresOptions {
+    GmresOptions {
+        restart: 30,
+        rtol: 1e-8,
+        max_matvecs: 400,
+    }
+}
+
+/// Machine with both robustness layers armed (the configuration every
+/// robust production solve would run under).
+fn robust_machine(plan: Option<FaultPlan>) -> pilut_par::MachineBuilder {
+    let mut b = Machine::builder(MachineModel::cray_t3d())
+        .reliable(true)
+        .recovery(true);
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    b
+}
+
+/// Steady-state overhead scenario: reliable delivery and recovery armed,
+/// zero faults fired. Trackable against the plain solve scenarios — the
+/// robustness layers must cost nothing when nothing goes wrong, and the
+/// recorded planned traffic lets `bench-verify --slack 0` prove no ack or
+/// recovery frame ever hit the wire.
+fn bench_dist_solve_robust_p4(cfg: &Cfg) -> Measurement {
+    let p = 4;
+    let (a, b, dist) = robust_setup(cfg);
+    let opts = IlutOptions::new(10, 1e-4);
+    let gopts = robust_gmres_opts();
+    let (median_ns, min_ns) = sample_reported(cfg.reps, || {
+        let out = robust_machine(None).run(p, |ctx| {
+            ctx.barrier();
+            let t = Instant::now();
+            let rep = dist_solve_robust(ctx, &a, &b, &dist, &opts, &gopts);
+            assert!(rep.converged, "bench solve must converge");
+            std::hint::black_box(&rep);
+            t.elapsed().as_nanos() as u64
+        });
+        out.results.into_iter().max().unwrap_or(0)
+    });
+    let stats = robust_machine(None)
+        .run(p, |ctx| {
+            let rep = dist_solve_robust(ctx, &a, &b, &dist, &opts, &gopts);
+            std::hint::black_box(&rep);
+        })
+        .stats;
+    let (comm_messages, comm_bytes, comm_tags, comm_planned) = comm_fields(&stats);
+    Measurement {
+        name: "dist_solve_robust_p4",
+        n: a.n_rows(),
+        nnz: a.nnz(),
+        reps: cfg.reps,
+        inner: 1,
+        median_ns,
+        min_ns,
+        comm_messages,
+        comm_bytes,
+        comm_tags,
+        comm_planned,
+    }
+}
+
+/// The deterministic kill every `recovery_p4` run survives: rank 2 dies at
+/// its 60th comm op — mid-factorization, after plans exist.
+fn recovery_kill_plan() -> FaultPlan {
+    FaultPlan::new(17).with(FaultRule::new(FaultAction::Kill).rank(2).after_op(60))
+}
+
+/// Time-to-recover scenario: the same robust solve with a mid-solve kill.
+/// The measured wall time spans loss detection, world adoption, the
+/// recovery agreement round, shrink-and-redistribute re-planning,
+/// re-factorization, and the checkpoint-warm-started re-solve to
+/// convergence.
+fn bench_recovery_p4(cfg: &Cfg) -> Measurement {
+    let p = 4;
+    let (a, b, dist) = robust_setup(cfg);
+    let opts = IlutOptions::new(10, 1e-4);
+    let gopts = robust_gmres_opts();
+    // Every run kills a rank by design; keep its induced backtrace out of
+    // the bench log (the unwind is caught and handled inside the machine).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (median_ns, min_ns) = sample_reported(cfg.reps, || {
+        let out = robust_machine(Some(recovery_kill_plan())).run(p, |ctx| {
+            ctx.barrier();
+            let t = Instant::now();
+            let rep = dist_solve_robust(ctx, &a, &b, &dist, &opts, &gopts);
+            std::hint::black_box(&rep);
+            if rep.dead {
+                0
+            } else {
+                assert!(rep.converged, "survivors must converge");
+                assert!(!rep.recoveries.is_empty(), "the kill must be recovered");
+                t.elapsed().as_nanos() as u64
+            }
+        });
+        out.results.into_iter().max().unwrap_or(0)
+    });
+    // Untimed run for the comm totals. The planned column stays blank on
+    // purpose: the killed epoch abandons its planned rounds mid-flight, so
+    // planned-vs-measured agreement is a contract of the fault-free path
+    // only (`dist_solve_robust_p4` carries it).
+    let stats = robust_machine(Some(recovery_kill_plan()))
+        .run(p, |ctx| {
+            let rep = dist_solve_robust(ctx, &a, &b, &dist, &opts, &gopts);
+            std::hint::black_box(&rep);
+        })
+        .stats;
+    std::panic::set_hook(default_hook);
+    let (comm_messages, comm_bytes, comm_tags, _) = comm_fields(&stats);
+    Measurement {
+        name: "recovery_p4",
+        n: a.n_rows(),
+        nnz: a.nnz(),
+        reps: cfg.reps,
+        inner: 1,
+        median_ns,
+        min_ns,
+        comm_messages,
+        comm_bytes,
+        comm_tags,
+        comm_planned: String::new(),
     }
 }
 
