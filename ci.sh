@@ -60,19 +60,21 @@ cargo run -q -p xtask --release -- bench --quick --scaling --out target/bench_sm
 cargo run -q -p xtask --release -- bench-verify target/bench_smoke.json --slack 0
 
 # Full-size re-run of every scenario, gated on the geometric mean of the
-# min-time ratios. The baseline is BENCH_pr7.json — the tree that added
-# reliable delivery and rank-loss recovery must show no production-path
-# regression against the tree before it: both protocols are strictly
-# pay-when-faults-fire (sequence bookkeeping is O(1) per frame, ack/nack
-# frames never leave the rank without a loss, heartbeats piggyback on
-# existing traffic), so the geomean gate is tightened to 5%. Per-scenario
+# min-time ratios. The baseline is BENCH_pr8.json — the tree before the
+# blocked storage layer landed. The blocked scenarios (`block_ilut`,
+# `block_trisolve`, `block_trisolve_rhs8`) are new rows with no baseline
+# counterpart, so bench-compare skips them and the geomean gates the
+# pre-existing scalar/parallel trajectory; the full report still passes
+# bench-verify at zero slack, which also enforces that every serial-named
+# scenario (blocked rows included) put nothing on the wire. Per-scenario
 # numbers still swing ±10-15% from binary layout alone; the geomean over
 # min times cancels that undirected noise, and precise before/after
 # numbers live in EXPERIMENTS.md.
-echo "==> bench regression vs BENCH_pr7.json (full scenarios, geomean gate)"
+echo "==> bench regression vs BENCH_pr8.json (full scenarios, geomean gate)"
 cargo run -q -p xtask --release -- bench --out target/bench_compare.json --label ci \
-    --baseline BENCH_pr7.json
+    --baseline BENCH_pr8.json
+cargo run -q -p xtask --release -- bench-verify target/bench_compare.json --slack 0
 cargo run -q -p xtask --release -- bench-compare target/bench_compare.json \
-    --baseline BENCH_pr7.json --tolerance 5 --geomean
+    --baseline BENCH_pr8.json --tolerance 5 --geomean
 
 echo "ci.sh: all green"

@@ -7,6 +7,10 @@
 //!   **ILU(k)**, and the corresponding serial triangular solves;
 //! * [`factors`] — the shared `L`/`U` storage (sorted sparse rows, unit
 //!   lower-triangular `L`, diagonal-first `U`);
+//! * [`block_factors`] — the blocked (BCSR-tile) factor storage with
+//!   level-scheduled tile trisolves (single vector and `n × k` panel) fed
+//!   by [`serial::block_ilut`], plus the exact scalar refinement bridging
+//!   back to [`factors::LuFactors`];
 //! * [`precond`] — the preconditioner interface consumed by the solver
 //!   crate, with ILU and diagonal implementations;
 //! * [`dist`] — the distributed matrix: a partition-driven row distribution
@@ -23,6 +27,7 @@
 //! * [`breakdown`] — the [`breakdown::PivotDoctor`] that applies one
 //!   breakdown policy identically across every kernel.
 
+pub mod block_factors;
 pub mod breakdown;
 pub mod dist;
 pub mod factors;
@@ -32,7 +37,8 @@ pub mod precond;
 pub mod serial;
 pub mod trisolve;
 
+pub use block_factors::{BlockLuFactors, BlockTileRow};
 pub use breakdown::PivotDoctor;
 pub use factors::{LuFactors, SparseRow};
 pub use options::{BreakdownPolicy, FactorError, IlutOptions};
-pub use serial::{ilu0, iluk, ilut};
+pub use serial::{block_ilut, ilu0, iluk, ilut};

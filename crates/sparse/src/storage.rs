@@ -1,0 +1,192 @@
+//! The storage-generic sparse-matrix trait unifying scalar CSR and blocked
+//! BCSR storage.
+//!
+//! Consumers that only need *logical* matrix access — row iteration,
+//! triplet access, nnz accounting, matrix–vector products — should take
+//! `&impl SparseStorage` (or `&dyn SparseStorage`) instead of a concrete
+//! format, so the same code runs over [`CsrMatrix`] and
+//! [`BcsrMatrix`](crate::bcsr::BcsrMatrix) tiles alike. Format-specific
+//! internals (`row_ptr`/`col_idx`, tile arrays) stay private to this crate's
+//! callers by convention, enforced by the `no-storage-poke` lint.
+
+use crate::bcsr::BcsrMatrix;
+use crate::csr::CsrMatrix;
+
+/// Logical (storage-independent) access to a sparse matrix.
+///
+/// Contract: [`SparseStorage::for_each_row_entry`] visits exactly the
+/// *stored* entries of a row (explicit zeros included, padding excluded) in
+/// strictly ascending column order, and [`SparseStorage::nnz`] counts the
+/// same population — so `to_csr` round trips are structure-preserving for
+/// every implementor.
+pub trait SparseStorage {
+    /// Number of rows.
+    fn n_rows(&self) -> usize;
+
+    /// Number of columns.
+    fn n_cols(&self) -> usize;
+
+    /// Number of stored entries (explicit zeros count, padding does not).
+    fn nnz(&self) -> usize;
+
+    /// Visits the stored `(col, value)` entries of row `i` in ascending
+    /// column order.
+    fn for_each_row_entry(&self, i: usize, visit: &mut dyn FnMut(usize, f64));
+
+    /// The stored value at `(i, j)`, if present.
+    fn get(&self, i: usize, j: usize) -> Option<f64>;
+
+    /// Computes `y = A x`.
+    fn spmv_into(&self, x: &[f64], y: &mut [f64]);
+
+    /// Materialises the matrix as scalar CSR.
+    fn to_csr(&self) -> CsrMatrix;
+
+    /// Number of stored entries in row `i` (provided: counts the visits).
+    fn row_nnz(&self, i: usize) -> usize {
+        let mut k = 0;
+        self.for_each_row_entry(i, &mut |_, _| k += 1);
+        k
+    }
+
+    /// All stored entries as `(row, col, value)` triplets in row-major
+    /// order (provided).
+    fn triplets(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for i in 0..self.n_rows() {
+            self.for_each_row_entry(i, &mut |j, v| out.push((i, j, v)));
+        }
+        out
+    }
+}
+
+impl SparseStorage for CsrMatrix {
+    fn n_rows(&self) -> usize {
+        CsrMatrix::n_rows(self)
+    }
+
+    fn n_cols(&self) -> usize {
+        CsrMatrix::n_cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        CsrMatrix::nnz(self)
+    }
+
+    fn for_each_row_entry(&self, i: usize, visit: &mut dyn FnMut(usize, f64)) {
+        let (cols, vals) = self.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            visit(j, v);
+        }
+    }
+
+    fn get(&self, i: usize, j: usize) -> Option<f64> {
+        CsrMatrix::get(self, i, j)
+    }
+
+    fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+
+    fn to_csr(&self) -> CsrMatrix {
+        self.clone()
+    }
+}
+
+impl SparseStorage for BcsrMatrix {
+    fn n_rows(&self) -> usize {
+        BcsrMatrix::n_rows(self)
+    }
+
+    fn n_cols(&self) -> usize {
+        BcsrMatrix::n_cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        BcsrMatrix::nnz(self)
+    }
+
+    fn for_each_row_entry(&self, i: usize, visit: &mut dyn FnMut(usize, f64)) {
+        let b = self.block_size();
+        let bb = b * b;
+        let bi = i / b;
+        let r = i - bi * b;
+        let (bcols, tiles) = self.block_row(bi);
+        let masks = self.block_row_masks(bi);
+        for (t, &bc) in bcols.iter().enumerate() {
+            let mask = masks[t];
+            for c in 0..b {
+                if mask & (1 << (r * b + c)) != 0 {
+                    visit(bc * b + c, tiles[t * bb + r * b + c]);
+                }
+            }
+        }
+    }
+
+    fn get(&self, i: usize, j: usize) -> Option<f64> {
+        BcsrMatrix::get(self, i, j)
+    }
+
+    fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+
+    fn to_csr(&self) -> CsrMatrix {
+        BcsrMatrix::to_csr(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn storage_views(
+        a: &CsrMatrix,
+        b: usize,
+    ) -> (Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>) {
+        let blocked = BcsrMatrix::from_csr(a, b);
+        (SparseStorage::triplets(a), blocked.triplets())
+    }
+
+    #[test]
+    fn csr_and_bcsr_agree_through_the_trait() {
+        let a = gen::convection_diffusion_2d(5, 7, 1.5, -0.5); // n = 35
+        for b in 1..=4 {
+            let (want, got) = storage_views(&a, b);
+            assert_eq!(want, got, "b={b}");
+        }
+    }
+
+    #[test]
+    fn trait_spmv_and_counts_agree() {
+        let a = gen::laplace_2d(6, 6);
+        let blocked = BcsrMatrix::from_csr(&a, 4);
+        assert_eq!(SparseStorage::nnz(&a), SparseStorage::nnz(&blocked));
+        for i in 0..SparseStorage::n_rows(&a) {
+            assert_eq!(
+                SparseStorage::row_nnz(&a, i),
+                SparseStorage::row_nnz(&blocked, i)
+            );
+        }
+        let x: Vec<f64> = (0..a.n_cols()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let mut y1 = vec![0.0; a.n_rows()];
+        let mut y2 = y1.clone();
+        SparseStorage::spmv_into(&a, &x, &mut y1);
+        SparseStorage::spmv_into(&blocked, &x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let a = gen::laplace_2d(3, 3);
+        let blocked = BcsrMatrix::from_csr(&a, 2);
+        let dyns: Vec<&dyn SparseStorage> = vec![&a, &blocked];
+        for m in dyns {
+            assert_eq!(m.n_rows(), 9);
+            assert_eq!(m.to_csr().nnz(), m.nnz());
+        }
+    }
+}

@@ -11,11 +11,23 @@
 //!
 //! * `serial_ilut` — serial ILUT(10, 1e-4) factorization, 64×64
 //!   convection–diffusion (n = 4096).
-//! * `serial_ilut_unbounded` — serial ILUT(n, 0) on a 24×24 Laplacian: the
-//!   exact-LU configuration, which stresses fill handling and the working
-//!   row hardest per unknown.
+//! * `serial_ilut_unbounded` — serial ILUT(n, 0) on a 64×64 Laplacian
+//!   (n = 4096): the exact-LU configuration, which stresses fill handling
+//!   and the working row hardest per unknown.
 //! * `trisolve_serial` — repeated `LuFactors::solve` on the `serial_ilut`
 //!   factors (forward + backward substitution).
+//! * `block_ilut` — blocked ILUT(10, 1e-4) at b = 4 on the `serial_ilut`
+//!   matrix, BCSR in, dense 4×4 tile micro-kernels inside; the throughput
+//!   denominator is the same `nnz(A)` as `serial_ilut`, so the two rows
+//!   compare directly.
+//! * `block_trisolve` — repeated `BlockLuFactors::solve` on the
+//!   `block_ilut` factors (level-scheduled tile sweeps); the denominator is
+//!   the factors' stored tile slots — the entries the kernel actually
+//!   streams — comparable against `trisolve_serial`'s scalar fill.
+//! * `block_trisolve_rhs8` — the same factors solved against an n × 8 RHS
+//!   panel via `solve_panel`; the denominator is stored slots × 8, so the
+//!   Mnnz/s figure is per-RHS throughput and the gain over `block_trisolve`
+//!   is the panel amortization of the tile loads.
 //! * `spmv` — serial CSR SpMV on a 200×200 Laplacian (n = 40 000).
 //! * `gmres_ilut` — full right-preconditioned GMRES(30) solve, ILUT
 //!   preconditioner, 48×48 convection–diffusion.
@@ -67,11 +79,11 @@ use pilut_core::dist::{DistMatrix, Distribution};
 use pilut_core::options::IlutOptions;
 use pilut_core::parallel::par_ilut;
 use pilut_core::precond::IluPreconditioner;
-use pilut_core::serial::ilut;
+use pilut_core::serial::{block_ilut, ilut};
 use pilut_core::trisolve::{dist_solve, TrisolvePlan};
 use pilut_par::{FaultAction, FaultPlan, FaultRule, Machine, MachineModel, MachineStats};
 use pilut_solver::{dist_solve_robust, gmres, GmresOptions};
-use pilut_sparse::gen;
+use pilut_sparse::{gen, BcsrMatrix};
 
 /// One scenario's measurement.
 struct Measurement {
@@ -171,6 +183,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
             ("serial_ilut", bench_serial_ilut as fn(&Cfg) -> Measurement),
             ("serial_ilut_unbounded", bench_serial_ilut_unbounded),
             ("trisolve_serial", bench_trisolve_serial),
+            ("block_ilut", bench_block_ilut),
+            ("block_trisolve", bench_block_trisolve),
+            ("block_trisolve_rhs8", bench_block_trisolve_rhs8),
             ("spmv", bench_spmv),
             ("gmres_ilut", bench_gmres),
             ("par_ilut_p4", bench_par_ilut_p4),
@@ -307,7 +322,7 @@ fn bench_serial_ilut(cfg: &Cfg) -> Measurement {
 }
 
 fn bench_serial_ilut_unbounded(cfg: &Cfg) -> Measurement {
-    let dim = if cfg.quick { 12 } else { 24 };
+    let dim = if cfg.quick { 12 } else { 64 };
     let a = gen::laplace_2d(dim, dim);
     let opts = IlutOptions::new(a.n_rows(), 0.0);
     let (median_ns, min_ns) = sample(cfg.reps, 1, || {
@@ -346,6 +361,95 @@ fn bench_trisolve_serial(cfg: &Cfg) -> Measurement {
         name: "trisolve_serial",
         n: a.n_rows(),
         nnz: fill,
+        reps: cfg.reps,
+        inner,
+        median_ns,
+        min_ns,
+        comm_messages: 0,
+        comm_bytes: 0,
+        comm_tags: String::new(),
+        comm_planned: String::new(),
+    }
+}
+
+/// Shared setup for the blocked scenarios: the `serial_ilut` matrix
+/// blocked at b = 4 (the widest tile the micro-kernels support), so every
+/// blocked row in the report has a scalar row to compare against.
+fn blocked_setup(cfg: &Cfg) -> (usize, BcsrMatrix) {
+    let dim = if cfg.quick { 24 } else { 64 };
+    let a = gen::convection_diffusion_2d(dim, dim, 4.0, -3.0);
+    let nnz = a.nnz();
+    (nnz, BcsrMatrix::from_csr(&a, 4))
+}
+
+fn bench_block_ilut(cfg: &Cfg) -> Measurement {
+    let (nnz, ab) = blocked_setup(cfg);
+    let opts = IlutOptions::new(10, 1e-4);
+    let (median_ns, min_ns) = sample(cfg.reps, 1, || {
+        // lint: allow(unwrap): bench problems factor by construction; a failure here is fatal to the measurement
+        let f = block_ilut(&ab, &opts).expect("factorization failed");
+        std::hint::black_box(&f);
+    });
+    Measurement {
+        name: "block_ilut",
+        n: ab.n_rows(),
+        nnz,
+        reps: cfg.reps,
+        inner: 1,
+        median_ns,
+        min_ns,
+        comm_messages: 0,
+        comm_bytes: 0,
+        comm_tags: String::new(),
+        comm_planned: String::new(),
+    }
+}
+
+fn bench_block_trisolve(cfg: &Cfg) -> Measurement {
+    let (_, ab) = blocked_setup(cfg);
+    // lint: allow(unwrap): bench problems factor by construction; a failure here is fatal to the measurement
+    let f = block_ilut(&ab, &IlutOptions::new(10, 1e-4)).expect("factorization failed");
+    let slots = f.stored_entries();
+    let b: Vec<f64> = (0..ab.n_rows()).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let inner = 50;
+    let (median_ns, min_ns) = sample(cfg.reps, inner, || {
+        let x = f.solve(&b);
+        std::hint::black_box(&x);
+    });
+    Measurement {
+        name: "block_trisolve",
+        n: ab.n_rows(),
+        nnz: slots,
+        reps: cfg.reps,
+        inner,
+        median_ns,
+        min_ns,
+        comm_messages: 0,
+        comm_bytes: 0,
+        comm_tags: String::new(),
+        comm_planned: String::new(),
+    }
+}
+
+fn bench_block_trisolve_rhs8(cfg: &Cfg) -> Measurement {
+    let (_, ab) = blocked_setup(cfg);
+    // lint: allow(unwrap): bench problems factor by construction; a failure here is fatal to the measurement
+    let f = block_ilut(&ab, &IlutOptions::new(10, 1e-4)).expect("factorization failed");
+    let k = 8;
+    // Per-RHS throughput: the panel streams each stored tile once for k
+    // right-hand sides, so the denominator is slots × k.
+    let slots = f.stored_entries() * k;
+    let n = ab.n_rows();
+    let rhs: Vec<f64> = (0..n * k).map(|i| ((i % 29) as f64) * 0.25 - 3.5).collect();
+    let inner = 10;
+    let (median_ns, min_ns) = sample(cfg.reps, inner, || {
+        let x = f.solve_panel(&rhs, k);
+        std::hint::black_box(&x);
+    });
+    Measurement {
+        name: "block_trisolve_rhs8",
+        n,
+        nnz: slots,
         reps: cfg.reps,
         inner,
         median_ns,
@@ -936,9 +1040,12 @@ fn render_json(
 /// format is deterministic, so the exact predictions must hold to the
 /// byte; the flag exists for future payloads with platform-dependent
 /// encodings). Measured traffic on a protocol tag no plan predicted is a
-/// data-plane escape and always fails. Scaling curves, when present, must
-/// each carry their mode, generator, crossover verdict, and at least one
-/// fully-populated point.
+/// data-plane escape and always fails. Serial scenarios — every name
+/// without a `_p<ranks>` suffix — run no machine at all, so their
+/// `comm_messages` must be exactly zero: a nonzero count there means a
+/// serial code path acquired a hidden machine dependency. Scaling curves,
+/// when present, must each carry their mode, generator, crossover verdict,
+/// and at least one fully-populated point.
 pub fn verify(args: &[String]) -> Result<(), String> {
     let mut path: Option<&String> = None;
     let mut slack_pct = 0.0f64;
@@ -1027,6 +1134,16 @@ pub fn verify(args: &[String]) -> Result<(), String> {
         let planned = field_str(line, "\"comm_planned\":").unwrap_or_default();
         check_planned(&measured, &planned, slack_pct)
             .map_err(|e| format!("{path}: scenario {scenarios}: {e}"))?;
+        let name = field_str(line, "\"name\":")
+            .ok_or_else(|| format!("{path}: scenario {scenarios} missing name"))?;
+        let comm = field_u64(line, "\"comm_messages\":")
+            .ok_or_else(|| format!("{path}: scenario {scenarios} missing comm_messages"))?;
+        if !is_machine_scenario(&name) && comm != 0 {
+            return Err(format!(
+                "{path}: serial scenario {name} reports {comm} comm message(s); \
+                 a serial path must put nothing on the wire"
+            ));
+        }
     }
     if scenarios == 0 {
         return Err(format!("{path}: no scenarios recorded"));
@@ -1036,6 +1153,18 @@ pub fn verify(args: &[String]) -> Result<(), String> {
          slack {slack_pct}%)"
     );
     Ok(())
+}
+
+/// Whether a scenario name marks a machine-backed run: the `_p<ranks>`
+/// naming convention every parallel scenario follows (`par_ilut_p4`,
+/// `dist_solve_robust_p4`, ...). Everything else is serial and must report
+/// zero communication.
+fn is_machine_scenario(name: &str) -> bool {
+    name.match_indices("_p").any(|(i, _)| {
+        name.as_bytes()
+            .get(i + 2)
+            .is_some_and(|c| c.is_ascii_digit())
+    })
 }
 
 /// Parses a `"name:messages/bytes"` breakdown string into a map; a `~`
@@ -1319,8 +1448,10 @@ mod tests {
     use super::*;
 
     fn fake() -> Vec<Measurement> {
+        // A machine-backed name (`_p4` suffix): the fixture carries comm
+        // counters, which the serial-zero-comm gate forbids on serial names.
         vec![Measurement {
-            name: "spmv",
+            name: "spmv_p4",
             n: 100,
             nnz: 460,
             reps: 3,
@@ -1412,6 +1543,31 @@ mod tests {
         m[0].comm_planned = "spmv:12/4096".to_string();
         verify_file(
             "pilut_bench_coll_legacy.json",
+            &render_json("t", "none", true, &m, &[]),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn serial_scenarios_must_report_zero_comm() {
+        assert!(is_machine_scenario("par_ilut_p4"));
+        assert!(is_machine_scenario("dist_solve_robust_p4"));
+        assert!(!is_machine_scenario("block_trisolve_rhs8"));
+        assert!(!is_machine_scenario("serial_ilut_unbounded"));
+        let mut m = fake();
+        m[0].name = "block_trisolve";
+        m[0].comm_tags = String::new();
+        m[0].comm_planned = String::new();
+        let err = verify_file(
+            "pilut_bench_serial_comm.json",
+            &render_json("t", "none", true, &m, &[]),
+        )
+        .unwrap_err();
+        assert!(err.contains("nothing on the wire"), "{err}");
+        m[0].comm_messages = 0;
+        m[0].comm_bytes = 0;
+        verify_file(
+            "pilut_bench_serial_comm_ok.json",
             &render_json("t", "none", true, &m, &[]),
         )
         .unwrap();

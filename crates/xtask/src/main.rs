@@ -42,6 +42,13 @@
 //!   protocol traffic, and a user tag constructed there would collide
 //!   with them. Comparing against the base stays legal. Escape hatch:
 //!   `// lint: allow(reserved-tag): <why>`.
+//! * **no-storage-poke** — reaching into sparse-storage internals
+//!   (`.row_ptr()` / `.col_idx()` on CSR, `.brow_ptr()` / `.bcol_idx()` /
+//!   `.tile_values()` / `.tile_masks()` on BCSR) is allowed only inside
+//!   `crates/sparse`; every other crate must go through the
+//!   `SparseStorage` trait or the logical accessors (`row`, `block_row`,
+//!   `get`, `spmv`, …) so storage layout stays a private contract of the
+//!   sparse crate. Escape hatch: `// lint: allow(storage-poke): <why>`.
 //! * **dep-allowlist** — every `Cargo.toml` may depend only on in-repo
 //!   `pilut-*` path crates (plus `criterion`, only in the excluded
 //!   `crates/bench`). This is what keeps the tier-1 gate offline-safe.
@@ -281,6 +288,20 @@ fn allowed(lines: &[&str], i: usize, marker: &str) -> bool {
     lines[i].contains(&tag) || (i > 0 && lines[i - 1].contains(&tag))
 }
 
+/// Raw storage accessors only `crates/sparse` may call: the index arrays
+/// of CSR and the tile arrays of BCSR. The value arrays (`.values()`,
+/// `.values_mut()`) are deliberately not matched — the names collide with
+/// `HashMap` iteration — but any layout-dependent poke needs the index
+/// arrays too, which these patterns do catch.
+const STORAGE_POKES: &[&str] = &[
+    ".row_ptr()",
+    ".col_idx()",
+    ".brow_ptr()",
+    ".bcol_idx()",
+    ".tile_values()",
+    ".tile_masks()",
+];
+
 /// Source-code rules over one file. `in_par` exempts the file from the
 /// thread-confinement rule.
 fn lint_source(label: &str, content: &str, in_par: bool) -> Vec<Violation> {
@@ -351,6 +372,17 @@ fn lint_source(label: &str, content: &str, in_par: bool) -> Vec<Violation> {
                 file: label.to_string(),
                 line: i + 1,
                 rule: "no-reserved-tag",
+                text: raw.to_string(),
+            });
+        }
+        if !label.starts_with("crates/sparse/src")
+            && STORAGE_POKES.iter().any(|p| code.contains(p))
+            && !allowed(&lines, i, "storage-poke")
+        {
+            out.push(Violation {
+                file: label.to_string(),
+                line: i + 1,
+                rule: "no-storage-poke",
                 text: raw.to_string(),
             });
         }
@@ -970,6 +1002,32 @@ mod tests {
         assert!(lint_source("crates/core/src/a.rs", cmp, false).is_empty());
         let marked = "// lint: allow(reserved-tag): test rig builds a protocol tag\nfn f() { let t = Ctx::RESERVED_TAG_BASE | 1; }\n";
         assert!(lint_source("crates/core/src/a.rs", marked, false).is_empty());
+    }
+
+    #[test]
+    fn storage_poke_confined_to_sparse() {
+        let bad = "fn f(a: &CsrMatrix) { let p = a.row_ptr(); let c = a.col_idx(); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/core/src/a.rs", bad, false)),
+            vec!["no-storage-poke"]
+        );
+        let bad_bcsr = "fn f(a: &BcsrMatrix) { let t = a.tile_values(); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/solver/src/a.rs", bad_bcsr, false)),
+            vec!["no-storage-poke"]
+        );
+        // The sparse crate implements the storage and may touch its arrays.
+        assert!(lint_source("crates/sparse/src/bcsr.rs", bad, false).is_empty());
+        // HashMap iteration does not pattern-match the rule.
+        let map = "fn f(m: &mut HashMap<usize, Vec<u8>>) { for v in m.values_mut() {} }\n";
+        assert!(lint_source("crates/core/src/a.rs", map, false).is_empty());
+        // Escape hatch and test tail opt out as usual.
+        let marked =
+            "// lint: allow(storage-poke): zero-copy serialization needs the arrays\nfn f(a: &CsrMatrix) { let p = a.row_ptr(); }\n";
+        assert!(lint_source("crates/core/src/a.rs", marked, false).is_empty());
+        let tail =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(a: &CsrMatrix) { a.row_ptr(); }\n}\n";
+        assert!(lint_source("crates/core/src/a.rs", tail, false).is_empty());
     }
 
     #[test]
