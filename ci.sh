@@ -55,26 +55,34 @@ fi
 # bench-verify validation stay covered; --slack 0 is the default but is
 # spelled out because it is the contract — the delta-protocol byte
 # predictions are exact, so zero divergence is the gate, not a wish.
-echo "==> bench smoke (incl. scaling curves)"
-cargo run -q -p xtask --release -- bench --quick --scaling --out target/bench_smoke.json
+# --profile-alloc runs the whole sweep under the counting allocator and
+# records per-region acquisition counts, which bench-verify gates: every
+# steady-state replay region (trisolve_replay, replay_halo, send_values,
+# recv_values, gmres_inner — DESIGN §16.2) must report exactly 0
+# acquisitions, same spirit as the slack-0 comm gate.
+echo "==> bench smoke (incl. scaling curves + zero-steady-alloc gate)"
+cargo run -q -p xtask --release -- bench --quick --scaling --profile-alloc \
+    --out target/bench_smoke.json
 cargo run -q -p xtask --release -- bench-verify target/bench_smoke.json --slack 0
 
 # Full-size re-run of every scenario, gated on the geometric mean of the
-# min-time ratios. The baseline is BENCH_pr8.json — the tree before the
-# blocked storage layer landed. The blocked scenarios (`block_ilut`,
-# `block_trisolve`, `block_trisolve_rhs8`) are new rows with no baseline
-# counterpart, so bench-compare skips them and the geomean gates the
-# pre-existing scalar/parallel trajectory; the full report still passes
-# bench-verify at zero slack, which also enforces that every serial-named
-# scenario (blocked rows included) put nothing on the wire. Per-scenario
-# numbers still swing ±10-15% from binary layout alone; the geomean over
-# min times cancels that undirected noise, and precise before/after
-# numbers live in EXPERIMENTS.md.
-echo "==> bench regression vs BENCH_pr8.json (full scenarios, geomean gate)"
-cargo run -q -p xtask --release -- bench --out target/bench_compare.json --label ci \
-    --baseline BENCH_pr8.json
+# min-time ratios. The baseline is BENCH_pr9.json — the tree with the
+# blocked storage layer, before the memory-plane audit landed. The
+# baseline file is schema v1 (no alloc columns); bench-compare reads both
+# schemas, compares on min times only, and the geomean gates the full
+# scenario set. The fresh report is schema v2 and still passes
+# bench-verify at zero slack, which now enforces both that every
+# serial-named scenario put nothing on the wire and that every gated
+# steady region performed zero heap acquisitions. Per-scenario numbers
+# still swing ±10-15% from binary layout alone; the geomean over min
+# times cancels that undirected noise, and precise before/after numbers
+# live in EXPERIMENTS.md.
+echo "==> bench regression vs BENCH_pr9.json (full scenarios, geomean gate)"
+cargo run -q -p xtask --release -- bench --profile-alloc \
+    --out target/bench_compare.json --label ci \
+    --baseline BENCH_pr9.json
 cargo run -q -p xtask --release -- bench-verify target/bench_compare.json --slack 0
 cargo run -q -p xtask --release -- bench-compare target/bench_compare.json \
-    --baseline BENCH_pr8.json --tolerance 5 --geomean
+    --baseline BENCH_pr9.json --tolerance 5 --geomean
 
 echo "ci.sh: all green"

@@ -303,6 +303,47 @@ impl BlockLuFactors {
         x
     }
 
+    /// Applies `(LU)⁻¹ r` into a caller-owned padded buffer — the
+    /// zero-allocation steady-state form of [`BlockLuFactors::solve`].
+    /// `x` must hold `n_brows · b` lanes (use [`BlockLuFactors::padded_len`]
+    /// to size it once); on return the first `n` lanes are the solution and
+    /// the padding lanes are zero.
+    pub fn solve_into(&self, r: &[f64], x: &mut [f64]) {
+        let _audit = pilut_allocaudit::region("trisolve_replay");
+        assert_eq!(r.len(), self.n);
+        assert_eq!(x.len(), self.n_brows * self.b);
+        x[..self.n].copy_from_slice(r);
+        x[self.n..].fill(0.0);
+        self.forward_solve_padded(x);
+        self.backward_solve_padded(x);
+    }
+
+    /// Applies `(LU)⁻¹` to an `n × k` panel into a caller-owned padded
+    /// buffer of `n_brows · b · k` lanes — the zero-allocation form of
+    /// [`BlockLuFactors::solve_panel`]. Column `c` of the result is
+    /// bitwise-identical to `solve_into` of column `c` alone.
+    pub fn solve_panel_into(&self, rhs: &[f64], k: usize, x: &mut [f64]) {
+        let _audit = pilut_allocaudit::region("trisolve_replay");
+        assert!(k >= 1, "panel width must be at least 1");
+        assert_eq!(rhs.len(), self.n * k);
+        assert_eq!(x.len(), self.n_brows * self.b * k);
+        x[..self.n * k].copy_from_slice(rhs);
+        x[self.n * k..].fill(0.0);
+        match self.b {
+            1 => panel_sweeps::<1>(self, k, x),
+            2 => panel_sweeps::<2>(self, k, x),
+            3 => panel_sweeps::<3>(self, k, x),
+            4 => panel_sweeps::<4>(self, k, x),
+            b => unreachable!("block size {b} exceeds MAX_BLOCK"),
+        }
+    }
+
+    /// Lanes of the padded solve buffer ([`BlockLuFactors::solve_into`]
+    /// scratch): `n_brows · b`.
+    pub fn padded_len(&self) -> usize {
+        self.n_brows * self.b
+    }
+
     /// The scalar refinement of the blocked factors: a [`LuFactors`] whose
     /// product equals the blocked `L·U` exactly.
     ///
@@ -472,7 +513,19 @@ fn backward_sweep<const B: usize>(f: &BlockLuFactors, x: &mut [f64]) {
 }
 
 fn panel_sweeps<const B: usize>(f: &BlockLuFactors, k: usize, x: &mut [f64]) {
-    let mut acc = vec![0.0f64; B * k];
+    // The accumulator stages one block-row of the panel (`B·k` lanes).
+    // Stack space for every realistic panel width keeps the sweep off the
+    // heap in the steady state; only panels wider than `PANEL_ACC_LANES / B`
+    // right-hand sides fall back to an allocation.
+    const PANEL_ACC_LANES: usize = 256;
+    let mut stack_acc = [0.0f64; PANEL_ACC_LANES];
+    let mut heap_acc: Vec<f64>;
+    let acc: &mut [f64] = if B * k <= PANEL_ACC_LANES {
+        &mut stack_acc[..B * k]
+    } else {
+        heap_acc = vec![0.0f64; B * k];
+        &mut heap_acc
+    };
     for level in &f.lower_levels {
         for &bi in level {
             let (s, e) = (f.l_ptr[bi], f.l_ptr[bi + 1]);
@@ -515,7 +568,7 @@ fn panel_sweeps<const B: usize>(f: &BlockLuFactors, k: usize, x: &mut [f64]) {
                     }
                 }
             }
-            tile::lu_solve_panel(B, k, f.diag_lu_tile(bi), &mut acc);
+            tile::lu_solve_panel(B, k, f.diag_lu_tile(bi), acc);
             x[bi * B * k..(bi + 1) * B * k].copy_from_slice(&acc);
         }
     }

@@ -30,9 +30,20 @@
 //!   own zero rows participate safely.
 
 use crate::dist::LocalView;
-use pilut_par::{Ctx, Payload};
+use pilut_par::{pool, Ctx, Payload};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+
+mod replay;
+
+/// Registered buffers warmed per send link at plan build. Deep enough that
+/// a plan's full send fan-out plus the in-flight buffers the receivers have
+/// not yet returned never miss the pool in the steady state. Under
+/// reliable delivery the sender additionally retains every frame until the
+/// link's cumulative ACK passes it, so plan build adds
+/// [`pilut_par::ACK_EVERY`] on top of this skew allowance (see
+/// [`CommPlan::build`]).
+const WARM_BUFFERS_PER_LINK: usize = 8;
 
 /// The user-tag namespace of every planned protocol in the repository.
 ///
@@ -194,6 +205,15 @@ pub struct CommPlan {
     /// advance in lockstep across ranks because every replay call is
     /// collective over the plan's participants.
     rounds: RefCell<HashMap<u64, (u64, u64)>>,
+    /// Frame staging area for the exact-framed replays: capacity reserved
+    /// at construction (one slot per possible peer), cleared and refilled
+    /// each round, so staging never allocates in the steady state.
+    frame_scratch: RefCell<Vec<Payload>>,
+    /// Pool buffers to warm per send link: the plain skew allowance, plus
+    /// the reliable-delivery retention window when the machine has it
+    /// armed. Captured at build so derived sub-plans ([`CommPlan::restrict`],
+    /// which has no `Ctx`) warm to the same depth.
+    warm_depth: usize,
 }
 
 impl CommPlan {
@@ -243,14 +263,33 @@ impl CommPlan {
             .collect();
         union_peers.sort_unstable();
         union_peers.dedup();
+        let scratch = Vec::with_capacity(union_peers.len());
+        // A reliable sender holds every frame until the cumulative ACK
+        // passes it — up to ACK_EVERY pooled buffers per link beyond the
+        // plain in-flight skew — so the warm depth must cover the window.
+        let warm_depth = WARM_BUFFERS_PER_LINK
+            + if ctx.is_reliable() {
+                pilut_par::ACK_EVERY as usize
+            } else {
+                0
+            };
+        // Seed the round counters for the plan's own tag now: the first
+        // replay's map insert is otherwise charged to its steady region.
+        // Multiplexed bases (explicit `*_tagged` tags) still insert lazily.
         let plan = CommPlan {
             tag,
             stats_tag: tag,
             send,
             recv,
             union_peers,
-            rounds: RefCell::new(HashMap::new()),
+            rounds: RefCell::new(HashMap::from([(tag, (0, 0))])),
+            frame_scratch: RefCell::new(scratch),
+            warm_depth,
         };
+        // Registered-buffer warm-up: provision the pool classes every
+        // values-only replay round will draw from, so the steady state
+        // never allocates a send buffer (receivers recycle them back).
+        plan.warm_buffers();
         // In checked mode every freshly-built plan is proved consistent
         // *before* any replay can ship a byte under it — peer symmetry,
         // packing sizes, tag discipline, round counters (see `verify`).
@@ -452,28 +491,20 @@ impl CommPlan {
     /// `(sender, tag)` and a reordered network could swap them.
     pub fn rebase(mut self, wire_base: u64) -> CommPlan {
         self.tag = wire_base;
+        // The new wire base gets its round counters seeded here, at
+        // setup time, like `build` does for the original tag.
+        self.rounds.get_mut().entry(wire_base).or_insert((0, 0));
         self
     }
 
-    /// The round's wire tag for the send half under `base`, advancing the
-    /// send counter. Computed once per round — every peer of one round must
-    /// ship under the same tag.
-    fn send_round_tag(&self, base: u64) -> u64 {
-        let mut rounds = self.rounds.borrow_mut();
-        let entry = rounds.entry(base).or_insert((0, 0));
-        let tag = base + entry.0;
-        entry.0 += 1;
-        tag
-    }
-
-    /// The round's wire tag for the receive half under `base`, advancing
-    /// the receive counter.
-    fn recv_round_tag(&self, base: u64) -> u64 {
-        let mut rounds = self.rounds.borrow_mut();
-        let entry = rounds.entry(base).or_insert((0, 0));
-        let tag = base + entry.1;
-        entry.1 += 1;
-        tag
+    /// Pre-provisions the registered-buffer pool for this plan's
+    /// values-only rounds: one class entry per send list, sized to the
+    /// list. Build-time setup by definition — this is the allocation the
+    /// zero-alloc replay gate pushes out of the steady state.
+    fn warm_buffers(&self) {
+        for (_, nodes) in &self.send {
+            pool::warm_f64(nodes.len(), self.warm_depth);
+        }
     }
 
     /// The user tag this plan's replays run under.
@@ -511,253 +542,6 @@ impl CommPlan {
             .find_map(|(peer, nodes)| nodes.binary_search(&node).ok().map(|_| *peer))
     }
 
-    /// One directed replay round under the plan's own tag: see
-    /// [`CommPlan::replay_tagged`]. On a [`CommPlan::rebase`]d plan the
-    /// wire tags come from the private base while the traffic counters
-    /// stay attributed to the original protocol tag.
-    pub fn replay(
-        &self,
-        ctx: &mut Ctx,
-        make: impl FnMut(usize, &[usize]) -> Payload,
-        take: impl FnMut(usize, &[usize], Payload),
-    ) {
-        self.replay_dir(ctx, self.tag, self.stats_tag, make, take);
-    }
-
-    /// One directed replay round under an explicit tag (for protocols that
-    /// multiplex several message kinds over one plan, like the MIS steps):
-    /// sends `make(peer, nodes)` to every send-side peer, then hands each
-    /// receive-side peer's payload to `take(peer, nodes, payload)`, both in
-    /// ascending peer order. Exactly one message per peer per round. The
-    /// explicit tag names both the wire namespace and the counter key.
-    pub fn replay_tagged(
-        &self,
-        ctx: &mut Ctx,
-        tag: u64,
-        make: impl FnMut(usize, &[usize]) -> Payload,
-        take: impl FnMut(usize, &[usize], Payload),
-    ) {
-        self.replay_dir(ctx, tag, tag, make, take);
-    }
-
-    /// The shared directed round: wire tags under `wire_base`, counters
-    /// under `stats_tag`. Every public replay entry funnels through here so
-    /// the wire-vs-stats split cannot drift between them.
-    fn replay_dir(
-        &self,
-        ctx: &mut Ctx,
-        wire_base: u64,
-        stats_tag: u64,
-        mut make: impl FnMut(usize, &[usize]) -> Payload,
-        mut take: impl FnMut(usize, &[usize], Payload),
-    ) {
-        // Producer-defined payloads: predict the message count, not bytes.
-        ctx.note_planned(stats_tag, self.predicted_cost().directed_messages, 0, false);
-        let send_tag = self.send_round_tag(wire_base);
-        for (peer, nodes) in &self.send {
-            let payload = make(*peer, nodes);
-            ctx.send_as(*peer, send_tag, stats_tag, payload);
-        }
-        let recv_tag = self.recv_round_tag(wire_base);
-        for (peer, nodes) in &self.recv {
-            let payload = ctx.recv(*peer, recv_tag);
-            take(*peer, nodes, payload);
-        }
-    }
-
-    /// One directed replay round with an **exact** byte prediction: every
-    /// send-side frame is built *before* any byte ships, the frame sizes
-    /// are summed, and the ledger records `(messages, bytes)` with the
-    /// exact flag set — `bench-verify --slack 0` then gates the tag
-    /// byte-for-byte. This is the replay the delta-MIS rounds run on;
-    /// producer-defined rounds whose sizes the caller cannot commit to up
-    /// front keep using [`CommPlan::replay_tagged`].
-    pub fn replay_exact_tagged(
-        &self,
-        ctx: &mut Ctx,
-        tag: u64,
-        mut make: impl FnMut(usize, &[usize]) -> Payload,
-        mut take: impl FnMut(usize, &[usize], Payload),
-    ) {
-        let frames: Vec<Payload> = self
-            .send
-            .iter()
-            .map(|(peer, nodes)| make(*peer, nodes))
-            .collect();
-        let bytes: u64 = frames.iter().map(|f| f.bytes() as u64).sum();
-        let (messages, bytes) = self.predicted_cost().exact_round(false, bytes);
-        ctx.note_planned(tag, messages, bytes, true);
-        let send_tag = self.send_round_tag(tag);
-        for ((peer, _), frame) in self.send.iter().zip(frames) {
-            ctx.send_as(*peer, send_tag, tag, frame);
-        }
-        let recv_tag = self.recv_round_tag(tag);
-        for (peer, nodes) in &self.recv {
-            let payload = ctx.recv(*peer, recv_tag);
-            take(*peer, nodes, payload);
-        }
-    }
-
-    /// The symmetric counterpart of [`CommPlan::replay_exact_tagged`]: one
-    /// exactly-predicted message to every union peer, frames built and
-    /// summed before any byte ships.
-    pub fn replay_symmetric_exact_tagged(
-        &self,
-        ctx: &mut Ctx,
-        tag: u64,
-        mut make: impl FnMut(usize) -> Payload,
-        mut take: impl FnMut(usize, Payload),
-    ) {
-        let frames: Vec<Payload> = self.union_peers.iter().map(|&peer| make(peer)).collect();
-        let bytes: u64 = frames.iter().map(|f| f.bytes() as u64).sum();
-        let (messages, bytes) = self.predicted_cost().exact_round(true, bytes);
-        ctx.note_planned(tag, messages, bytes, true);
-        let send_tag = self.send_round_tag(tag);
-        for (&peer, frame) in self.union_peers.iter().zip(frames) {
-            ctx.send_as(peer, send_tag, tag, frame);
-        }
-        let recv_tag = self.recv_round_tag(tag);
-        for &peer in &self.union_peers {
-            let payload = ctx.recv(peer, recv_tag);
-            take(peer, payload);
-        }
-    }
-
-    /// [`CommPlan::replay_exact_tagged`] over a round-dependent **live
-    /// subset** of the plan's links: peers absent from `live_send` get no
-    /// frame this round, peers absent from `live_recv` are not received
-    /// from, and the ledger records the surviving traffic exactly. The two
-    /// sets must be mirror-consistent across ranks (`q ∈ live_send` on rank
-    /// `r` iff `r ∈ live_recv` on rank `q`); callers derive them from state
-    /// both endpoints provably share — the delta-MIS rounds use the
-    /// shipped-state view, which owner and referencer update in lockstep —
-    /// otherwise the replay deadlocks, which checked runs diagnose. Round
-    /// tags advance exactly as in the dense replay, whether or not any link
-    /// is live, so sparse and dense rounds stay aligned across ranks.
-    pub fn replay_exact_sparse_tagged(
-        &self,
-        ctx: &mut Ctx,
-        tag: u64,
-        live_send: &HashSet<usize>,
-        live_recv: &HashSet<usize>,
-        mut make: impl FnMut(usize, &[usize]) -> Payload,
-        mut take: impl FnMut(usize, &[usize], Payload),
-    ) {
-        let sends: Vec<&(usize, Vec<usize>)> = self
-            .send
-            .iter()
-            .filter(|(peer, _)| live_send.contains(peer))
-            .collect();
-        let frames: Vec<Payload> = sends
-            .iter()
-            .map(|(peer, nodes)| make(*peer, nodes))
-            .collect();
-        let bytes: u64 = frames.iter().map(|f| f.bytes() as u64).sum();
-        ctx.note_planned(tag, sends.len() as u64, bytes, true);
-        let send_tag = self.send_round_tag(tag);
-        for ((peer, _), frame) in sends.into_iter().zip(frames) {
-            ctx.send_as(*peer, send_tag, tag, frame);
-        }
-        let recv_tag = self.recv_round_tag(tag);
-        for (peer, nodes) in &self.recv {
-            if !live_recv.contains(peer) {
-                continue;
-            }
-            let payload = ctx.recv(*peer, recv_tag);
-            take(*peer, nodes, payload);
-        }
-    }
-
-    /// The symmetric counterpart of
-    /// [`CommPlan::replay_exact_sparse_tagged`]: one exactly-predicted
-    /// message to every union peer in `live`, which must be agreed by both
-    /// endpoints of each pair (`q ∈ live` on rank `r` iff `r ∈ live` on
-    /// rank `q`).
-    pub fn replay_symmetric_exact_sparse_tagged(
-        &self,
-        ctx: &mut Ctx,
-        tag: u64,
-        live: &HashSet<usize>,
-        mut make: impl FnMut(usize) -> Payload,
-        mut take: impl FnMut(usize, Payload),
-    ) {
-        let peers: Vec<usize> = self
-            .union_peers
-            .iter()
-            .copied()
-            .filter(|peer| live.contains(peer))
-            .collect();
-        let frames: Vec<Payload> = peers.iter().map(|&peer| make(peer)).collect();
-        let bytes: u64 = frames.iter().map(|f| f.bytes() as u64).sum();
-        ctx.note_planned(tag, peers.len() as u64, bytes, true);
-        let send_tag = self.send_round_tag(tag);
-        for (&peer, frame) in peers.iter().zip(frames) {
-            ctx.send_as(peer, send_tag, tag, frame);
-        }
-        let recv_tag = self.recv_round_tag(tag);
-        for &peer in &peers {
-            let payload = ctx.recv(peer, recv_tag);
-            take(peer, payload);
-        }
-    }
-
-    /// One symmetric replay round: every rank pair in the *union* of the two
-    /// plan directions exchanges exactly one message (used by MIS step 3,
-    /// where confirmations flow owner→referencer but kills flow the other
-    /// way).
-    pub fn replay_symmetric_tagged(
-        &self,
-        ctx: &mut Ctx,
-        tag: u64,
-        mut make: impl FnMut(usize) -> Payload,
-        mut take: impl FnMut(usize, Payload),
-    ) {
-        ctx.note_planned(tag, self.predicted_cost().symmetric_messages, 0, false);
-        let send_tag = self.send_round_tag(tag);
-        for &peer in &self.union_peers {
-            let payload = make(peer);
-            ctx.send_as(peer, send_tag, tag, payload);
-        }
-        let recv_tag = self.recv_round_tag(tag);
-        for &peer in &self.union_peers {
-            let payload = ctx.recv(peer, recv_tag);
-            take(peer, payload);
-        }
-    }
-
-    /// Values-only halo replay: ships the owned values named by the send
-    /// schedule (one `f64` batch per peer, no node ids on the wire) and
-    /// scatters the received batches into `v`'s halo.
-    pub fn replay_halo(&self, ctx: &mut Ctx, local: &LocalView, v: &mut DistVector) {
-        // Values-only wire format: the byte prediction is exact.
-        let cost = self.predicted_cost();
-        ctx.note_planned(
-            self.stats_tag,
-            cost.directed_messages,
-            cost.value_bytes,
-            true,
-        );
-        let send_tag = self.send_round_tag(self.tag);
-        for (peer, nodes) in &self.send {
-            let vals: Vec<f64> = nodes
-                .iter()
-                // lint: allow(unwrap): the plan was built from this view's own nodes
-                .map(|&g| v.owned[local.pos_of(g).expect("plan refers to non-local node")])
-                .collect();
-            ctx.copy_words(vals.len() as f64);
-            ctx.send_as(*peer, send_tag, self.stats_tag, Payload::f64s(vals));
-        }
-        let recv_tag = self.recv_round_tag(self.tag);
-        for (peer, nodes) in &self.recv {
-            let vals = ctx.recv(*peer, recv_tag).into_f64();
-            assert_eq!(vals.len(), nodes.len(), "plan mismatch from rank {peer}");
-            for (&g, val) in nodes.iter().zip(vals) {
-                v.halo[g] = val;
-            }
-            ctx.copy_words(nodes.len() as f64);
-        }
-    }
-
     /// A sub-plan keeping only the scheduled nodes that pass the filters
     /// (`keep_send` over my nodes, `keep_recv` over remote nodes). Peers
     /// left with empty lists drop out entirely. Both sides of a pair must
@@ -791,49 +575,21 @@ impl CommPlan {
             .collect();
         union_peers.sort_unstable();
         union_peers.dedup();
-        CommPlan {
+        let scratch = Vec::with_capacity(union_peers.len());
+        let sub = CommPlan {
             tag: self.tag,
             stats_tag: self.stats_tag,
             send,
             recv,
             union_peers,
-            rounds: RefCell::new(HashMap::new()),
-        }
-    }
-
-    /// The send half of a values-only round: one `f64` batch per send-side
-    /// peer, values in the agreed node order. Pairs with a matching
-    /// [`CommPlan::recv_values`] on the other side — the triangular sweeps
-    /// use the halves at different loop iterations, which is why they are
-    /// split.
-    pub fn send_values(&self, ctx: &mut Ctx, value_of: impl Fn(usize) -> f64) {
-        let cost = self.predicted_cost();
-        ctx.note_planned(
-            self.stats_tag,
-            cost.directed_messages,
-            cost.value_bytes,
-            true,
-        );
-        let send_tag = self.send_round_tag(self.tag);
-        for (peer, nodes) in &self.send {
-            let vals: Vec<f64> = nodes.iter().map(|&g| value_of(g)).collect();
-            ctx.copy_words(vals.len() as f64);
-            ctx.send_as(*peer, send_tag, self.stats_tag, Payload::f64s(vals));
-        }
-    }
-
-    /// The receive half of a values-only round: drains one `f64` batch per
-    /// recv-side peer and hands each `(node, value)` to `take`.
-    pub fn recv_values(&self, ctx: &mut Ctx, mut take: impl FnMut(usize, f64)) {
-        let recv_tag = self.recv_round_tag(self.tag);
-        for (peer, nodes) in &self.recv {
-            let vals = ctx.recv(*peer, recv_tag).into_f64();
-            assert_eq!(vals.len(), nodes.len(), "plan mismatch from rank {peer}");
-            for (&g, val) in nodes.iter().zip(vals) {
-                take(g, val);
-            }
-            ctx.copy_words(nodes.len() as f64);
-        }
+            rounds: RefCell::new(HashMap::from([(self.tag, (0, 0))])),
+            frame_scratch: RefCell::new(scratch),
+            warm_depth: self.warm_depth,
+        };
+        // Per-level sub-plans replay values rounds too; warm their classes
+        // so the first sweep is already steady.
+        sub.warm_buffers();
+        sub
     }
 
     /// One label round: every owner answers `label_of(node)` for each node
@@ -986,6 +742,8 @@ mod tests {
             recv,
             union_peers,
             rounds: RefCell::new(HashMap::new()),
+            frame_scratch: RefCell::new(Vec::new()),
+            warm_depth: WARM_BUFFERS_PER_LINK,
         }
     }
 

@@ -7,7 +7,7 @@
 //! canonical implementation: a distributed CSR matrix applied through the
 //! plan-once/replay-many halo exchange of [`crate::dist::spmv`].
 
-use crate::dist::spmv::{dist_spmv, SpmvPlan};
+use crate::dist::spmv::{dist_spmv, dist_spmv_into, SpmvPlan};
 use crate::dist::{DistMatrix, LocalView};
 use pilut_par::Ctx;
 use pilut_sparse::{BcsrMatrix, CsrMatrix};
@@ -19,6 +19,13 @@ pub trait LinOp {
     fn n_rows(&self) -> usize;
     /// Computes `y = A x`.
     fn apply(&self, x: &[f64]) -> Vec<f64>;
+    /// Computes `y = A x` into a caller-owned buffer — the zero-allocation
+    /// steady-state form. The default delegates to [`LinOp::apply`] (and so
+    /// still allocates); concrete operators override it with a true
+    /// in-place product.
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.apply(x));
+    }
 }
 
 impl LinOp for CsrMatrix {
@@ -28,6 +35,10 @@ impl LinOp for CsrMatrix {
 
     fn apply(&self, x: &[f64]) -> Vec<f64> {
         self.spmv_owned(x)
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
     }
 }
 
@@ -39,6 +50,10 @@ impl LinOp for BcsrMatrix {
     fn apply(&self, x: &[f64]) -> Vec<f64> {
         self.spmv_owned(x)
     }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
 }
 
 /// A distributed linear operator: one application is a collective in which
@@ -49,6 +64,13 @@ pub trait DistOperator {
     fn local_len(&self) -> usize;
     /// Collectively computes the local block of `y = A x`.
     fn apply(&mut self, ctx: &mut Ctx, x: &[f64]) -> Vec<f64>;
+    /// Collectively computes the local block of `y = A x` into a
+    /// caller-owned buffer — the zero-allocation steady-state form. The
+    /// default delegates to [`DistOperator::apply`]; concrete operators
+    /// override it with a true in-place product.
+    fn apply_into(&mut self, ctx: &mut Ctx, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.apply(ctx, x));
+    }
     /// Boundary values this rank ships per application (observability).
     fn sent_values(&self) -> usize;
 }
@@ -80,6 +102,10 @@ impl DistOperator for DistCsr<'_> {
 
     fn apply(&mut self, ctx: &mut Ctx, x: &[f64]) -> Vec<f64> {
         dist_spmv(ctx, self.dm, self.local, &mut self.plan, x)
+    }
+
+    fn apply_into(&mut self, ctx: &mut Ctx, x: &[f64], y: &mut [f64]) {
+        dist_spmv_into(ctx, self.dm, self.local, &mut self.plan, x, y);
     }
 
     fn sent_values(&self) -> usize {

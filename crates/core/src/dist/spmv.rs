@@ -53,13 +53,30 @@ pub fn dist_spmv(
     plan: &mut SpmvPlan,
     x: &[f64],
 ) -> Vec<f64> {
+    let mut y = vec![0.0; local.len()];
+    dist_spmv_into(ctx, dm, local, plan, x, &mut y);
+    y
+}
+
+/// Computes the local block of `y = A x` into a caller-owned buffer — the
+/// zero-allocation steady-state form of [`dist_spmv`]. The halo exchange
+/// replays through the registered-buffer pool (audited under the
+/// `replay_halo` region); the local product touches no heap at all.
+pub fn dist_spmv_into(
+    ctx: &mut Ctx,
+    dm: &DistMatrix,
+    local: &LocalView,
+    plan: &mut SpmvPlan,
+    x: &[f64],
+    y: &mut [f64],
+) {
     assert_eq!(x.len(), local.len());
+    assert_eq!(y.len(), local.len());
     // Halo exchange of boundary values.
     plan.v.owned.clear();
     plan.v.owned.extend_from_slice(x);
     plan.plan.replay_halo(ctx, local, &mut plan.v);
     // Local product.
-    let mut y = vec![0.0; local.len()];
     let mut flops = 0usize;
     for (out, &i) in y.iter_mut().zip(&local.nodes) {
         let (cols, vals) = dm.matrix().row(i);
@@ -71,7 +88,6 @@ pub fn dist_spmv(
         *out = acc;
     }
     ctx.work(flops as f64);
-    y
 }
 
 #[cfg(test)]

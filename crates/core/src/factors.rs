@@ -160,6 +160,17 @@ impl LuFactors {
         x
     }
 
+    /// Applies `(LU)⁻¹ r` into a caller-owned buffer — the zero-allocation
+    /// steady-state form of [`LuFactors::solve`]. `x` is overwritten (any
+    /// length-matching scratch works); nothing is allocated.
+    pub fn solve_into(&self, r: &[f64], x: &mut [f64]) {
+        let _audit = pilut_allocaudit::region("trisolve_replay");
+        assert_eq!(r.len(), x.len());
+        x.copy_from_slice(r);
+        self.forward_solve(x);
+        self.backward_solve(x);
+    }
+
     /// Multiplies `L·U` back into a dense matrix — test helper, O(n²).
     pub fn multiply_dense(&self) -> Vec<Vec<f64>> {
         let n = self.n;

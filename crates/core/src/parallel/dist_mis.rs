@@ -202,6 +202,11 @@ pub fn dist_mis(
         plan.recv_lists().iter().map(|(q, ns)| (*q, ns)).collect();
 
     let mut err: Option<FactorError> = None;
+    // Audit scope for the post-plan rounds: everything after this point is
+    // replay along the fixed plan, so the allocation profile here is what
+    // the bench's `mis_rounds` column reports. (Delta frames are
+    // content-dependent, so this region is *measured*, not gated to zero.)
+    let _audit = pilut_allocaudit::region("mis_rounds");
     for round in 0..max_rounds as u64 {
         // Fixed round count (the paper runs exactly five): all ranks agree
         // on the schedule without a global convergence check. Skip the local

@@ -10,6 +10,14 @@ use pilut_sparse::CsrMatrix;
 pub trait Preconditioner {
     fn apply(&self, r: &[f64]) -> Vec<f64>;
 
+    /// Applies `M⁻¹ r` into a caller-owned buffer — the zero-allocation
+    /// steady-state form. The default delegates to
+    /// [`Preconditioner::apply`] (and so still allocates); the in-repo
+    /// implementations override it with true in-place solves.
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(&self.apply(r));
+    }
+
     /// Display name for experiment tables.
     fn name(&self) -> String {
         "preconditioner".to_string()
@@ -22,6 +30,10 @@ pub struct IdentityPreconditioner;
 impl Preconditioner for IdentityPreconditioner {
     fn apply(&self, r: &[f64]) -> Vec<f64> {
         r.to_vec()
+    }
+
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
     }
 
     fn name(&self) -> String {
@@ -67,6 +79,12 @@ impl Preconditioner for DiagonalPreconditioner {
         r.iter().zip(&self.inv_diag).map(|(x, d)| x * d).collect()
     }
 
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        for ((zi, x), d) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = x * d;
+        }
+    }
+
     fn name(&self) -> String {
         "Diagonal".to_string()
     }
@@ -106,6 +124,10 @@ impl Preconditioner for IluPreconditioner {
         self.factors.solve(r)
     }
 
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        self.factors.solve_into(r, z);
+    }
+
     fn name(&self) -> String {
         self.label.clone()
     }
@@ -118,6 +140,12 @@ impl Preconditioner for IluPreconditioner {
 pub struct BlockIluPreconditioner {
     factors: BlockLuFactors,
     label: String,
+    /// Padded solve buffer for [`Preconditioner::apply_into`]: the blocked
+    /// sweeps work over `n_brows · b` lanes, so the in-place apply stages
+    /// through this scratch (reserved once at construction) and copies the
+    /// first `n` lanes out. Interior-mutable because `apply_into` takes
+    /// `&self` — preconditioners are shared immutably by the solvers.
+    padded: std::cell::RefCell<Vec<f64>>,
 }
 
 impl BlockIluPreconditioner {
@@ -125,14 +153,16 @@ impl BlockIluPreconditioner {
     /// (e.g. `BILU(4)`).
     pub fn new(factors: BlockLuFactors) -> Self {
         let label = format!("BILU({})", factors.block_size());
-        BlockIluPreconditioner { factors, label }
+        Self::with_label(factors, label)
     }
 
     /// Wraps blocked factors with a custom label for reporting.
     pub fn with_label(factors: BlockLuFactors, label: impl Into<String>) -> Self {
+        let padded = std::cell::RefCell::new(vec![0.0; factors.padded_len()]);
         BlockIluPreconditioner {
             factors,
             label: label.into(),
+            padded,
         }
     }
 
@@ -145,6 +175,12 @@ impl BlockIluPreconditioner {
 impl Preconditioner for BlockIluPreconditioner {
     fn apply(&self, r: &[f64]) -> Vec<f64> {
         self.factors.solve(r)
+    }
+
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        let mut padded = self.padded.borrow_mut();
+        self.factors.solve_into(r, &mut padded);
+        z.copy_from_slice(&padded[..z.len()]);
     }
 
     fn name(&self) -> String {

@@ -115,6 +115,44 @@ impl TrisolvePlan {
             .map(|p| p.sent_values())
             .sum()
     }
+
+    /// The most remote values either direction's sweep can hold at once —
+    /// the capacity [`SolveScratch`] reserves for its remote-value map.
+    fn max_remote_values(&self) -> usize {
+        let total = |plans: &[CommPlan]| {
+            plans
+                .iter()
+                .map(|p| p.recv_lists().iter().map(|(_, ns)| ns.len()).sum::<usize>())
+                .sum::<usize>()
+        };
+        total(&self.fwd_at).max(total(&self.bwd_at))
+    }
+}
+
+/// Caller-owned workspace for repeated [`dist_solve_into`] calls: the two
+/// sweep buffers plus the remote-value map, all sized once from the plan so
+/// the steady-state solve allocates nothing. Build one per `(local, plan)`
+/// pair and reuse it across every solve of a Krylov iteration.
+pub struct SolveScratch {
+    /// Forward-sweep solution (the backward sweep's right-hand side).
+    y: Vec<f64>,
+    /// Backward-sweep solution.
+    x: Vec<f64>,
+    /// Remote values delivered by the level batches, keyed by global node.
+    /// Capacity covers every node either direction can deliver, so
+    /// steady-state inserts never rehash.
+    remote_x: HashMap<usize, f64>,
+}
+
+impl SolveScratch {
+    /// Reserves the workspace for solves over `local` with `plan`.
+    pub fn build(local: &LocalView, plan: &TrisolvePlan) -> Self {
+        SolveScratch {
+            y: Vec::with_capacity(local.len()),
+            x: Vec::with_capacity(local.len()),
+            remote_x: HashMap::with_capacity(plan.max_remote_values()),
+        }
+    }
 }
 
 /// Solves `L U x = b` for this rank's unknowns. `b` is in local-view order
@@ -130,6 +168,43 @@ pub fn dist_solve(
 ) -> Vec<f64> {
     let y = dist_forward(ctx, local, rf, plan, b);
     dist_backward(ctx, local, rf, plan, &y)
+}
+
+/// Solves `L U x = b` into a caller-owned buffer using a reusable
+/// [`SolveScratch`] — the zero-allocation steady-state form of
+/// [`dist_solve`]. The whole replay runs under the `trisolve_replay` audit
+/// region, and with a warmed scratch it performs no heap acquisitions.
+///
+/// Collective: all ranks must call with their own local data.
+pub fn dist_solve_into(
+    ctx: &mut Ctx,
+    local: &LocalView,
+    rf: &RankFactors,
+    plan: &TrisolvePlan,
+    b: &[f64],
+    scratch: &mut SolveScratch,
+    out: &mut [f64],
+) {
+    let _audit = pilut_allocaudit::region("trisolve_replay");
+    forward_sweep_into(
+        ctx,
+        local,
+        rf,
+        plan,
+        b,
+        &mut scratch.y,
+        &mut scratch.remote_x,
+    );
+    backward_sweep_into(
+        ctx,
+        local,
+        rf,
+        plan,
+        &scratch.y,
+        &mut scratch.x,
+        &mut scratch.remote_x,
+    );
+    out.copy_from_slice(&scratch.x);
 }
 
 /// The value of column `j`: local solution entry when owned, otherwise a
@@ -150,9 +225,28 @@ pub fn dist_forward(
     plan: &TrisolvePlan,
     b: &[f64],
 ) -> Vec<f64> {
+    let mut x = Vec::new();
+    let mut remote_x = HashMap::new();
+    forward_sweep_into(ctx, local, rf, plan, b, &mut x, &mut remote_x);
+    x
+}
+
+/// The forward sweep body over caller-owned buffers: `x` is cleared and
+/// refilled (no allocation when its capacity covers `local.len()`),
+/// `remote_x` likewise.
+fn forward_sweep_into(
+    ctx: &mut Ctx,
+    local: &LocalView,
+    rf: &RankFactors,
+    plan: &TrisolvePlan,
+    b: &[f64],
+    x: &mut Vec<f64>,
+    remote_x: &mut HashMap<usize, f64>,
+) {
     assert_eq!(b.len(), local.len());
-    let mut x = b.to_vec();
-    let mut remote_x: HashMap<usize, f64> = HashMap::new();
+    x.clear();
+    x.extend_from_slice(b);
+    remote_x.clear();
     let mut flops = 0.0;
     // Interior phase: L columns of interior rows are earlier interiors of
     // this rank — all local, all already computed in ascending order.
@@ -193,7 +287,6 @@ pub fn dist_forward(
         });
     }
     ctx.work(flops);
-    x
 }
 
 /// Backward sweep `U x = y`.
@@ -204,9 +297,27 @@ pub fn dist_backward(
     plan: &TrisolvePlan,
     y: &[f64],
 ) -> Vec<f64> {
+    let mut x = Vec::new();
+    let mut remote_x = HashMap::new();
+    backward_sweep_into(ctx, local, rf, plan, y, &mut x, &mut remote_x);
+    x
+}
+
+/// The backward sweep body over caller-owned buffers (see
+/// [`forward_sweep_into`]).
+fn backward_sweep_into(
+    ctx: &mut Ctx,
+    local: &LocalView,
+    rf: &RankFactors,
+    plan: &TrisolvePlan,
+    y: &[f64],
+    x: &mut Vec<f64>,
+    remote_x: &mut HashMap<usize, f64>,
+) {
     assert_eq!(y.len(), local.len());
-    let mut x = y.to_vec();
-    let mut remote_x: HashMap<usize, f64> = HashMap::new();
+    x.clear();
+    x.extend_from_slice(y);
+    remote_x.clear();
     let mut flops = 0.0;
     // Interface levels in reverse order: drain the batches of the level
     // computed just before (the next-higher index), compute, ship.
@@ -248,5 +359,4 @@ pub fn dist_backward(
         x[p] = s / row.diag;
     }
     ctx.work(flops);
-    x
 }

@@ -271,7 +271,12 @@ impl CheckState {
         self.lock().nack_done[rank] = true;
     }
 
+    /// Appends to the per-rank collective order log. The log is commcheck's
+    /// evidence table — pure verification-layer state with no production
+    /// counterpart (DESIGN §16) — so its growth is harness-owned and never
+    /// charged to an audited steady region.
     pub(crate) fn log_collective(&self, rank: usize, kind: CollKind) {
+        let _h = pilut_allocaudit::harness();
         self.lock().coll_logs[rank].push(kind);
     }
 

@@ -66,6 +66,34 @@ impl Ctx {
         u64::from(slot != 0) + Self::bcast_children(slot, alive.len()).len() as u64
     }
 
+    /// Rebuilds the slot cache if the recovery epoch moved since the last
+    /// collective, then returns `(my slot, alive count)`. The rebuild is
+    /// the only allocation and runs under the audit harness: the slot map
+    /// is a topology table (DESIGN §16), valid for a whole epoch, and
+    /// steady-state collectives merely index it.
+    fn slots_cached(&mut self) -> (usize, usize) {
+        if self.slot_cache_epoch != self.epoch() {
+            let _h = pilut_allocaudit::harness();
+            self.slot_cache = (0..self.nprocs()).filter(|&r| self.alive[r]).collect();
+            self.slot_cache_epoch = self.epoch();
+        }
+        let slot = self
+            .slot_cache
+            .iter()
+            .position(|&r| r == self.rank())
+            // lint: allow(unwrap): a rank that reached a collective is alive
+            .expect("a lost rank cannot run a collective");
+        (slot, self.slot_cache.len())
+    }
+
+    /// Planned sends for one reduce + broadcast pair, computed from the
+    /// cached slot map — the allocation-free twin of
+    /// [`Ctx::tree_collective_sends`].
+    fn tree_collective_sends_cached(&mut self) -> u64 {
+        let (slot, p) = self.slots_cached();
+        u64::from(slot != 0) + Self::bcast_children_iter(slot, p).count() as u64
+    }
+
     /// Closes the collective opened by [`Ctx::begin_collective`].
     fn end_collective(&mut self) {
         self.current_coll = None;
@@ -111,25 +139,83 @@ impl Ctx {
 
     /// Children of slot `s` in the binomial broadcast tree over `p` slots,
     /// farthest first so the far half of the tree starts as early as
-    /// possible. The single source of truth for both [`Ctx::tree_bcast`]'s
-    /// send loop and the planned `coll` message counts — they cannot drift.
-    fn bcast_children(s: usize, p: usize) -> Vec<usize> {
+    /// possible. Purely arithmetic (no allocation) so the scalar
+    /// collectives can walk it on the steady path; the single source of
+    /// truth for the send loops, the planned `coll` message counts, and
+    /// the collected [`Ctx::bcast_children`] — they cannot drift.
+    fn bcast_children_iter(s: usize, p: usize) -> impl Iterator<Item = usize> {
         // Children: s + 2^j for j below the parent-bit.
         let t = if s == 0 {
             usize::BITS as usize
         } else {
             Self::lowbit(s).trailing_zeros() as usize
         };
-        let mut children = Vec::new();
-        let mut j = t;
-        while j > 0 {
-            j -= 1;
-            let child = s + (1usize << j);
-            if child < p && (s != 0 || (1usize << j) < p) {
-                children.push(child);
+        (0..t)
+            .rev()
+            .map(move |j| (1usize << j, s + (1usize << j)))
+            .filter(move |&(step, child)| child < p && (s != 0 || step < p))
+            .map(|(_, child)| child)
+    }
+
+    /// [`Ctx::bcast_children_iter`], collected — for the vector
+    /// collectives, whose per-call allocations are setup-path by contract.
+    fn bcast_children(s: usize, p: usize) -> Vec<usize> {
+        Self::bcast_children_iter(s, p).collect()
+    }
+
+    /// Reduce-to-root for a single scalar, allocation-free: sends travel
+    /// in pooled one-element buffers ([`crate::pool::take_f64`]) and
+    /// receives borrow the payload ([`Payload::as_f64`]) then
+    /// [`Payload::recycle`] it. Combine order is identical to the vector
+    /// reduce, so results stay bitwise-equal to the old `vec![x]` path.
+    fn tree_reduce_scalar<C>(&mut self, tag: u64, mut acc: f64, combine: C) -> Option<f64>
+    where
+        C: Fn(f64, f64) -> f64,
+    {
+        let (s, p) = self.slots_cached();
+        let mut bit = 1usize;
+        while bit < p {
+            if s & bit != 0 {
+                let parent = self.slot_cache[s - bit];
+                let mut buf = crate::pool::take_f64(1);
+                buf.push(acc);
+                self.send_internal(parent, tag, tag, Payload::f64s(buf));
+                return None;
             }
+            if s + bit < p {
+                let peer = self.slot_cache[s + bit];
+                let payload = self.recv_internal(peer, tag);
+                acc = combine(acc, payload.as_f64()[0]);
+                payload.recycle();
+            }
+            bit <<= 1;
         }
-        children
+        Some(acc)
+    }
+
+    /// Broadcast of a single scalar from slot 0, allocation-free (see
+    /// [`Ctx::tree_reduce_scalar`]). Each child gets its own pooled
+    /// buffer — no `Arc` fan-out sharing — which is also how a real
+    /// message-passing runtime ships a scalar to each subtree.
+    fn tree_bcast_scalar(&mut self, tag: u64, val: Option<f64>) -> f64 {
+        let (s, p) = self.slots_cached();
+        let val = if s == 0 {
+            // lint: allow(unwrap): only called with Some at the root
+            val.expect("root must provide the broadcast value")
+        } else {
+            let parent = self.slot_cache[s - Self::lowbit(s)];
+            let payload = self.recv_internal(parent, tag);
+            let v = payload.as_f64()[0];
+            payload.recycle();
+            v
+        };
+        for child in Self::bcast_children_iter(s, p) {
+            let peer = self.slot_cache[child];
+            let mut buf = crate::pool::take_f64(1);
+            buf.push(val);
+            self.send_internal(peer, tag, tag, Payload::f64s(buf));
+        }
+        val
     }
 
     /// Broadcast from slot 0 (the lowest alive rank) along the binomial tree.
@@ -210,14 +296,33 @@ impl Ctx {
         out
     }
 
+    /// Scalar all-reduce: the hot collective (GMRES calls it every inner
+    /// iteration, twice per orthogonalisation column), so unlike the
+    /// vector forms it runs the pooled zero-allocation tree path. Wire
+    /// behaviour — message counts, combine order, `CollKind` — is
+    /// identical to `all_reduce_f64(vec![x], op)[0]`.
+    fn all_reduce_scalar(&mut self, x: f64, op: ReduceOp) -> f64 {
+        let planned = self.tree_collective_sends_cached();
+        let tag = self.begin_collective(CollKind::AllReduceF64, planned);
+        let combine = move |a: f64, b: f64| match op {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        };
+        let root = self.tree_reduce_scalar(tag, x, combine);
+        let out = self.tree_bcast_scalar(tag, root);
+        self.end_collective();
+        out
+    }
+
     /// Scalar conveniences.
     pub fn all_reduce_sum(&mut self, x: f64) -> f64 {
-        self.all_reduce_f64(vec![x], ReduceOp::Sum)[0]
+        self.all_reduce_scalar(x, ReduceOp::Sum)
     }
 
     /// Scalar max all-reduce.
     pub fn all_reduce_max(&mut self, x: f64) -> f64 {
-        self.all_reduce_f64(vec![x], ReduceOp::Max)[0]
+        self.all_reduce_scalar(x, ReduceOp::Max)
     }
 
     /// Scalar sum all-reduce over `u64`.

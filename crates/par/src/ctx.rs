@@ -190,6 +190,14 @@ pub struct Ctx {
     epoch: u64,
     /// The ranks this rank has adopted as dead.
     dead: Vec<usize>,
+    /// Cached slot map for collectives: the sorted alive ranks as of
+    /// [`Ctx::slot_cache_epoch`]. Scalar collectives run every GMRES inner
+    /// iteration; indexing this cache instead of collecting a fresh map
+    /// keeps them off the heap. Rebuilt (under the audit harness — a
+    /// topology table, DESIGN §16) whenever the recovery epoch moves.
+    pub(crate) slot_cache: Vec<usize>,
+    /// Epoch [`Ctx::slot_cache`] was built for; `u64::MAX` = never built.
+    pub(crate) slot_cache_epoch: u64,
     /// Frames that arrived stamped with a *future* epoch (their sender
     /// adopted a loss this rank has not yet detected); replayed through
     /// ingress once `adopt_world` resets to the new epoch.
@@ -246,6 +254,8 @@ impl Ctx {
             alive: vec![true; nprocs],
             epoch: 0,
             dead: Vec::new(),
+            slot_cache: Vec::new(),
+            slot_cache_epoch: u64::MAX,
             future_frames: Vec::new(),
         }
     }
@@ -279,6 +289,15 @@ impl Ctx {
     /// `CommPlan::verify`) to checked runs only.
     pub fn is_checked(&self) -> bool {
         self.check.is_some()
+    }
+
+    /// True when per-link reliable delivery is armed (see [`crate::rel`]).
+    /// Plan builders use this to size registered-buffer warm-up: a
+    /// reliable sender retains every frame until the cumulative ACK
+    /// passes it, so up to [`ACK_EVERY`](crate::ACK_EVERY) pooled buffers
+    /// per link are in flight beyond the plain send/recv skew.
+    pub fn is_reliable(&self) -> bool {
+        self.rel.is_some()
     }
 
     /// True when this rank was killed by fault injection. A recovery
@@ -440,6 +459,12 @@ impl Ctx {
     }
 
     pub(crate) fn send_internal(&mut self, to: usize, tag: u64, stats_tag: u64, payload: Payload) {
+        // The whole transport op is harness-owned for the allocation
+        // audit: channel nodes, retained-frame clones, and counter maps
+        // stand in for MPI/NIC-owned resources a real steady state never
+        // allocates (DESIGN §16). Payload *data* buffers are built by the
+        // caller, outside this scope, and stay fully audited.
+        let _audit = pilut_allocaudit::harness();
         assert!(to < self.nprocs, "rank {to} out of range");
         self.check_rank_loss();
         self.fault_point();
@@ -866,6 +891,9 @@ impl Ctx {
     }
 
     pub(crate) fn recv_internal(&mut self, from: usize, tag: u64) -> Payload {
+        // Harness-owned, like `send_internal`: pending-queue growth and
+        // ingress bookkeeping model runtime-owned receive machinery.
+        let _audit = pilut_allocaudit::harness();
         self.check_rank_loss();
         self.fault_point();
         // About to (possibly) block: release reorder-held envelopes so the
@@ -923,6 +951,8 @@ impl Ctx {
     /// detector flags concurrent cross-sender candidates only for
     /// [`RecvMode::Wildcard`] consumers (see [`crate::hb`]).
     pub(crate) fn recv_any_internal(&mut self, tag: u64, mode: RecvMode) -> (usize, Payload) {
+        // Harness-owned, like `send_internal`.
+        let _audit = pilut_allocaudit::harness();
         self.check_rank_loss();
         self.fault_point();
         self.flush_held();

@@ -63,6 +63,7 @@ pub mod fault;
 pub(crate) mod hb;
 pub mod machine;
 pub mod payload;
+pub mod pool;
 pub mod rel;
 pub mod sched;
 
@@ -71,5 +72,5 @@ pub use ctx::Ctx;
 pub use fault::{FaultAction, FaultPlan, FaultRule, InjectedFault, FAULT_KILL_PREFIX};
 pub use machine::{Machine, MachineBuilder, MachineModel, MachineStats, RunOutput};
 pub use payload::Payload;
-pub use rel::{ACK_TAG, RECOVER_TAG};
+pub use rel::{ACK_EVERY, ACK_TAG, RECOVER_TAG};
 pub use sched::{MatchKind, SchedHandle, SchedulePlan, TraceEvent};

@@ -348,6 +348,10 @@ impl Machine {
         F: Fn(&mut Ctx) -> R + Sync,
     {
         assert!(p > 0, "need at least one rank");
+        // Scalar collectives (GMRES dot products) draw single-element
+        // buffers from the pool every inner iteration; fill that class
+        // before any rank starts so the steady state never misses.
+        crate::pool::warm_scalars();
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {

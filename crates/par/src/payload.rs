@@ -22,18 +22,26 @@ pub enum Payload {
 }
 
 impl Payload {
-    /// Wraps an index buffer.
+    /// Wraps an index buffer. The refcount block is harness-owned (it
+    /// models the runtime's message descriptor, not user data), so the
+    /// allocation audit does not see it; the buffer itself stays the
+    /// caller's responsibility.
     pub fn u64s(v: Vec<u64>) -> Self {
+        let _h = pilut_allocaudit::harness();
         Payload::U64(Arc::new(v))
     }
 
-    /// Wraps a numeric buffer.
+    /// Wraps a numeric buffer (refcount block harness-owned; see
+    /// [`Payload::u64s`]).
     pub fn f64s(v: Vec<f64>) -> Self {
+        let _h = pilut_allocaudit::harness();
         Payload::F64(Arc::new(v))
     }
 
-    /// Wraps paired index/value buffers.
+    /// Wraps paired index/value buffers (refcount blocks harness-owned;
+    /// see [`Payload::u64s`]).
     pub fn mixed(a: Vec<u64>, b: Vec<f64>) -> Self {
+        let _h = pilut_allocaudit::harness();
         Payload::Mixed(Arc::new(a), Arc::new(b))
     }
 
@@ -73,12 +81,77 @@ impl Payload {
             other => panic!("expected Mixed payload, got {other:?}"),
         }
     }
+
+    /// Borrows an `F64` payload's values without unwrapping the `Arc` —
+    /// the copy-free read for receivers that scatter the values and hand
+    /// the buffer straight back to the pool via [`Payload::recycle`].
+    /// Unlike [`Payload::into_f64`], a shared payload (sender-retained
+    /// frame, fan-out node) costs nothing here.
+    ///
+    /// # Panics
+    /// Panics if the variant differs — a protocol error in the caller.
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {other:?}"),
+        }
+    }
+
+    /// Borrows a `U64` payload's values (see [`Payload::as_f64`]).
+    pub fn as_u64(&self) -> &[u64] {
+        match self {
+            Payload::U64(v) => v,
+            other => panic!("expected U64 payload, got {other:?}"),
+        }
+    }
+
+    /// Drops this handle, returning the underlying buffer(s) to the
+    /// registered pool when it was the last reference. This is how pooled
+    /// replay buffers complete their cycle: each holder — the receiver
+    /// after scattering, the sender's reliable-delivery retention on
+    /// cumulative ACK — recycles its handle, and whichever drops last
+    /// actually shelves the buffer. A handle that is not last simply
+    /// drops, copy-free (where [`Payload::into_f64`] would have deep-
+    /// cloned and the pooled original would have died with the other
+    /// reference, draining the pool one buffer per acknowledged frame).
+    pub fn recycle(self) {
+        match self {
+            Payload::Empty => {}
+            Payload::U64(v) => {
+                if let Ok(buf) = Arc::try_unwrap(v) {
+                    crate::pool::give_u64(buf);
+                }
+            }
+            Payload::F64(v) => {
+                if let Ok(buf) = Arc::try_unwrap(v) {
+                    crate::pool::give_f64(buf);
+                }
+            }
+            Payload::Mixed(a, b) => {
+                if let Ok(buf) = Arc::try_unwrap(a) {
+                    crate::pool::give_u64(buf);
+                }
+                if let Ok(buf) = Arc::try_unwrap(b) {
+                    crate::pool::give_f64(buf);
+                }
+            }
+        }
+    }
 }
 
 /// Takes the buffer out of the `Arc` without copying when the caller holds
-/// the only reference; falls back to one clone otherwise (shared fan-out).
+/// the only reference; falls back to one clone otherwise. The fallback
+/// copy is harness-owned (DESIGN §16): it happens only while the
+/// *transport* still holds a reference — a broadcast fan-out node, or a
+/// sender-retained frame awaiting its cumulative ACK — and stands in for
+/// frame memory a real NIC would own. An MPI receiver owns its receive
+/// buffer outright; the audited steady state must not be charged for the
+/// VM keeping the wire image alive a little longer.
 fn unwrap_arc<T: Clone>(v: Arc<Vec<T>>) -> Vec<T> {
-    Arc::try_unwrap(v).unwrap_or_else(|shared| (*shared).clone())
+    Arc::try_unwrap(v).unwrap_or_else(|shared| {
+        let _h = pilut_allocaudit::harness();
+        (*shared).clone()
+    })
 }
 
 #[cfg(test)]

@@ -60,8 +60,11 @@ pub(crate) struct RelState {
 }
 
 /// Cumulative-ACK cadence: one ACK per this many in-order deliveries on a
-/// link. Bounds sender retention at roughly this many frames per link.
-pub(crate) const ACK_EVERY: u64 = 64;
+/// link. Bounds sender retention at roughly this many frames per link —
+/// which is also why it is public: the registered-buffer pool must warm
+/// each link deep enough to cover the retention window, or the steady
+/// state allocates every frame the window holds hostage.
+pub const ACK_EVERY: u64 = 64;
 
 impl RelState {
     pub(crate) fn new(p: usize) -> Self {
@@ -87,11 +90,18 @@ impl RelState {
     }
 
     /// Applies a cumulative ACK: everything on the link to `from` with
-    /// `seq <= upto` is delivered and can be forgotten.
+    /// `seq <= upto` is delivered and can be forgotten. Released frames
+    /// are [`recycle`](crate::payload::Payload::recycle)d, not just
+    /// dropped: by ACK time the receiver has long read and released its
+    /// handle, so retention holds the *last* reference to the payload —
+    /// for pooled replay buffers this is the moment the buffer returns to
+    /// the registered pool instead of dying with the frame.
     pub(crate) fn on_ack(&mut self, from: usize, upto: u64) {
         let q = &mut self.retained[from];
         while q.front().is_some_and(|e| e.seq.is_some_and(|s| s <= upto)) {
-            q.pop_front();
+            if let Some(env) = q.pop_front() {
+                env.payload.recycle();
+            }
         }
     }
 

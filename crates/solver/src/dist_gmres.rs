@@ -12,7 +12,7 @@
 use pilut_core::dist::op::DistOperator;
 use pilut_core::dist::{DistMatrix, LocalView};
 use pilut_core::parallel::RankFactors;
-use pilut_core::trisolve::{dist_solve, TrisolvePlan};
+use pilut_core::trisolve::{dist_solve, dist_solve_into, SolveScratch, TrisolvePlan};
 use pilut_par::Ctx;
 
 use crate::gmres::GmresOptions;
@@ -22,6 +22,15 @@ use crate::report::Breakdown;
 /// correction slice. Collective — every rank calls `apply` together.
 pub trait DistPrecond {
     fn apply(&mut self, ctx: &mut Ctx, local: &LocalView, r: &[f64]) -> Vec<f64>;
+
+    /// Applies the correction into a caller-owned buffer — the
+    /// zero-allocation steady-state form. The default delegates to
+    /// [`DistPrecond::apply`]; the in-repo implementations override it
+    /// with in-place solves.
+    fn apply_into(&mut self, ctx: &mut Ctx, local: &LocalView, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(&self.apply(ctx, local, r));
+    }
+
     fn name(&self) -> String;
 }
 
@@ -31,6 +40,10 @@ pub struct DistIdentity;
 impl DistPrecond for DistIdentity {
     fn apply(&mut self, _ctx: &mut Ctx, _local: &LocalView, r: &[f64]) -> Vec<f64> {
         r.to_vec()
+    }
+
+    fn apply_into(&mut self, _ctx: &mut Ctx, _local: &LocalView, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
     }
 
     fn name(&self) -> String {
@@ -82,6 +95,13 @@ impl DistPrecond for DistDiagonal {
         r.iter().zip(&self.inv_diag).map(|(x, d)| x * d).collect()
     }
 
+    fn apply_into(&mut self, ctx: &mut Ctx, _local: &LocalView, r: &[f64], z: &mut [f64]) {
+        ctx.work(r.len() as f64);
+        for ((zi, x), d) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = x * d;
+        }
+    }
+
     fn name(&self) -> String {
         "Diagonal".into()
     }
@@ -93,16 +113,21 @@ pub struct DistIlu {
     pub rf: RankFactors,
     pub plan: TrisolvePlan,
     pub label: String,
+    /// Reusable sweep workspace: built with the plan so every steady-state
+    /// apply runs the zero-allocation [`dist_solve_into`] path.
+    scratch: SolveScratch,
 }
 
 impl DistIlu {
     /// Builds the triangular-solve plan (collective).
     pub fn new(ctx: &mut Ctx, dm: &DistMatrix, local: &LocalView, rf: RankFactors) -> Self {
         let plan = TrisolvePlan::build(ctx, dm, local, &rf);
+        let scratch = SolveScratch::build(local, &plan);
         DistIlu {
             rf,
             plan,
             label: "ILU".into(),
+            scratch,
         }
     }
 
@@ -116,6 +141,10 @@ impl DistIlu {
 impl DistPrecond for DistIlu {
     fn apply(&mut self, ctx: &mut Ctx, local: &LocalView, r: &[f64]) -> Vec<f64> {
         dist_solve(ctx, local, &self.rf, &self.plan, r)
+    }
+
+    fn apply_into(&mut self, ctx: &mut Ctx, local: &LocalView, r: &[f64], z: &mut [f64]) {
+        dist_solve_into(ctx, local, &self.rf, &self.plan, r, &mut self.scratch, z);
     }
 
     fn name(&self) -> String {
@@ -204,15 +233,31 @@ pub fn dist_gmres_from(
     let target = opts.rtol * b_norm;
     let m = opts.restart.max(1);
     let mut matvecs = 0usize;
+    // Workspace, allocated once per solve (see the serial `gmres` twin):
+    // every restart cycle and inner iteration reuses it, and the inner loop
+    // runs under the `gmres_inner` audit region with zero steady
+    // acquisitions.
+    let mut v: Vec<Vec<f64>> = (0..=m).map(|_| vec![0.0; nl]).collect();
+    let mut h = vec![vec![0.0f64; m]; m + 1];
+    let mut cs = vec![0.0f64; m];
+    let mut sn = vec![0.0f64; m];
+    let mut g = vec![0.0f64; m + 1];
+    let mut ax = vec![0.0; nl];
+    let mut z = vec![0.0; nl];
+    let mut w = vec![0.0; nl];
+    let mut y = vec![0.0f64; m];
+    let mut vy = vec![0.0; nl];
     let mut breakdown: Option<Breakdown> = None;
     let mut prev_beta = f64::INFINITY;
     let mut stalled_cycles = 0usize;
 
     'outer: loop {
-        let ax = op.apply(ctx, &x);
+        op.apply_into(ctx, &x, &mut ax);
         matvecs += 1;
-        let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
-        let beta = dnorm(ctx, &r);
+        for ((ri, bi), yi) in v[0].iter_mut().zip(b).zip(&ax) {
+            *ri = bi - yi;
+        }
+        let beta = dnorm(ctx, &v[0]);
         if !beta.is_finite() {
             breakdown = Some(Breakdown::NonFinite { at: matvecs });
             break 'outer;
@@ -236,21 +281,21 @@ pub fn dist_gmres_from(
             stalled_cycles = 0;
         }
         prev_beta = beta;
-        for ri in &mut r {
+        for ri in &mut v[0] {
             *ri /= beta;
         }
         ctx.work(nl as f64);
-        let mut v: Vec<Vec<f64>> = vec![r];
-        let mut h = vec![vec![0.0f64; m]; m + 1];
-        let mut cs = vec![0.0f64; m];
-        let mut sn = vec![0.0f64; m];
-        let mut g = vec![0.0f64; m + 1];
+        for col in h.iter_mut() {
+            col.fill(0.0);
+        }
+        g.fill(0.0);
         g[0] = beta;
         let mut inner = 0usize;
 
+        let audit = pilut_allocaudit::region("gmres_inner");
         for j in 0..m {
-            let z = precond.apply(ctx, local, &v[j]);
-            let mut w = op.apply(ctx, &z);
+            precond.apply_into(ctx, local, &v[j], &mut z);
+            op.apply_into(ctx, &z, &mut w);
             matvecs += 1;
             for i in 0..=j {
                 let hij = ddot(ctx, &w, &v[i]);
@@ -289,17 +334,16 @@ pub fn dist_gmres_from(
             // lint: allow(float-eq): exact (lucky) breakdown test
             let lucky = wn == 0.0;
             if !lucky {
-                for wi in &mut w {
-                    *wi /= wn;
+                for (next, wi) in v[j + 1].iter_mut().zip(&w) {
+                    *next = wi / wn;
                 }
                 ctx.work(nl as f64);
-                v.push(w);
             }
             if g[j + 1].abs() <= target || matvecs >= opts.max_matvecs || lucky {
                 break;
             }
         }
-        let mut y = vec![0.0f64; inner];
+        y[..inner].fill(0.0);
         for i in (0..inner).rev() {
             let mut s = g[i];
             for k in i + 1..inner {
@@ -307,14 +351,15 @@ pub fn dist_gmres_from(
             }
             y[i] = s / h[i][i];
         }
-        let mut vy = vec![0.0; nl];
-        for (i, yi) in y.iter().enumerate() {
+        vy.fill(0.0);
+        for (i, yi) in y.iter().take(inner).enumerate() {
             for (acc, vk) in vy.iter_mut().zip(&v[i]) {
                 *acc += yi * vk;
             }
         }
         ctx.work(2.0 * inner as f64 * nl as f64);
-        let z = precond.apply(ctx, local, &vy);
+        precond.apply_into(ctx, local, &vy, &mut z);
+        drop(audit);
         // Guard the update collectively: every rank must agree on whether
         // the correction is applied, so the verdict is an all-reduce.
         let poisoned = z.iter().any(|zi| !zi.is_finite()) as u64;
@@ -337,10 +382,13 @@ pub fn dist_gmres_from(
             break 'outer;
         }
     }
-    // Budget exhausted or breakdown: report the true residual.
-    let ax = op.apply(ctx, &x);
-    let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
-    let mut rel = dnorm(ctx, &r) / b_norm;
+    // Budget exhausted or breakdown: report the true residual (reusing the
+    // workspace buffers).
+    op.apply_into(ctx, &x, &mut ax);
+    for ((ri, bi), yi) in w.iter_mut().zip(b).zip(&ax) {
+        *ri = bi - yi;
+    }
+    let mut rel = dnorm(ctx, &w) / b_norm;
     if !rel.is_finite() {
         rel = f64::INFINITY;
     }

@@ -66,6 +66,15 @@
 //! per point: these are curve samples on multi-second problems, not
 //! gated microbenchmarks.
 //!
+//! `--profile-alloc` reads the allocation-audit region registry after
+//! each scenario and records the memory-plane columns of the v2 schema:
+//! total steady-region heap acquisitions (`allocs`, `alloc_bytes`) plus a
+//! per-region breakdown (`alloc_regions`). The counting allocator and
+//! regions are active throughout the run either way (the xtask binary
+//! compiles the `audit` feature in), so profiling changes what is
+//! *recorded*, not what is timed. `bench-verify` gates every
+//! [`STEADY_REGIONS`] entry of a v2 report to exactly zero acquisitions.
+//!
 //! `--quick` shrinks the problem sizes and runs the two cheapest scenarios
 //! only (and, with `--scaling`, a tiny two-point sweep) — this is the CI
 //! smoke configuration, meant to prove the harness and its JSON writer
@@ -80,10 +89,58 @@ use pilut_core::options::IlutOptions;
 use pilut_core::parallel::par_ilut;
 use pilut_core::precond::IluPreconditioner;
 use pilut_core::serial::{block_ilut, ilut};
-use pilut_core::trisolve::{dist_solve, TrisolvePlan};
+use pilut_core::trisolve::{dist_solve_into, SolveScratch, TrisolvePlan};
 use pilut_par::{FaultAction, FaultPlan, FaultRule, Machine, MachineModel, MachineStats};
 use pilut_solver::{dist_solve_robust, gmres, GmresOptions};
 use pilut_sparse::{gen, BcsrMatrix};
+
+/// Audit regions gated to **zero** steady-state heap acquisitions by
+/// `bench-verify`: every one of these is a replay path whose plan, pools,
+/// and workspaces are fully built before the steady state begins, so a
+/// single allocation inside is a regression of the memory plane. Regions
+/// outside this list (`mis_rounds`, `plan_replay`) ship content-dependent
+/// frames and are *measured*, not gated.
+const STEADY_REGIONS: &[&str] = &[
+    "gmres_inner",
+    "recv_values",
+    "replay_halo",
+    "send_values",
+    "trisolve_replay",
+];
+
+/// One scenario's allocation profile, read out of the audit-region
+/// registry after the scenario ran (`--profile-alloc`). Totals cover the
+/// scenario's whole run — warmup, timed reps, and the untimed stats pass —
+/// which is exactly what the zero gate wants: zero per scenario implies
+/// zero per operation.
+#[derive(Default)]
+struct AllocProfile {
+    /// Heap acquisitions (allocs + reallocs) inside steady regions.
+    allocs: u64,
+    /// Bytes acquired inside steady regions.
+    bytes: u64,
+    /// Per-region breakdown over *all* regions, `"name:allocs/bytes"`
+    /// space-separated.
+    regions: String,
+}
+
+impl AllocProfile {
+    /// Folds the audit registry into a profile: steady-region totals plus
+    /// the full breakdown string.
+    fn from_registry(stats: &[pilut_allocaudit::RegionStats]) -> Self {
+        let mut p = AllocProfile::default();
+        let mut parts = Vec::with_capacity(stats.len());
+        for r in stats {
+            if STEADY_REGIONS.contains(&r.name) {
+                p.allocs += r.allocs;
+                p.bytes += r.bytes;
+            }
+            parts.push(format!("{}:{}/{}", r.name, r.allocs, r.bytes));
+        }
+        p.regions = parts.join(" ");
+        p
+    }
+}
 
 /// One scenario's measurement.
 struct Measurement {
@@ -110,6 +167,10 @@ struct Measurement {
     /// rounds that predict message counts only. `bench-verify` gates the
     /// measured counters against this.
     comm_planned: String,
+    /// Steady-region allocation profile (`--profile-alloc`; zeros and an
+    /// empty breakdown otherwise). `bench-verify` gates the
+    /// [`STEADY_REGIONS`] entries of the breakdown to zero.
+    alloc: AllocProfile,
 }
 
 impl Measurement {
@@ -132,6 +193,7 @@ struct Cfg {
 pub fn run(args: &[String]) -> Result<(), String> {
     let mut quick = false;
     let mut scaling = false;
+    let mut profile_alloc = false;
     let mut out_path = String::from("BENCH.json");
     let mut label = String::from("local");
     let mut baseline = String::from("none");
@@ -141,6 +203,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--quick" => quick = true,
             "--scaling" => scaling = true,
+            "--profile-alloc" => profile_alloc = true,
             "--out" => {
                 out_path = it
                     .next()
@@ -197,19 +260,37 @@ pub fn run(args: &[String]) -> Result<(), String> {
             ("recovery_p4", bench_recovery_p4),
         ]
     };
+    if profile_alloc && !pilut_allocaudit::audit_enabled() {
+        return Err("--profile-alloc needs the audit feature compiled in".to_string());
+    }
     let mut results = Vec::new();
     for (name, f) in all {
         if !only.is_empty() && !only.iter().any(|s| s == name) {
             continue;
         }
         eprint!("bench {name} ... ");
-        let m = f(&cfg);
+        // Per-scenario audit window: reset the region registry, run the
+        // scenario (warmup + timed reps + stats pass — the regions count
+        // throughout, so the timings are the same with and without the
+        // flag), then read the accumulated per-region traffic back out.
+        if profile_alloc {
+            pilut_allocaudit::reset_regions();
+        }
+        let mut m = f(&cfg);
+        if profile_alloc {
+            m.alloc = AllocProfile::from_registry(&pilut_allocaudit::region_stats());
+        }
         eprintln!(
-            "median {:.3} ms, min {:.3} ms{}",
+            "median {:.3} ms, min {:.3} ms{}{}",
             m.median_ns as f64 / 1e6,
             m.min_ns as f64 / 1e6,
             if m.nnz > 0 {
                 format!(", {:.1} Mnnz/s", m.mnnz_per_s())
+            } else {
+                String::new()
+            },
+            if profile_alloc {
+                format!(", steady allocs {}", m.alloc.allocs)
             } else {
                 String::new()
             }
@@ -318,6 +399,7 @@ fn bench_serial_ilut(cfg: &Cfg) -> Measurement {
         comm_bytes: 0,
         comm_tags: String::new(),
         comm_planned: String::new(),
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -342,6 +424,7 @@ fn bench_serial_ilut_unbounded(cfg: &Cfg) -> Measurement {
         comm_bytes: 0,
         comm_tags: String::new(),
         comm_planned: String::new(),
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -352,9 +435,10 @@ fn bench_trisolve_serial(cfg: &Cfg) -> Measurement {
     let f = ilut(&a, &IlutOptions::new(10, 1e-4)).expect("factorization failed");
     let fill = f.nnz();
     let b: Vec<f64> = (0..a.n_rows()).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let mut x = vec![0.0; a.n_rows()];
     let inner = 50;
     let (median_ns, min_ns) = sample(cfg.reps, inner, || {
-        let x = f.solve(&b);
+        f.solve_into(&b, &mut x);
         std::hint::black_box(&x);
     });
     Measurement {
@@ -369,6 +453,7 @@ fn bench_trisolve_serial(cfg: &Cfg) -> Measurement {
         comm_bytes: 0,
         comm_tags: String::new(),
         comm_planned: String::new(),
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -402,6 +487,7 @@ fn bench_block_ilut(cfg: &Cfg) -> Measurement {
         comm_bytes: 0,
         comm_tags: String::new(),
         comm_planned: String::new(),
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -411,9 +497,10 @@ fn bench_block_trisolve(cfg: &Cfg) -> Measurement {
     let f = block_ilut(&ab, &IlutOptions::new(10, 1e-4)).expect("factorization failed");
     let slots = f.stored_entries();
     let b: Vec<f64> = (0..ab.n_rows()).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let mut x = vec![0.0; f.padded_len()];
     let inner = 50;
     let (median_ns, min_ns) = sample(cfg.reps, inner, || {
-        let x = f.solve(&b);
+        f.solve_into(&b, &mut x);
         std::hint::black_box(&x);
     });
     Measurement {
@@ -428,6 +515,7 @@ fn bench_block_trisolve(cfg: &Cfg) -> Measurement {
         comm_bytes: 0,
         comm_tags: String::new(),
         comm_planned: String::new(),
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -441,9 +529,10 @@ fn bench_block_trisolve_rhs8(cfg: &Cfg) -> Measurement {
     let slots = f.stored_entries() * k;
     let n = ab.n_rows();
     let rhs: Vec<f64> = (0..n * k).map(|i| ((i % 29) as f64) * 0.25 - 3.5).collect();
+    let mut x = vec![0.0; f.padded_len() * k];
     let inner = 10;
     let (median_ns, min_ns) = sample(cfg.reps, inner, || {
-        let x = f.solve_panel(&rhs, k);
+        f.solve_panel_into(&rhs, k, &mut x);
         std::hint::black_box(&x);
     });
     Measurement {
@@ -458,6 +547,7 @@ fn bench_block_trisolve_rhs8(cfg: &Cfg) -> Measurement {
         comm_bytes: 0,
         comm_tags: String::new(),
         comm_planned: String::new(),
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -483,6 +573,7 @@ fn bench_spmv(cfg: &Cfg) -> Measurement {
         comm_bytes: 0,
         comm_tags: String::new(),
         comm_planned: String::new(),
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -525,6 +616,7 @@ fn bench_gmres(cfg: &Cfg) -> Measurement {
         comm_bytes: 0,
         comm_tags: String::new(),
         comm_planned: String::new(),
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -573,6 +665,7 @@ fn bench_par_ilut(name: &'static str, cfg: &Cfg, p: usize, opts: IlutOptions) ->
         comm_bytes,
         comm_tags,
         comm_planned,
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -607,10 +700,12 @@ fn bench_dist_trisolve_p4(cfg: &Cfg) -> Measurement {
             let rf = par_ilut(ctx, &dm, &local, &opts).expect("factorization failed");
             let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
             let b: Vec<f64> = local.nodes.iter().map(|&g| (g as f64).sin()).collect();
+            let mut scratch = SolveScratch::build(&local, &plan);
+            let mut x = vec![0.0; local.len()];
             ctx.barrier();
             let t = Instant::now();
             for _ in 0..inner {
-                let x = dist_solve(ctx, &local, &rf, &plan, &b);
+                dist_solve_into(ctx, &local, &rf, &plan, &b, &mut scratch, &mut x);
                 std::hint::black_box(&x);
             }
             (t.elapsed().as_nanos() / inner as u128) as u64
@@ -626,7 +721,9 @@ fn bench_dist_trisolve_p4(cfg: &Cfg) -> Measurement {
             let rf = par_ilut(ctx, &dm, &local, &opts).expect("factorization failed");
             let plan = TrisolvePlan::build(ctx, &dm, &local, &rf);
             let b: Vec<f64> = local.nodes.iter().map(|&g| (g as f64).sin()).collect();
-            let x = dist_solve(ctx, &local, &rf, &plan, &b);
+            let mut scratch = SolveScratch::build(&local, &plan);
+            let mut x = vec![0.0; local.len()];
+            dist_solve_into(ctx, &local, &rf, &plan, &b, &mut scratch, &mut x);
             std::hint::black_box(&x);
             rf.rows
                 .values()
@@ -648,6 +745,7 @@ fn bench_dist_trisolve_p4(cfg: &Cfg) -> Measurement {
         comm_bytes,
         comm_tags,
         comm_planned,
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -726,6 +824,7 @@ fn bench_dist_solve_robust_p4(cfg: &Cfg) -> Measurement {
         comm_bytes,
         comm_tags,
         comm_planned,
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -789,6 +888,7 @@ fn bench_recovery_p4(cfg: &Cfg) -> Measurement {
         comm_bytes,
         comm_tags,
         comm_planned: String::new(),
+        alloc: AllocProfile::default(),
     }
 }
 
@@ -964,7 +1064,7 @@ fn render_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pilut-bench-v1\",\n");
+    out.push_str("  \"schema\": \"pilut-bench-v2\",\n");
     out.push_str(&format!("  \"label\": \"{label}\",\n"));
     out.push_str(&format!("  \"baseline\": \"{baseline}\",\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
@@ -974,7 +1074,8 @@ fn render_json(
             "    {{\"name\": \"{}\", \"n\": {}, \"nnz\": {}, \"reps\": {}, \"inner\": {}, \
              \"median_ns\": {}, \"min_ns\": {}, \"mnnz_per_s\": {:.2}, \
              \"comm_messages\": {}, \"comm_bytes\": {}, \"comm_tags\": \"{}\", \
-             \"comm_planned\": \"{}\"}}{}\n",
+             \"comm_planned\": \"{}\", \"allocs\": {}, \"alloc_bytes\": {}, \
+             \"alloc_regions\": \"{}\"}}{}\n",
             m.name,
             m.n,
             m.nnz,
@@ -987,6 +1088,9 @@ fn render_json(
             m.comm_bytes,
             m.comm_tags,
             m.comm_planned,
+            m.alloc.allocs,
+            m.alloc.bytes,
+            m.alloc.regions,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -1046,6 +1150,13 @@ fn render_json(
 /// serial code path acquired a hidden machine dependency. Scaling curves,
 /// when present, must each carry their mode, generator, crossover verdict,
 /// and at least one fully-populated point.
+///
+/// v2 reports additionally carry the memory-plane columns (`allocs`,
+/// `alloc_bytes`, `alloc_regions`) and are gated on them: every
+/// [`STEADY_REGIONS`] entry in a scenario's region breakdown must report
+/// exactly zero heap acquisitions — the zero-steady-alloc gate. v1
+/// baselines predate the memory plane and verify on the comm contract
+/// alone.
 pub fn verify(args: &[String]) -> Result<(), String> {
     let mut path: Option<&String> = None;
     let mut slack_pct = 0.0f64;
@@ -1069,8 +1180,12 @@ pub fn verify(args: &[String]) -> Result<(), String> {
     let path = path.ok_or_else(|| "usage: bench-verify <file.json> [--slack PCT]".to_string())?;
     let content =
         std::fs::read_to_string(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
-    if !content.contains("\"schema\": \"pilut-bench-v1\"") {
-        return Err(format!("{path}: missing pilut-bench-v1 schema marker"));
+    // v2 reports carry the allocation columns and are gated on them; v1
+    // baselines from earlier PRs predate the memory plane and still verify
+    // on their comm contract alone.
+    let v2 = content.contains("\"schema\": \"pilut-bench-v2\"");
+    if !v2 && !content.contains("\"schema\": \"pilut-bench-v1\"") {
+        return Err(format!("{path}: missing pilut-bench-v1/v2 schema marker"));
     }
     // Brace balance (the writer emits no braces inside strings).
     let opens = content.matches('{').count();
@@ -1143,6 +1258,31 @@ pub fn verify(args: &[String]) -> Result<(), String> {
                 "{path}: serial scenario {name} reports {comm} comm message(s); \
                  a serial path must put nothing on the wire"
             ));
+        }
+        if v2 {
+            // The zero-steady-alloc gate: a v2 scenario must carry the
+            // allocation columns, and every steady region in its breakdown
+            // must report exactly zero heap acquisitions. Scenarios
+            // profiled without `--profile-alloc` carry an empty breakdown
+            // and pass vacuously; the CI bench run profiles.
+            for key in ["\"allocs\":", "\"alloc_bytes\":", "\"alloc_regions\":"] {
+                if !line.contains(key) {
+                    return Err(format!("{path}: scenario {name} missing {key}"));
+                }
+            }
+            let regions = field_str(line, "\"alloc_regions\":").unwrap_or_default();
+            for (region, allocs, bytes) in
+                parse_breakdown(&regions).map_err(|e| format!("{path}: scenario {name}: {e}"))?
+            {
+                if STEADY_REGIONS.contains(&region.as_str()) && allocs != 0 {
+                    return Err(format!(
+                        "{path}: scenario {name}: steady region {region} acquired \
+                         {allocs} allocation(s) / {} byte(s); steady-state replay \
+                         paths must not touch the heap",
+                        bytes.unwrap_or(0)
+                    ));
+                }
+            }
         }
     }
     if scenarios == 0 {
@@ -1398,8 +1538,13 @@ struct ParsedScenario {
 fn read_scenarios(path: &str) -> Result<Vec<ParsedScenario>, String> {
     let content =
         std::fs::read_to_string(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
-    if !content.contains("\"schema\": \"pilut-bench-v1\"") {
-        return Err(format!("{path}: missing pilut-bench-v1 schema marker"));
+    // Both schema generations parse here: the comparison fields are
+    // identical, so a v2 report compares against a v1 baseline directly
+    // (the alloc columns are a v2-only addition, gated by `verify`).
+    if !content.contains("\"schema\": \"pilut-bench-v1\"")
+        && !content.contains("\"schema\": \"pilut-bench-v2\"")
+    {
+        return Err(format!("{path}: missing pilut-bench-v1/v2 schema marker"));
     }
     let mut out = Vec::new();
     for line in content.lines() {
@@ -1462,6 +1607,7 @@ mod tests {
             comm_bytes: 4096,
             comm_tags: "spmv:12/4096".to_string(),
             comm_planned: "spmv:12/4096".to_string(),
+            alloc: AllocProfile::default(),
         }]
     }
 
@@ -1610,6 +1756,84 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("bypassed the planned data plane"), "{err}");
+    }
+
+    #[test]
+    fn steady_region_allocs_fail_the_zero_gate() {
+        // A steady region with traffic fails; a measured-only region
+        // (mis_rounds) with the same traffic passes.
+        let mut m = fake();
+        m[0].alloc = AllocProfile {
+            allocs: 3,
+            bytes: 1024,
+            regions: "trisolve_replay:3/1024".to_string(),
+        };
+        let err = verify_file(
+            "pilut_bench_alloc_gate.json",
+            &render_json("t", "none", true, &m, &[]),
+        )
+        .unwrap_err();
+        assert!(err.contains("steady region trisolve_replay"), "{err}");
+        assert!(err.contains("3 allocation(s)"), "{err}");
+        m[0].alloc = AllocProfile {
+            allocs: 0,
+            bytes: 0,
+            regions: "mis_rounds:3/1024 trisolve_replay:0/0".to_string(),
+        };
+        verify_file(
+            "pilut_bench_alloc_gate_ok.json",
+            &render_json("t", "none", true, &m, &[]),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn v1_baselines_still_verify_and_compare() {
+        // A v1 report (no alloc columns) must pass verify's legacy path
+        // and parse for comparison against a v2 report.
+        let v1 = "{\n  \"schema\": \"pilut-bench-v1\",\n  \"label\": \"pr9\",\n  \
+                  \"baseline\": \"none\",\n  \"quick\": true,\n  \"scenarios\": [\n    \
+                  {\"name\": \"spmv_p4\", \"n\": 100, \"nnz\": 460, \"reps\": 3, \
+                  \"inner\": 10, \"median_ns\": 1100, \"min_ns\": 950, \
+                  \"mnnz_per_s\": 418.18, \"comm_messages\": 12, \"comm_bytes\": 4096, \
+                  \"comm_tags\": \"spmv:12/4096\", \"comm_planned\": \"spmv:12/4096\"}\n  \
+                  ]\n}\n";
+        verify_file("pilut_bench_v1_legacy.json", v1).unwrap();
+        let base_path = std::env::temp_dir().join("pilut_bench_v1_base.json");
+        std::fs::write(&base_path, v1).unwrap();
+        let new_path = std::env::temp_dir().join("pilut_bench_v2_new.json");
+        std::fs::write(&new_path, render_json("t", "pr9", true, &fake(), &[])).unwrap();
+        compare(&[
+            new_path.to_str().unwrap().to_string(),
+            base_path.to_str().unwrap().to_string(),
+            "--tolerance".into(),
+            "25".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn alloc_profile_folds_steady_regions_only() {
+        let stats = vec![
+            pilut_allocaudit::RegionStats {
+                name: "mis_rounds",
+                allocs: 40,
+                bytes: 2048,
+                deallocs: 40,
+                entries: 5,
+            },
+            pilut_allocaudit::RegionStats {
+                name: "trisolve_replay",
+                allocs: 2,
+                bytes: 128,
+                deallocs: 0,
+                entries: 50,
+            },
+        ];
+        let p = AllocProfile::from_registry(&stats);
+        assert_eq!(p.allocs, 2, "only steady regions count toward the total");
+        assert_eq!(p.bytes, 128);
+        assert_eq!(p.regions, "mis_rounds:40/2048 trisolve_replay:2/128");
     }
 
     #[test]

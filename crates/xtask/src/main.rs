@@ -32,10 +32,21 @@
 //!   `Machine`/`Ctx` abstraction so the cost model sees all parallelism.
 //! * **no-raw-comm** — raw point-to-point traffic (`ctx.send(` /
 //!   `ctx.recv(`) is allowed only inside `crates/par` (which implements
-//!   it) and `crates/core/src/dist/exchange.rs` (the planned-exchange
-//!   layer). Everything else must route through a `CommPlan` or a
+//!   it) and the planned-exchange layer under
+//!   `crates/core/src/dist/exchange` (the module plus its `replay` child).
+//!   Everything else must route through a `CommPlan` or a
 //!   collective, so every message is scheduled, counted, and replayable.
 //!   Escape hatch: `// lint: allow(raw-comm): <why>`.
+//! * **no-alloc-in-hot** — allocating constructs (`Vec::new`, `vec![`,
+//!   `with_capacity`, `.collect(`, `.to_vec(`, `.clone(`, `Box::new`,
+//!   `format!`, `String::new`) are forbidden in the declared hot modules
+//!   ([`HOT_MODULES`]): the sparse work-row and tile kernels, the blocked
+//!   and serial triangular-solve functions, and the whole `CommPlan`
+//!   replay half. The scan is a token walk over the blanked text — macro
+//!   invocations are first-class tokens, so `vec![` in a string or
+//!   comment can't fire and `Avec![` can't hide. Backed at run time by
+//!   the allocation-audit regions and the `zero-steady-alloc` bench gate.
+//!   Escape hatch: `// lint: allow(alloc-in-hot): <why>`.
 //! * **no-reserved-tag** — building a tag with `|`/`+`/`^`/`*` on
 //!   `RESERVED_TAG_BASE` is allowed only inside `crates/par`; the
 //!   namespace above the base belongs to the VM's collectives and
@@ -355,7 +366,7 @@ fn lint_source(label: &str, content: &str, in_par: bool) -> Vec<Violation> {
                 text: raw.to_string(),
             });
         }
-        let comm_exempt = in_par || label == "crates/core/src/dist/exchange.rs";
+        let comm_exempt = in_par || label.starts_with("crates/core/src/dist/exchange");
         if !comm_exempt
             && (code.contains("ctx.send(") || code.contains("ctx.recv("))
             && !allowed(&lines, i, "raw-comm")
@@ -396,6 +407,205 @@ fn lint_source(label: &str, content: &str, in_par: bool) -> Vec<Violation> {
     // per line: a call's argument list regularly spans lines.
     if !in_par {
         out.extend(untagged_send_violations(label, &lines, &blanked));
+    }
+    out.extend(alloc_in_hot_violations(label, &lines, &blanked_lines));
+    out
+}
+
+/// The declared hot modules of the `no-alloc-in-hot` rule: files whose
+/// steady-state functions must not allocate. `"*"` covers the whole file
+/// (minus the `#[cfg(test)]` tail); otherwise only the named functions are
+/// policed, so constructors and one-shot setup stay free to allocate.
+/// These are exactly the paths the allocation-audit regions gate at run
+/// time — the lint catches the regression at review time, the
+/// `zero-steady-alloc` bench gate catches whatever the lexer cannot see.
+const HOT_MODULES: &[(&str, &[&str])] = &[
+    (
+        "crates/sparse/src/workrow.rs",
+        &[
+            "occupy",
+            "set_lane",
+            "drop_pos",
+            "drain_sorted_lanes_into",
+            "drain_sorted_into",
+            "axpy",
+            "add",
+            "set",
+            "get",
+            "lane",
+            "contains",
+            "clear",
+        ],
+    ),
+    ("crates/sparse/src/tile.rs", &["*"]),
+    (
+        "crates/core/src/block_factors.rs",
+        &[
+            "forward_solve_padded",
+            "backward_solve_padded",
+            "solve_into",
+            "solve_panel_into",
+        ],
+    ),
+    (
+        "crates/core/src/factors.rs",
+        &["forward_solve", "backward_solve", "solve_into"],
+    ),
+    ("crates/core/src/dist/exchange/replay.rs", &["*"]),
+];
+
+/// Allocation tokens the hot-path rule recognizes on a blanked code line.
+/// The scan is a real token walk, not a substring grep: macro invocations
+/// (`vec![`, `format!`) are first-class tokens, `Type::new` requires the
+/// actual `Vec`/`Box`/`String` path segment on its left, and the method
+/// names only fire as calls (`.collect(`), never as bare identifiers in
+/// a path or pattern.
+#[derive(Debug, PartialEq)]
+enum HotTok<'a> {
+    Ident(&'a str),
+    /// `name!` — a macro invocation, bang included in the recognition.
+    Macro(&'a str),
+    /// `::`
+    PathSep,
+    /// `.`
+    Dot,
+    /// Any other single punctuation character (`(`, `[`, `,`, …).
+    Punct(char),
+}
+
+/// Tokenizes one blanked line for the hot-path allocation scan.
+fn hot_tokens(code: &str) -> Vec<HotTok<'_>> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'!') && bytes.get(i + 1) != Some(&b'=') {
+                toks.push(HotTok::Macro(&code[start..i]));
+                i += 1;
+            } else {
+                toks.push(HotTok::Ident(&code[start..i]));
+            }
+            continue;
+        }
+        if c == ':' && bytes.get(i + 1) == Some(&b':') {
+            toks.push(HotTok::PathSep);
+            i += 2;
+            continue;
+        }
+        if c == '.' {
+            toks.push(HotTok::Dot);
+            i += 1;
+            continue;
+        }
+        if !c.is_ascii_whitespace() && !c.is_ascii_alphanumeric() {
+            toks.push(HotTok::Punct(c));
+        }
+        i += 1;
+    }
+    toks
+}
+
+/// The first allocating construct on a blanked line, by token walk:
+/// `vec![` / `format!` macros, `Vec::new` / `Box::new` / `String::new`
+/// paths, and the allocating method calls `.with_capacity(` / `.collect(`
+/// / `.to_vec(` / `.clone(` (also reached via `::`, as in
+/// `Vec::with_capacity(`).
+fn hot_alloc_token(code: &str) -> Option<&'static str> {
+    const ALLOC_METHODS: &[(&str, &'static str)] = &[
+        ("with_capacity", ".with_capacity("),
+        ("collect", ".collect("),
+        ("to_vec", ".to_vec("),
+        ("clone", ".clone("),
+    ];
+    let toks = hot_tokens(code);
+    for (k, t) in toks.iter().enumerate() {
+        match t {
+            HotTok::Macro("vec") => return Some("vec!["),
+            HotTok::Macro("format") => return Some("format!"),
+            HotTok::Ident("new")
+                if k >= 2
+                    && toks[k - 1] == HotTok::PathSep
+                    && matches!(
+                        toks[k - 2],
+                        HotTok::Ident("Vec") | HotTok::Ident("Box") | HotTok::Ident("String")
+                    ) =>
+            {
+                return Some(match toks[k - 2] {
+                    HotTok::Ident("Vec") => "Vec::new",
+                    HotTok::Ident("Box") => "Box::new",
+                    _ => "String::new",
+                });
+            }
+            HotTok::Ident(name) => {
+                let is_call = toks.get(k + 1) == Some(&HotTok::Punct('('));
+                let via_recv = k >= 1 && matches!(toks[k - 1], HotTok::Dot | HotTok::PathSep);
+                if is_call && via_recv {
+                    if let Some((_, tag)) = ALLOC_METHODS.iter().find(|(m, _)| m == name) {
+                        return Some(tag);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The function name declared on a blanked line, if any.
+fn fn_decl_name(code: &str) -> Option<&str> {
+    let pos = code.find("fn ")?;
+    // `fn` must be its own keyword, not the tail of an identifier.
+    if pos > 0 && code[..pos].ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    let rest = code[pos + 3..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+/// The `no-alloc-in-hot` rule: allocating constructs are forbidden in the
+/// declared hot modules ([`HOT_MODULES`]). Escape hatch:
+/// `// lint: allow(alloc-in-hot): <why>` — for genuinely cold paths inside
+/// a hot file (error formatting, build-time setup the function list could
+/// not express).
+fn alloc_in_hot_violations(label: &str, lines: &[&str], blanked_lines: &[&str]) -> Vec<Violation> {
+    let Some((_, hot_fns)) = HOT_MODULES.iter().find(|(file, _)| *file == label) else {
+        return Vec::new();
+    };
+    let whole_file = hot_fns.contains(&"*");
+    let mut out = Vec::new();
+    let mut in_hot_fn = false;
+    for (i, code) in blanked_lines.iter().enumerate() {
+        if code.contains("#[cfg(test)]") {
+            // Same tail convention as the per-line rules.
+            break;
+        }
+        if let Some(name) = fn_decl_name(code) {
+            in_hot_fn = hot_fns.iter().any(|f| *f == name);
+        }
+        if !(whole_file || in_hot_fn) {
+            continue;
+        }
+        if let Some(tok) = hot_alloc_token(code) {
+            if !allowed(lines, i, "alloc-in-hot") {
+                out.push(Violation {
+                    file: label.to_string(),
+                    line: i + 1,
+                    rule: "no-alloc-in-hot",
+                    text: format!("{} — {}", tok, lines.get(i).copied().unwrap_or("").trim()),
+                });
+            }
+        }
     }
     out
 }
@@ -771,6 +981,7 @@ const DEP_ALLOWLIST: &[&str] = &[
     "pilut-par",
     "pilut-core",
     "pilut-solver",
+    "pilut-allocaudit",
 ];
 
 /// Manifest rule: every dependency name in any `[…dependencies…]` table
@@ -942,6 +1153,69 @@ mod tests {
         assert!(lint_source("crates/core/src/dist/exchange.rs", marked, false).is_empty());
         let tail = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(ctx: &mut Ctx) { ctx.send(0, 9, p); }\n}\n";
         assert!(lint_source("crates/core/src/dist/exchange.rs", tail, false).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_hot_catches_every_construct() {
+        // Whole-file hot module: each construct fires as its own violation,
+        // and macro invocations are matched as tokens — `vec![` and
+        // `format!` are first-class, `avec![` is some other macro.
+        let hot = "crates/sparse/src/tile.rs";
+        let bad = "fn k() {\n    let a = Vec::new();\n    let b = vec![0.0; 4];\n    let c = Vec::with_capacity(8);\n    let d = xs.iter().collect();\n    let e = xs.to_vec();\n    let f = xs.clone();\n    let g = Box::new(0);\n    let h = format!(\"x\");\n    let i = String::new();\n}\n";
+        assert_eq!(
+            rules(&lint_source(hot, bad, false)),
+            vec!["no-alloc-in-hot"; 9]
+        );
+        // A cold file with the same body is untouched.
+        assert!(lint_source("crates/fake/src/a.rs", bad, false).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_hot_macro_tokens_do_not_false_positive() {
+        let hot = "crates/sparse/src/tile.rs";
+        for ok in [
+            // `vec!` inside a string or comment is blanked before the walk.
+            "fn k() { let s = \"vec![0; 4]\"; } // vec![format!]\n",
+            // Some other macro ending in `vec`, and `Clone` in a bound.
+            "fn k<T: Clone>() { avec![1]; assert_ne!(a, b); }\n",
+            // `cloned()` / `collected` are different identifiers.
+            "fn k() { xs.iter().cloned().sum::<f64>(); let collected = 0; }\n",
+            // A field access named `clone` without a call doesn't fire.
+            "fn k() { let c = self.clone_count; }\n",
+        ] {
+            assert!(lint_source(hot, ok, false).is_empty(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn alloc_in_hot_respects_function_lists() {
+        // factors.rs polices only the solve functions: a constructor may
+        // allocate, the hot sweep may not.
+        let label = "crates/core/src/factors.rs";
+        let src = "impl F {\n    /// Constructor — free to allocate.\n    pub fn from_pairs() -> Self {\n        let v: Vec<f64> = it.collect();\n        Self { v }\n    }\n    /// Hot sweep — policed.\n    pub fn forward_solve(&self, b: &mut [f64]) {\n        let tmp = b.to_vec();\n    }\n}\n";
+        let got = lint_source(label, src, false);
+        assert_eq!(rules(&got), vec!["no-alloc-in-hot"]);
+        assert_eq!(got[0].line, 9, "only the line inside the hot fn");
+    }
+
+    #[test]
+    fn alloc_in_hot_escape_and_test_tail() {
+        let hot = "crates/core/src/dist/exchange/replay.rs";
+        let marked = "fn k() {\n    // lint: allow(alloc-in-hot): first-round warm-up only\n    let v = Vec::with_capacity(4);\n}\n";
+        assert!(lint_source(hot, marked, false).is_empty());
+        let tail = "fn k() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let v = vec![1]; }\n}\n";
+        assert!(lint_source(hot, tail, false).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_hot_sees_multi_line_calls() {
+        // The allocating token is flagged on its own line even when the
+        // call spans lines — the walk is per physical line of blanked code.
+        let hot = "crates/sparse/src/tile.rs";
+        let src = "fn k() {\n    let v: Vec<f64> = xs\n        .iter()\n        .map(|x| x * 2.0)\n        .collect();\n}\n";
+        let got = lint_source(hot, src, false);
+        assert_eq!(rules(&got), vec!["no-alloc-in-hot"]);
+        assert_eq!(got[0].line, 5, "reported at the `.collect()` line");
     }
 
     #[test]
